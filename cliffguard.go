@@ -1,0 +1,287 @@
+// Package cliffguard is a reproduction of "CliffGuard: A Principled
+// Framework for Finding Robust Database Designs" (Mozafari, Goh, Yoon;
+// SIGMOD 2015) as a self-contained Go library.
+//
+// CliffGuard finds physical database designs (projections, indices,
+// materialized views) that remain effective when the future workload drifts
+// away from the past one. It wraps an existing nominal designer — treated as
+// a black box — in a robust-optimization loop derived from the
+// Bertsimas-Nohadani-Teo framework: sample the Gamma-neighborhood of the
+// target workload under a workload distance metric, find the worst-case
+// neighbors of the current design, merge them into the designer's input,
+// and keep re-designs that improve the worst case.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Schema/Query/Workload model the database and its SQL workload
+//     (internal/schema, internal/workload, internal/sqlparse).
+//   - Vertica-style (sorted projections) and row-store (indices + matviews)
+//     engine simulators provide cost models, executors and nominal designers
+//     (internal/vertsim, internal/rowsim).
+//   - Guard is the CliffGuard algorithm itself (internal/core), configured
+//     by Options — most importantly the robustness knob Gamma.
+//   - The distance metrics of the paper (delta_euclidean and variants) live
+//     in internal/distance and are exposed through NewEuclidean and friends.
+//
+// Quickstart:
+//
+//	s := cliffguard.Warehouse(1)              // a star-schema warehouse
+//	db := cliffguard.NewVertica(s)            // columnar engine simulator
+//	nominal := cliffguard.NewVerticaDesigner(db, 512<<20)
+//	guard := cliffguard.New(nominal, db, s, cliffguard.Options{Gamma: 0.002})
+//	design, err := guard.Design(w)            // w: *cliffguard.Workload
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// full system inventory and experiment index.
+package cliffguard
+
+import (
+	"cliffguard/internal/aqesim"
+	"cliffguard/internal/core"
+	"cliffguard/internal/datagen"
+	"cliffguard/internal/designer"
+	"cliffguard/internal/distance"
+	"cliffguard/internal/rowsim"
+	"cliffguard/internal/sample"
+	"cliffguard/internal/schema"
+	"cliffguard/internal/sqlparse"
+	"cliffguard/internal/vertsim"
+	"cliffguard/internal/wlgen"
+	"cliffguard/internal/workload"
+)
+
+// Core model types, re-exported from the internal packages.
+type (
+	// Schema is a relational schema with globally numbered columns.
+	Schema = schema.Schema
+	// TableDef declares one table when building a schema with NewSchema.
+	TableDef = schema.TableDef
+	// ColumnDef declares one column of a TableDef.
+	ColumnDef = schema.ColumnDef
+	// ColumnType enumerates column value types.
+	ColumnType = schema.ColumnType
+
+	// Query is one workload query: clause column sets plus execution spec.
+	Query = workload.Query
+	// Workload is a weighted multiset of queries.
+	Workload = workload.Workload
+
+	// Structure is one physical design object (projection, index, matview).
+	Structure = designer.Structure
+	// Design is a set of structures.
+	Design = designer.Design
+	// Designer finds a design for a workload within a storage budget.
+	Designer = designer.Designer
+	// CostModel estimates per-query latency under a hypothetical design.
+	CostModel = designer.CostModel
+
+	// Options configure the CliffGuard loop; Gamma is the robustness knob.
+	Options = core.Options
+	// Guard is the CliffGuard robust designer (Algorithm 2 of the paper).
+	Guard = core.CliffGuard
+	// Trace records one iteration of the robust loop.
+	Trace = core.Trace
+
+	// Metric measures workload dissimilarity.
+	Metric = distance.Metric
+
+	// VerticaDB is the columnar (sorted-projection) engine simulator.
+	VerticaDB = vertsim.DB
+	// RowStoreDB is the row-store (index + materialized view) simulator.
+	RowStoreDB = rowsim.DB
+	// Projection is the columnar engine's design structure.
+	Projection = vertsim.Projection
+	// Index is the row store's secondary index structure.
+	Index = rowsim.Index
+	// MatView is the row store's materialized view structure.
+	MatView = rowsim.MatView
+	// ApproxDB is the approximate-query engine simulator, whose design
+	// structures are stratified samples (the paper's third design problem).
+	ApproxDB = aqesim.DB
+	// Sample is the approximate engine's stratified-sample structure.
+	Sample = aqesim.Sample
+
+	// Parser parses the supported SQL subset against a schema.
+	Parser = sqlparse.Parser
+
+	// Dataset is a physical instantiation of a schema for the executors.
+	Dataset = datagen.Dataset
+
+	// VerticaRow is one output row of the columnar executor.
+	VerticaRow = vertsim.Row
+	// VerticaResult is the columnar executor's output.
+	VerticaResult = vertsim.Result
+	// RowStoreRow is one output row of the row-store executor.
+	RowStoreRow = rowsim.Row
+	// RowStoreResult is the row-store executor's output.
+	RowStoreResult = rowsim.Result
+)
+
+// Column type constants.
+const (
+	Int64   = schema.Int64
+	Float64 = schema.Float64
+	String  = schema.String
+)
+
+// NewSchema builds a schema from table definitions, assigning global column
+// IDs in declaration order.
+func NewSchema(defs []TableDef) (*Schema, error) { return schema.New(defs) }
+
+// Warehouse returns the canonical star-schema warehouse used by the
+// experiments (two fact tables plus dimensions; scale multiplies row counts).
+func Warehouse(scale int64) *Schema { return datagen.Warehouse(scale) }
+
+// GenerateData materializes deterministic synthetic data for a schema,
+// capping physical rows per table at maxRows (0 = no cap).
+func GenerateData(s *Schema, maxRows int, seed int64) *Dataset {
+	return datagen.Generate(s, maxRows, seed)
+}
+
+// NewParser returns a SQL parser bound to the schema.
+func NewParser(s *Schema) *Parser { return sqlparse.NewParser(s) }
+
+// NewVertica opens a cost-model-only columnar engine over the schema.
+func NewVertica(s *Schema) *VerticaDB { return vertsim.Open(s) }
+
+// NewVerticaWithData opens a columnar engine whose executor runs against the
+// dataset.
+func NewVerticaWithData(data *Dataset) *VerticaDB { return vertsim.OpenWithData(data) }
+
+// NewVerticaDesigner returns the DBD-style nominal projection designer (the
+// paper's ExistingDesigner for Vertica) with the given storage budget.
+func NewVerticaDesigner(db *VerticaDB, budgetBytes int64) Designer {
+	return vertsim.NewDesigner(db, budgetBytes)
+}
+
+// NewRowStore opens a cost-model-only row-store engine over the schema.
+func NewRowStore(s *Schema) *RowStoreDB { return rowsim.Open(s) }
+
+// NewRowStoreWithData opens a row-store engine whose executor runs against
+// the dataset.
+func NewRowStoreWithData(data *Dataset) *RowStoreDB { return rowsim.OpenWithData(data) }
+
+// NewRowStoreDesigner returns the DBMS-X-style nominal index/matview
+// designer with the given storage budget.
+func NewRowStoreDesigner(db *RowStoreDB, budgetBytes int64) Designer {
+	return rowsim.NewDesigner(db, budgetBytes)
+}
+
+// NewApproxEngine opens the approximate-query engine simulator, whose
+// physical designs are stratified samples.
+func NewApproxEngine(s *Schema) *ApproxDB { return aqesim.Open(s) }
+
+// NewSampleDesigner returns the BlinkDB-style nominal stratified-sample
+// designer with the given storage budget.
+func NewSampleDesigner(db *ApproxDB, budgetBytes int64) Designer {
+	return aqesim.NewDesigner(db, budgetBytes)
+}
+
+// NewEuclidean returns the paper's delta_euclidean workload distance for a
+// database with the schema's column count (Section 5, Equation 9).
+func NewEuclidean(s *Schema) Metric { return distance.NewEuclidean(s.NumColumns()) }
+
+// NewSeparate returns the clause-separated distance variant delta_separate.
+func NewSeparate(s *Schema) Metric { return distance.NewSeparate(s.NumColumns()) }
+
+// NewLatencyMetric returns the latency-aware distance delta_latency
+// (Appendix C) with penalty factor omega; baseline computes f(W, no design).
+func NewLatencyMetric(s *Schema, omega float64, baseline func(*Workload) float64) Metric {
+	return distance.NewLatency(s.NumColumns(), omega, baseline)
+}
+
+// New builds a CliffGuard robust designer around a nominal designer and its
+// engine's cost model. The Gamma-neighborhood is sampled under
+// delta_euclidean with the default template mutator over the schema.
+func New(nominal Designer, cost CostModel, s *Schema, opts Options) *Guard {
+	metric := distance.NewEuclidean(s.NumColumns())
+	sampler := sample.New(metric, sample.NewMutator(s))
+	return core.New(nominal, cost, sampler, opts)
+}
+
+// NewWithMetric is New with a caller-supplied distance metric (used by the
+// Figure 11 distance-function ablation).
+func NewWithMetric(nominal Designer, cost CostModel, s *Schema, m Metric, opts Options) *Guard {
+	sampler := sample.New(m, sample.NewMutator(s))
+	return core.New(nominal, cost, sampler, opts)
+}
+
+// WorkloadSet is a generated multi-month workload (query stream + windows).
+type WorkloadSet = wlgen.Set
+
+// R1Workload generates the R1-like drifting analytical workload: 13 monthly
+// windows whose drift statistics are calibrated to the paper's Table 1.
+func R1Workload(s *Schema, seed int64) (*WorkloadSet, error) {
+	return wlgen.R1Config(s, seed).Generate()
+}
+
+// S1Workload generates the near-static synthetic workload S1.
+func S1Workload(s *Schema, seed int64) (*WorkloadSet, error) {
+	return wlgen.S1Config(s, seed).Generate()
+}
+
+// S2Workload generates the uniformly drifting synthetic workload S2.
+func S2Workload(s *Schema, seed int64) (*WorkloadSet, error) {
+	return wlgen.S2Config(s, seed).Generate()
+}
+
+// NewWorkload builds a workload from queries, each with weight 1.
+func NewWorkload(queries ...*Query) *Workload { return workload.New(queries...) }
+
+// WorkloadCost returns f(W, D): the weighted total latency of the workload
+// under the design.
+func WorkloadCost(cm CostModel, w *Workload, d *Design) (float64, error) {
+	return designer.WorkloadCost(cm, w, d)
+}
+
+// WorkloadStats summarizes a workload: volumes, template structure and
+// column usage.
+func WorkloadStats(w *Workload) workload.Stats { return workload.ComputeStats(w) }
+
+// CandidateProvider is implemented by the engines' nominal designers: it
+// exposes the candidate structures a workload induces.
+type CandidateProvider interface {
+	Candidates(w *Workload) []Structure
+}
+
+// FilterDesignable returns the sub-workload of queries that some ideal
+// (budget-unconstrained, single-query tailored) design speeds up by at least
+// factor. The paper's evaluation keeps only such queries — 515 of R1's 15.5K
+// parseable queries at factor 3 (Section 6.4).
+func FilterDesignable(cm CostModel, provider CandidateProvider, w *Workload, factor float64) *Workload {
+	out := &Workload{}
+	cache := make(map[string]bool)
+	for _, it := range w.Items {
+		key := it.Q.TemplateKey(workload.MaskSWGO)
+		ok, seen := cache[key]
+		if !seen {
+			ok = isDesignable(cm, provider, it.Q, factor)
+			cache[key] = ok
+		}
+		if ok {
+			out.Add(it.Q, it.Weight)
+		}
+	}
+	return out
+}
+
+func isDesignable(cm CostModel, provider CandidateProvider, q *Query, factor float64) bool {
+	base, err := cm.Cost(q, nil)
+	if err != nil {
+		return false
+	}
+	single := workload.New(q)
+	cands := provider.Candidates(single)
+	if len(cands) == 0 {
+		return false
+	}
+	ideal, err := designer.GreedySelect(cm, single, cands, 1<<62)
+	if err != nil {
+		return false
+	}
+	best, err := cm.Cost(q, ideal)
+	if err != nil || best <= 0 {
+		return false
+	}
+	return base/best >= factor
+}

@@ -1,0 +1,252 @@
+// Command benchrunner regenerates the paper's tables and figures (see
+// DESIGN.md for the experiment index) and prints them in the paper's layout.
+//
+// Usage:
+//
+//	benchrunner -experiment all
+//	benchrunner -experiment F7a,F8 -seed 42
+//
+// Experiment IDs: T1, F5, F6, F7a, F7b, F7c, F8, F9, F10, F11, F12, F13,
+// F14, F15a, F15b, F16, plus ABL (this reproduction's CliffGuard loop
+// ablation; see DESIGN.md Section 5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cliffguard/internal/bench"
+	"cliffguard/internal/datagen"
+	"cliffguard/internal/schema"
+	"cliffguard/internal/wlgen"
+)
+
+// runner lazily generates workloads and scenarios so that running one
+// experiment does not pay for the others.
+type runner struct {
+	schema *schema.Schema
+	seed   int64
+	gammaV float64 // Vertica-scenario Gamma
+	gammaX float64 // DBMS-X-scenario Gamma
+
+	csvDir string
+
+	sets      map[string]*wlgen.Set
+	scenarios map[string]*bench.Scenario
+}
+
+// csvOut opens the per-experiment CSV file, or returns nil when CSV export
+// is off. write runs the exporter and closes the file.
+func (r *runner) csvOut(id string, write func(w *os.File) error) {
+	if r.csvDir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(r.csvDir, id+".csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func (r *runner) set(name string) *wlgen.Set {
+	if s, ok := r.sets[name]; ok {
+		return s
+	}
+	var cfg *wlgen.Config
+	switch name {
+	case "R1":
+		cfg = wlgen.R1Config(r.schema, r.seed)
+	case "S1":
+		cfg = wlgen.S1Config(r.schema, r.seed)
+	case "S2":
+		cfg = wlgen.S2Config(r.schema, r.seed)
+	default:
+		log.Fatalf("unknown workload %q", name)
+	}
+	set, err := cfg.Generate()
+	if err != nil {
+		log.Fatalf("generating %s: %v", name, err)
+	}
+	r.sets[name] = set
+	return set
+}
+
+func (r *runner) scenario(engine, wl string) *bench.Scenario {
+	key := engine + "/" + wl
+	if sc, ok := r.scenarios[key]; ok {
+		return sc
+	}
+	var sc *bench.Scenario
+	switch engine {
+	case "vertica":
+		sc = bench.Vertica(r.set(wl), r.gammaV, r.seed)
+	case "dbmsx":
+		sc = bench.DBMSX(r.set(wl), r.gammaX, r.seed)
+	default:
+		log.Fatalf("unknown engine %q", engine)
+	}
+	r.scenarios[key] = sc
+	return sc
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrunner: ")
+
+	var (
+		exps   = flag.String("experiment", "all", "comma-separated experiment IDs, or 'all'")
+		seed   = flag.Int64("seed", 42, "workload/sampling seed")
+		gammaV = flag.Float64("gamma", 0.002, "CliffGuard Gamma for Vertica scenarios")
+		gammaX = flag.Float64("gamma-dbmsx", 0.0008, "CliffGuard Gamma for DBMS-X scenarios")
+		csvDir = flag.String("csv", "", "also write per-experiment CSV files into this directory")
+	)
+	flag.Parse()
+
+	r := &runner{
+		schema:    datagen.Warehouse(1),
+		seed:      *seed,
+		gammaV:    *gammaV,
+		gammaX:    *gammaX,
+		csvDir:    *csvDir,
+		sets:      make(map[string]*wlgen.Set),
+		scenarios: make(map[string]*bench.Scenario),
+	}
+	if r.csvDir != "" {
+		if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	order := []string{"T1", "F5", "F6", "F7a", "F7b", "F7c", "F8", "F9",
+		"F10", "F11", "F12", "F13", "F14", "F15a", "F15b", "F16", "ABL"}
+	want := make(map[string]bool)
+	if *exps == "all" {
+		for _, id := range order {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	for _, id := range order {
+		if !want[id] {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", id)
+		r.run(id)
+		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func (r *runner) run(id string) {
+	out := os.Stdout
+	switch id {
+	case "T1":
+		rows := bench.Table1([]*wlgen.Set{r.set("R1"), r.set("S1"), r.set("S2")})
+		bench.PrintTable1(out, rows)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteTable1CSV(w, rows) })
+	case "F5":
+		series := bench.Figure5(r.set("R1"), []int{7, 14, 21, 28}, 12)
+		bench.PrintOverlap(out, series)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteOverlapCSV(w, series) })
+	case "F6":
+		res, err := r.scenario("vertica", "R1").Figure6(6)
+		fail(err)
+		bench.PrintSoundness(out, res, 8)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteSoundnessCSV(w, res) })
+	case "F7a", "F7b", "F7c":
+		wl := map[string]string{"F7a": "R1", "F7b": "S1", "F7c": "S2"}[id]
+		res, err := r.scenario("vertica", wl).CompareDesigners(bench.AllDesigners)
+		fail(err)
+		bench.PrintComparison(out, wl+" on Vertica-sim", res)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteComparisonCSV(w, res) })
+	case "F8", "F9":
+		wl := map[string]string{"F8": "R1", "F9": "S2"}[id]
+		gammas := []float64{0.0005, 0.001, 0.002, 0.0035}
+		if id == "F9" {
+			gammas = []float64{0.0005, 0.001, 0.002, 0.004, 0.008}
+		}
+		points, exAvg, exMax, err := r.scenario("vertica", wl).GammaSweep(gammas)
+		fail(err)
+		fmt.Fprintf(out, "ExistingDesigner reference: avg %.0f ms, max %.0f ms\n", exAvg, exMax)
+		bench.PrintSweep(out, "Gamma", points)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteSweepCSV(w, "gamma", points) })
+	case "F10":
+		res, err := r.scenario("dbmsx", "R1").CompareDesigners(bench.AllDesigners)
+		fail(err)
+		bench.PrintComparison(out, "R1 on DBMS-X-sim", res)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteComparisonCSV(w, res) })
+	case "F11":
+		res, err := r.scenario("vertica", "R1").DistanceAblation()
+		fail(err)
+		bench.PrintAblation(out, res)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteAblationCSV(w, res) })
+	case "F12":
+		points, err := r.scenario("vertica", "R1").SampleSizeSweep([]int{1, 5, 10, 20, 40, 80})
+		fail(err)
+		bench.PrintSweep(out, "samples (n)", points)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteSweepCSV(w, "samples", points) })
+	case "F13":
+		points, err := r.scenario("vertica", "R1").IterationSweep([]int{1, 2, 3, 5, 8, 12, 18, 25})
+		fail(err)
+		bench.PrintSweep(out, "iterations", points)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteSweepCSV(w, "iterations", points) })
+	case "F14":
+		res, err := r.scenario("vertica", "R1").Figure14(bench.AllDesigners)
+		fail(err)
+		bench.PrintTiming(out, res)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteTimingCSV(w, res) })
+	case "F15a", "F15b":
+		wl := map[string]string{"F15a": "S1", "F15b": "S2"}[id]
+		res, err := r.scenario("dbmsx", wl).CompareDesigners(bench.AllDesigners)
+		fail(err)
+		bench.PrintComparison(out, wl+" on DBMS-X-sim", res)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteComparisonCSV(w, res) })
+	case "F16":
+		res, err := r.scenario("vertica", "R1").Figure16([]float64{0.1, 0.2}, 6)
+		fail(err)
+		bench.PrintLatencyMetric(out, res)
+		r.csvOut(id, func(w *os.File) error {
+			for _, lm := range res {
+				if err := bench.WriteSoundnessCSV(w, &bench.SoundnessResult{Points: lm.Points}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case "ABL":
+		variants, err := r.scenario("vertica", "R1").CliffGuardAblation()
+		fail(err)
+		for _, v := range variants {
+			fmt.Fprintf(out, "%-22s %8.0f ms avg %8.0f ms max\n", v.Name, v.AvgMs, v.MaxMs)
+		}
+		r.csvOut(id, func(w *os.File) error {
+			rows := make([]bench.AblationResult, len(variants))
+			for i, v := range variants {
+				rows[i] = bench.AblationResult{Metric: v.Name, AvgMs: v.AvgMs, MaxMs: v.MaxMs}
+			}
+			return bench.WriteAblationCSV(w, rows)
+		})
+	default:
+		log.Fatalf("unknown experiment %q", id)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

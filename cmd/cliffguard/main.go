@@ -1,0 +1,203 @@
+// Command cliffguard runs the robust designer (or the nominal designer, for
+// comparison) over a SQL workload file and prints the recommended physical
+// design.
+//
+// The workload file contains one query per line, optionally preceded by an
+// RFC3339 timestamp and a tab (the format cmd/wlgen emits). Lines starting
+// with "--" and blank lines are ignored.
+//
+// Usage:
+//
+//	wlgen -workload R1 -out r1.sql
+//	cliffguard -workload r1.sql -engine vertica -gamma 0.002 -budget 2560
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"cliffguard"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cliffguard: ")
+
+	var (
+		path    = flag.String("workload", "", "workload file (one SQL query per line; required)")
+		engine  = flag.String("engine", "vertica", "engine: vertica (projections) or rowstore (indices+matviews)")
+		gamma   = flag.Float64("gamma", 0.002, "robustness knob Gamma (0 = nominal design)")
+		budget  = flag.Int64("budget", 2560, "storage budget in MiB")
+		scale   = flag.Int64("scale", 1, "warehouse scale factor")
+		seed    = flag.Int64("seed", 7, "sampling seed")
+		samples = flag.Int("samples", 40, "Gamma-neighborhood sample count")
+		iters   = flag.Int("iterations", 12, "robust-move iterations")
+		verbose = flag.Bool("v", false, "print the per-iteration trace")
+		outJSON = flag.String("out", "", "also write the design as JSON to this file")
+	)
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := cliffguard.Warehouse(*scale)
+	w, skipped, err := loadWorkload(s, *path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d queries (%d lines skipped) from %s\n", w.Len(), skipped, *path)
+
+	var (
+		db      cliffguard.CostModel
+		nominal cliffguard.Designer
+	)
+	switch *engine {
+	case "vertica":
+		v := cliffguard.NewVertica(s)
+		db = v
+		nominal = cliffguard.NewVerticaDesigner(v, *budget<<20)
+	case "rowstore":
+		r := cliffguard.NewRowStore(s)
+		db = r
+		nominal = cliffguard.NewRowStoreDesigner(r, *budget<<20)
+	default:
+		log.Fatalf("unknown engine %q (want vertica or rowstore)", *engine)
+	}
+
+	start := time.Now()
+	var design *cliffguard.Design
+	if *gamma == 0 {
+		design, err = nominal.Design(w)
+	} else {
+		guard := cliffguard.New(nominal, db, s, cliffguard.Options{
+			Gamma: *gamma, Samples: *samples, Iterations: *iters, Seed: *seed,
+		})
+		var traces []cliffguard.Trace
+		design, traces, err = guard.DesignWithTrace(w)
+		if *verbose {
+			for _, tr := range traces {
+				fmt.Printf("iter %2d: alpha=%.3f worst-case %.0f -> candidate %.0f improved=%v\n",
+					tr.Iteration, tr.Alpha, tr.WorstCase, tr.CandidateCost, tr.Improved)
+			}
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	before, _ := cliffguard.WorkloadCost(db, w, nil)
+	after, _ := cliffguard.WorkloadCost(db, w, design)
+	fmt.Printf("design found in %s: %d structures, %d MiB\n",
+		time.Since(start).Round(time.Millisecond), design.Len(), design.SizeBytes()>>20)
+	fmt.Printf("estimated workload cost: %.0f ms -> %.0f ms (%.1fx)\n", before, after, safeRatio(before, after))
+	fmt.Println(design)
+
+	if *outJSON != "" {
+		if err := writeDesignJSON(*outJSON, *engine, *gamma, design, before, after); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("design written to %s\n", *outJSON)
+	}
+}
+
+// designDoc is the JSON shape of an exported design.
+type designDoc struct {
+	Engine     string         `json:"engine"`
+	Gamma      float64        `json:"gamma"`
+	TotalBytes int64          `json:"total_bytes"`
+	CostBefore float64        `json:"workload_cost_before_ms"`
+	CostAfter  float64        `json:"workload_cost_after_ms"`
+	Structures []structureDoc `json:"structures"`
+}
+
+type structureDoc struct {
+	Key       string `json:"key"`
+	SizeBytes int64  `json:"size_bytes"`
+	Describe  string `json:"describe"`
+}
+
+func writeDesignJSON(path, engine string, gamma float64, d *cliffguard.Design, before, after float64) error {
+	doc := designDoc{
+		Engine:     engine,
+		Gamma:      gamma,
+		TotalBytes: d.SizeBytes(),
+		CostBefore: before,
+		CostAfter:  after,
+	}
+	for _, st := range d.Structures {
+		doc.Structures = append(doc.Structures, structureDoc{
+			Key: st.Key(), SizeBytes: st.SizeBytes(), Describe: st.Describe(),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadWorkload parses a SQL-per-line file against the schema. Unparseable
+// lines are counted and skipped (mirroring the paper's treatment of R1's
+// non-conforming queries).
+func loadWorkload(s *cliffguard.Schema, path string) (*cliffguard.Workload, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	parser := cliffguard.NewParser(s)
+	w := &cliffguard.Workload{}
+	skipped := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var id int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		ts := time.Time{}
+		sql := line
+		if i := strings.IndexByte(line, '\t'); i > 0 {
+			if parsed, err := time.Parse(time.RFC3339, line[:i]); err == nil {
+				ts = parsed
+				sql = line[i+1:]
+			}
+		}
+		id++
+		q, err := parser.ParseAt(sql, id, ts)
+		if err != nil {
+			skipped++
+			continue
+		}
+		w.Add(q, 1)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if w.Len() == 0 {
+		return nil, skipped, fmt.Errorf("no parseable queries in %s", path)
+	}
+	return w, skipped, nil
+}
+
+func safeRatio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,90 @@
+// Command wlgen generates the evaluation workloads (R1, S1, S2) as SQL text
+// with timestamps, one query per line, suitable for feeding to cmd/cliffguard
+// or external tools.
+//
+// Usage:
+//
+//	wlgen -workload R1 -seed 42 -out r1.sql
+//
+// Output format: one line per query, "<RFC3339 timestamp>\t<SQL>".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"cliffguard/internal/datagen"
+	"cliffguard/internal/distance"
+	"cliffguard/internal/wlgen"
+	"cliffguard/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wlgen: ")
+
+	var (
+		name  = flag.String("workload", "R1", "workload preset: R1, S1, or S2")
+		seed  = flag.Int64("seed", 42, "generator seed")
+		scale = flag.Int64("scale", 1, "warehouse scale factor")
+		out   = flag.String("out", "-", "output file (- for stdout)")
+		stats = flag.Bool("stats", false, "print drift statistics to stderr")
+	)
+	flag.Parse()
+
+	s := datagen.Warehouse(*scale)
+	var cfg *wlgen.Config
+	switch *name {
+	case "R1", "r1":
+		cfg = wlgen.R1Config(s, *seed)
+	case "S1", "s1":
+		cfg = wlgen.S1Config(s, *seed)
+	case "S2", "s2":
+		cfg = wlgen.S2Config(s, *seed)
+	default:
+		log.Fatalf("unknown workload %q (want R1, S1, or S2)", *name)
+	}
+
+	set, err := cfg.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	for _, q := range set.Queries {
+		fmt.Fprintf(bw, "%s\t%s\n", q.Timestamp.Format(time.RFC3339), q.SQL)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *stats {
+		m := distance.NewEuclidean(s.NumColumns())
+		st := distance.Consecutive(m, set.Months)
+		fmt.Fprintf(os.Stderr,
+			"%s: %d queries, %d monthly windows, drift min=%.5f max=%.5f avg=%.5f std=%.5f\n",
+			cfg.Name, len(set.Queries), len(set.Months), st.Min, st.Max, st.Avg, st.Std)
+		all := &workload.Workload{}
+		for _, q := range set.Queries {
+			all.Add(q, 1)
+		}
+		fmt.Fprint(os.Stderr, workload.ComputeStats(all))
+	}
+}

@@ -1,0 +1,3 @@
+module cliffguard
+
+go 1.22

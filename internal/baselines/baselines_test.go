@@ -1,0 +1,209 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cliffguard/internal/designer"
+	"cliffguard/internal/distance"
+	"cliffguard/internal/sample"
+	"cliffguard/internal/schema"
+	"cliffguard/internal/vertsim"
+	"cliffguard/internal/workload"
+)
+
+func testSchema() *schema.Schema {
+	cols := make([]schema.ColumnDef, 20)
+	for i := range cols {
+		cols[i] = schema.ColumnDef{
+			Name:        "c" + string(rune('a'+i)),
+			Type:        schema.Int64,
+			Cardinality: 400 + int64(i)*50,
+		}
+	}
+	return schema.MustNew([]schema.TableDef{
+		{Name: "facts", Fact: true, Rows: 300_000, Columns: cols},
+	})
+}
+
+func testWorkload(s *schema.Schema, seed int64, n int) *workload.Workload {
+	rng := rand.New(rand.NewSource(seed))
+	tbl := s.Tables()[0]
+	w := &workload.Workload{}
+	for i := 0; i < n; i++ {
+		spec := &workload.Spec{Table: tbl.Name}
+		for j := 0; j < 3+rng.Intn(3); j++ {
+			spec.SelectCols = append(spec.SelectCols, tbl.Columns[rng.Intn(len(tbl.Columns))].ID)
+		}
+		c := tbl.Columns[rng.Intn(len(tbl.Columns))]
+		spec.Preds = append(spec.Preds, workload.Pred{
+			Col: c.ID, Op: workload.Eq, Lo: 1, Hi: 1, Sel: 1 / float64(c.Cardinality)})
+		w.Add(workload.FromSpec(workload.NextID(), time.Time{}, spec), 1+rng.Float64())
+	}
+	return w
+}
+
+type fixture struct {
+	schema  *schema.Schema
+	db      *vertsim.DB
+	nominal *vertsim.Designer
+	sampler *sample.Sampler
+	budget  int64
+}
+
+func newFixture() *fixture {
+	s := testSchema()
+	db := vertsim.Open(s)
+	budget := int64(128) << 20
+	return &fixture{
+		schema:  s,
+		db:      db,
+		nominal: vertsim.NewDesigner(db, budget),
+		sampler: sample.New(distance.NewEuclidean(s.NumColumns()), sample.NewMutator(s)),
+		budget:  budget,
+	}
+}
+
+func TestNoDesign(t *testing.T) {
+	d, err := NoDesign{}.Design(testWorkload(testSchema(), 1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatal("NoDesign must return the empty design")
+	}
+	if (NoDesign{}).Name() != "NoDesign" {
+		t.Fatal("name")
+	}
+}
+
+func TestFutureKnowingDelegates(t *testing.T) {
+	f := newFixture()
+	w := testWorkload(f.schema, 2, 8)
+	fk := &FutureKnowing{Inner: f.nominal}
+	dFK, err := fk.Design(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dN, _ := f.nominal.Design(w)
+	if dFK.Len() != dN.Len() {
+		t.Fatal("FutureKnowing must delegate to the inner designer")
+	}
+	if fk.Name() != "FutureKnowing" {
+		t.Fatal("name")
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	f := newFixture()
+	w := testWorkload(f.schema, 3, 10)
+	mv := &MajorityVote{
+		Nominal: f.nominal, Sampler: f.sampler,
+		Budget: f.budget, Gamma: 0.004, Samples: 6, Seed: 3,
+	}
+	d, err := mv.Design(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() == 0 {
+		t.Fatal("MajorityVote produced nothing")
+	}
+	if d.SizeBytes() > f.budget {
+		t.Fatalf("budget exceeded: %d > %d", d.SizeBytes(), f.budget)
+	}
+	// Deterministic given the seed.
+	d2, err := mv.Design(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := d.Keys(), d2.Keys()
+	if len(k1) != len(k2) {
+		t.Fatal("MajorityVote non-deterministic")
+	}
+	for k := range k1 {
+		if !k2[k] {
+			t.Fatal("MajorityVote non-deterministic structures")
+		}
+	}
+	if _, err := mv.Design(&workload.Workload{}); err == nil {
+		t.Fatal("empty workload should fail")
+	}
+}
+
+func TestOptimalLocalSearch(t *testing.T) {
+	f := newFixture()
+	w := testWorkload(f.schema, 4, 10)
+	ols := &OptimalLocalSearch{
+		Nominal: f.nominal, Cost: f.db, Sampler: f.sampler,
+		Budget: f.budget, Gamma: 0.004, Samples: 6, Seed: 4,
+	}
+	d, err := ols.Design(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() == 0 {
+		t.Fatal("OptimalLocalSearch produced nothing")
+	}
+	if d.SizeBytes() > f.budget {
+		t.Fatalf("budget exceeded: %d > %d", d.SizeBytes(), f.budget)
+	}
+	// The design must help the union workload it optimized.
+	before, _ := designer.WorkloadCost(f.db, w, nil)
+	after, _ := designer.WorkloadCost(f.db, w, d)
+	if after >= before {
+		t.Fatalf("ILP design did not help: %g -> %g", before, after)
+	}
+	if ols.Name() != "OptimalLocalSearch" {
+		t.Fatal("name")
+	}
+	if _, err := ols.Design(&workload.Workload{}); err == nil {
+		t.Fatal("empty workload should fail")
+	}
+}
+
+// noCandidates is a Designer without candidate exposure.
+type noCandidates struct{ designer.Designer }
+
+func TestOptimalLocalSearchRequiresProvider(t *testing.T) {
+	f := newFixture()
+	ols := &OptimalLocalSearch{
+		Nominal: &noCandidates{f.nominal}, Cost: f.db, Sampler: f.sampler,
+		Budget: f.budget, Gamma: 0.004, Samples: 4, Seed: 5,
+	}
+	if _, err := ols.Design(testWorkload(f.schema, 5, 5)); err == nil {
+		t.Fatal("designer without Candidates must be rejected")
+	}
+}
+
+func TestGreedyLocalSearch(t *testing.T) {
+	f := newFixture()
+	w := testWorkload(f.schema, 6, 10)
+	gls := &GreedyLocalSearch{
+		Nominal: f.nominal, Cost: f.db, Sampler: f.sampler,
+		Budget: f.budget, Gamma: 0.004, Samples: 6, Seed: 6,
+	}
+	d, err := gls.Design(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() == 0 || d.SizeBytes() > f.budget {
+		t.Fatalf("design: %d structures, %d bytes", d.Len(), d.SizeBytes())
+	}
+	before, _ := designer.WorkloadCost(f.db, w, nil)
+	after, _ := designer.WorkloadCost(f.db, w, d)
+	if after >= before {
+		t.Fatalf("greedy local search did not help: %g -> %g", before, after)
+	}
+	if gls.Name() != "GreedyLocalSearch" {
+		t.Fatal("name")
+	}
+	if _, err := gls.Design(nil); err == nil {
+		t.Fatal("nil workload should fail")
+	}
+	bad := &GreedyLocalSearch{Nominal: &noCandidates{f.nominal}, Cost: f.db,
+		Sampler: f.sampler, Budget: f.budget, Gamma: 0.004, Samples: 4}
+	if _, err := bad.Design(w); err == nil {
+		t.Fatal("missing candidate provider should fail")
+	}
+}

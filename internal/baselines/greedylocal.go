@@ -1,0 +1,69 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"cliffguard/internal/designer"
+	"cliffguard/internal/sample"
+	"cliffguard/internal/workload"
+)
+
+// GreedyLocalSearch is the greedy variant of OptimalLocalSearch described in
+// the paper's technical report (footnote 10): like OptimalLocalSearch it
+// unions the sampled neighbor workloads into a representative expected
+// workload, but it then selects structures with the ordinary greedy
+// benefit-per-byte loop instead of solving the integer program.
+type GreedyLocalSearch struct {
+	Nominal designer.Designer // must also implement CandidateProvider
+	Cost    designer.CostModel
+	Sampler *sample.Sampler
+	Budget  int64
+	Gamma   float64
+	Samples int
+	Seed    int64
+}
+
+// Name implements designer.Designer.
+func (g *GreedyLocalSearch) Name() string { return "GreedyLocalSearch" }
+
+// Design implements designer.Designer.
+func (g *GreedyLocalSearch) Design(w *workload.Workload) (*designer.Design, error) {
+	if w == nil || w.Len() == 0 {
+		return nil, errors.New("baselines: empty workload")
+	}
+	provider, ok := g.Nominal.(CandidateProvider)
+	if !ok {
+		return nil, fmt.Errorf("baselines: %s does not expose candidates", g.Nominal.Name())
+	}
+	samples := g.Samples
+	if samples <= 0 {
+		samples = 20
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	neighborhood, err := g.Sampler.Neighborhood(rng, w, g.Gamma, samples)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: greedy local-search sampling: %w", err)
+	}
+
+	union := w.Scale(1)
+	for _, wn := range neighborhood {
+		t := wn.TotalWeight()
+		if t <= 0 {
+			continue
+		}
+		union = union.Union(wn.Scale(w.TotalWeight() / (t * float64(len(neighborhood)))))
+	}
+	union = designer.CompressByTemplate(union)
+
+	// Skip queries the engine cannot cost (defensive; the sampler only
+	// produces in-schema queries).
+	filtered := &workload.Workload{}
+	for _, it := range union.Items {
+		if _, err := g.Cost.Cost(it.Q, nil); err == nil {
+			filtered.Add(it.Q, it.Weight)
+		}
+	}
+	return designer.GreedySelect(g.Cost, filtered, provider.Candidates(filtered), g.Budget)
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"cliffguard/internal/core"
+	"cliffguard/internal/sample"
+)
+
+// CliffGuardVariant is one row of the design-choice ablation: a named
+// configuration of the CliffGuard loop and its window-by-window performance.
+type CliffGuardVariant struct {
+	Name  string
+	AvgMs float64
+	MaxMs float64
+}
+
+// CliffGuardAblation quantifies the contribution of this reproduction's
+// implementation choices (DESIGN.md Section 5's deviations) by disabling
+// them one at a time:
+//
+//   - default: the full loop as configured by the scenario.
+//   - no-accumulation: the paper's literal move — only the current
+//     iteration's worst neighbors feed the merged workload.
+//   - narrow-perturbation: the paper's k=1-seeded perturbation sets (each
+//     sampled neighbor concentrates its mass on very few mutant queries).
+//   - all-neighbors: TopFraction = 1 — the move tries to hedge every sampled
+//     neighbor at once instead of the worst 20%.
+func (sc *Scenario) CliffGuardAblation() ([]CliffGuardVariant, error) {
+	type variant struct {
+		name     string
+		override func(*core.Options)
+		sampler  *sample.Sampler
+	}
+	narrow := sample.New(sc.Metric, sample.NewMutator(sc.Schema))
+	narrow.PerturbationSize = 1
+
+	variants := []variant{
+		{"default", nil, nil},
+		{"no-accumulation", func(o *core.Options) { o.DisableAccumulation = true }, nil},
+		{"narrow-perturbation", nil, narrow},
+		{"all-neighbors", func(o *core.Options) { o.TopFraction = 1 }, nil},
+	}
+	out := make([]CliffGuardVariant, 0, len(variants))
+	for _, v := range variants {
+		avg, max, err := sc.runCliffGuardVariant(v.override, v.sampler)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CliffGuardVariant{Name: v.name, AvgMs: avg, MaxMs: max})
+	}
+	return out, nil
+}

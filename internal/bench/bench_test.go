@@ -1,0 +1,414 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cliffguard/internal/datagen"
+	"cliffguard/internal/wlgen"
+)
+
+// The harness tests share one small workload set: 5 months at reduced
+// volume, which exercises every experiment path in seconds.
+var (
+	setOnce  sync.Once
+	smallSet *wlgen.Set
+)
+
+func testSet(t *testing.T) *wlgen.Set {
+	t.Helper()
+	setOnce.Do(func() {
+		cfg := wlgen.R1Config(datagen.Warehouse(1), 42)
+		cfg.Months = 5
+		cfg.DriftTargets = cfg.DriftTargets[:4]
+		cfg.QueriesPerWeek = 150
+		set, err := cfg.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		smallSet = set
+	})
+	return smallSet
+}
+
+func testScenario(t *testing.T) *Scenario {
+	return Vertica(testSet(t), 0.002, 7)
+}
+
+func TestCompareDesignersOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	sc := testScenario(t)
+	// Reduce CliffGuard effort for test speed.
+	sc.Samples, sc.Iterations = 16, 6
+	results, err := sc.CompareDesigners([]string{"NoDesign", "FutureKnowing", "Existing", "CliffGuard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]DesignerResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+		if len(r.PerWindowAvg) != len(sc.Windows())-1 {
+			t.Fatalf("%s: %d windows, want %d", r.Name, len(r.PerWindowAvg), len(sc.Windows())-1)
+		}
+		if r.AvgMs <= 0 || r.MaxMs < r.AvgMs {
+			t.Fatalf("%s: avg=%g max=%g", r.Name, r.AvgMs, r.MaxMs)
+		}
+	}
+	// The paper's coarse ordering: every designer beats NoDesign;
+	// FutureKnowing is the best; CliffGuard is at least as good as Existing.
+	no, fk := byName["NoDesign"], byName["FutureKnowing"]
+	ex, cg := byName["Existing"], byName["CliffGuard"]
+	if fk.AvgMs >= no.AvgMs {
+		t.Errorf("FutureKnowing %g should beat NoDesign %g", fk.AvgMs, no.AvgMs)
+	}
+	if ex.AvgMs >= no.AvgMs {
+		t.Errorf("Existing %g should beat NoDesign %g", ex.AvgMs, no.AvgMs)
+	}
+	if fk.AvgMs >= ex.AvgMs {
+		t.Errorf("FutureKnowing %g should beat Existing %g", fk.AvgMs, ex.AvgMs)
+	}
+	if cg.AvgMs > ex.AvgMs*1.15 {
+		t.Errorf("CliffGuard %g should not be materially worse than Existing %g", cg.AvgMs, ex.AvgMs)
+	}
+	// Everything is deterministic: design time recorded, deploy sizes sane.
+	if cg.DesignTime <= ex.DesignTime {
+		t.Errorf("CliffGuard design time %v should exceed Existing %v (it calls the designer repeatedly)",
+			cg.DesignTime, ex.DesignTime)
+	}
+}
+
+func TestDesignableFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	sc := testScenario(t)
+	w := sc.Windows()[0]
+	d := sc.DesignableQueries(w)
+	if d.Len() == 0 || d.Len() >= w.Len() {
+		t.Fatalf("designable filter kept %d of %d", d.Len(), w.Len())
+	}
+	// Designable share of query mass should be a small-ish minority, like the
+	// paper's 515-of-15.5K (we model a somewhat larger share for signal).
+	frac := d.TotalWeight() / w.TotalWeight()
+	if frac < 0.02 || frac > 0.5 {
+		t.Errorf("designable fraction = %.2f", frac)
+	}
+	// The filter is stable under repetition (cached by template).
+	d2 := sc.DesignableQueries(w)
+	if d2.Len() != d.Len() {
+		t.Error("designable filter unstable")
+	}
+}
+
+func TestTable1AndFigure5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	set := testSet(t)
+	rows := Table1([]*wlgen.Set{set})
+	if len(rows) != 1 || rows[0].Workload != "R1" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if !(r.Min <= r.Avg && r.Avg <= r.Max) || r.Gaps != 4 {
+		t.Fatalf("row stats inconsistent: %+v", r)
+	}
+
+	series := Figure5(set, []int{7, 28}, 3)
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.ByLag) == 0 {
+			t.Fatal("no overlap points")
+		}
+		for _, v := range s.ByLag {
+			if v < 0 || v > 1 {
+				t.Fatalf("overlap %g out of range", v)
+			}
+		}
+	}
+	// Smaller windows overlap more at lag 1.
+	if series[0].ByLag[0] <= series[1].ByLag[0] {
+		t.Errorf("7d overlap %g should exceed 28d %g", series[0].ByLag[0], series[1].ByLag[0])
+	}
+
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	PrintOverlap(&buf, series)
+	if !strings.Contains(buf.String(), "R1") || !strings.Contains(buf.String(), "win= 7d") {
+		t.Error("printers produced unexpected output")
+	}
+}
+
+func TestFigure6Soundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	sc := testScenario(t)
+	res, err := sc.Figure6(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Soundness (Section 6.3): distance and decay correlate positively.
+	if res.Spearman <= 0 {
+		t.Errorf("soundness correlation = %g, want > 0", res.Spearman)
+	}
+	var buf bytes.Buffer
+	PrintSoundness(&buf, res, 4)
+	if !strings.Contains(buf.String(), "spearman") {
+		t.Error("soundness printer broken")
+	}
+}
+
+func TestGammaSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	sc := testScenario(t)
+	sc.Samples, sc.Iterations = 12, 5
+	points, exAvg, exMax, err := sc.GammaSweep([]float64{0.001, 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || exAvg <= 0 || exMax <= 0 {
+		t.Fatalf("sweep = %+v (%g/%g)", points, exAvg, exMax)
+	}
+	for _, p := range points {
+		if p.AvgMs <= 0 || p.MaxMs < p.AvgMs {
+			t.Fatalf("bad point %+v", p)
+		}
+		// Section 6.5: CliffGuard performs no (materially) worse than the
+		// nominal designer at any Gamma.
+		if p.AvgMs > exAvg*1.2 {
+			t.Errorf("Gamma=%g avg %g far above Existing %g", p.X, p.AvgMs, exAvg)
+		}
+	}
+}
+
+func TestSweepAndTimingDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	sc := testScenario(t)
+	sc.Samples, sc.Iterations = 8, 3
+
+	pts, err := sc.SampleSizeSweep([]int{4, 12})
+	if err != nil || len(pts) != 2 {
+		t.Fatalf("sample sweep: %v, %d", err, len(pts))
+	}
+	pts, err = sc.IterationSweep([]int{1, 3})
+	if err != nil || len(pts) != 2 {
+		t.Fatalf("iteration sweep: %v, %d", err, len(pts))
+	}
+	timing, err := sc.Figure14([]string{"NoDesign", "Existing", "CliffGuard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TimingResult{}
+	for _, r := range timing {
+		byName[r.Name] = r
+	}
+	if byName["CliffGuard"].DesignTime <= byName["Existing"].DesignTime {
+		t.Error("CliffGuard should take longer to design than Existing")
+	}
+	if byName["Existing"].DeployTime <= 0 {
+		t.Error("deployment time should be modeled")
+	}
+	if byName["NoDesign"].NominalCalls != 0 || byName["CliffGuard"].NominalCalls <= 1 {
+		t.Error("nominal call counts wrong")
+	}
+
+	var buf bytes.Buffer
+	PrintSweep(&buf, "x", pts)
+	PrintTiming(&buf, timing)
+	PrintComparison(&buf, "t", nil)
+	if buf.Len() == 0 {
+		t.Error("printers silent")
+	}
+}
+
+func TestDBMSXScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	sc := DBMSX(testSet(t), 0.0008, 7)
+	sc.Samples, sc.Iterations = 12, 5
+	results, err := sc.CompareDesigners([]string{"NoDesign", "FutureKnowing", "Existing", "CliffGuard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]DesignerResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	if byName["FutureKnowing"].AvgMs >= byName["NoDesign"].AvgMs {
+		t.Error("FutureKnowing should beat NoDesign on the row store")
+	}
+	if byName["Existing"].AvgMs >= byName["NoDesign"].AvgMs {
+		t.Error("Existing should beat NoDesign on the row store")
+	}
+}
+
+func TestFigure16Driver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	sc := testScenario(t)
+	res, err := sc.Figure16([]float64{0.1, 0.2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Omega != 0.1 || res[1].Omega != 0.2 {
+		t.Fatalf("results = %+v", res)
+	}
+	var buf bytes.Buffer
+	PrintLatencyMetric(&buf, res)
+	if !strings.Contains(buf.String(), "omega=0.10") {
+		t.Error("latency metric printer broken")
+	}
+}
+
+func TestDesignerByNameErrors(t *testing.T) {
+	sc := testScenario(t)
+	if _, err := sc.DesignerByName("bogus"); err == nil {
+		t.Fatal("unknown designer name should fail")
+	}
+	for _, name := range AllDesigners {
+		d, err := sc.DesignerByName(name)
+		if err != nil || d == nil {
+			t.Fatalf("DesignerByName(%s): %v", name, err)
+		}
+	}
+}
+
+func TestCliffGuardAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	sc := testScenario(t)
+	sc.Samples, sc.Iterations = 10, 4
+	variants, err := sc.CliffGuardAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(variants) != 4 || variants[0].Name != "default" {
+		t.Fatalf("variants = %+v", variants)
+	}
+	for _, v := range variants {
+		if v.AvgMs <= 0 || v.MaxMs < v.AvgMs {
+			t.Fatalf("bad variant %+v", v)
+		}
+	}
+}
+
+func TestGreedyLocalSearchInScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	sc := testScenario(t)
+	sc.Samples = 8
+	results, err := sc.CompareDesigners([]string{"GreedyLocalSearch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].AvgMs <= 0 {
+		t.Fatal("no result")
+	}
+}
+
+func TestDistanceAblationResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	sc := testScenario(t)
+	sc.Samples, sc.Iterations = 6, 2
+	results, err := sc.DistanceAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("ablation rows = %d, want 7", len(results))
+	}
+	for _, r := range results {
+		if r.AvgMs <= 0 || r.MaxMs < r.AvgMs {
+			t.Fatalf("bad ablation row %+v", r)
+		}
+	}
+}
+
+func TestCSVExporters(t *testing.T) {
+	var buf bytes.Buffer
+
+	results := []DesignerResult{{
+		Name: "Existing", AvgMs: 100, MaxMs: 300,
+		PerWindowAvg: []float64{90, 110}, PerWindowMax: []float64{250, 350},
+	}}
+	if err := WriteComparisonCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "designer,window,avg_ms") || !strings.Contains(out, "Existing,-1,100,300") {
+		t.Errorf("comparison CSV:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 4 { // header + summary + 2 windows
+		t.Errorf("comparison CSV rows:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := WriteTable1CSV(&buf, []Table1Row{{Workload: "R1", Min: 0.1, Max: 0.3, Avg: 0.2, Std: 0.05, Gaps: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "R1,0.1,0.3,0.2,0.05,4") {
+		t.Errorf("table1 CSV:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteOverlapCSV(&buf, []OverlapSeries{{WindowDays: 7, ByLag: []float64{0.5, 0.4}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "7,1,0.5") || !strings.Contains(buf.String(), "7,2,0.4") {
+		t.Errorf("overlap CSV:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteSoundnessCSV(&buf, &SoundnessResult{Points: []SoundnessPoint{{Distance: 0.01, AvgMs: 42}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.01,42") {
+		t.Errorf("soundness CSV:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteSweepCSV(&buf, "gamma", []SweepPoint{{X: 0.002, AvgMs: 10, MaxMs: 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gamma,avg_ms,max_ms") || !strings.Contains(buf.String(), "0.002,10,20") {
+		t.Errorf("sweep CSV:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteAblationCSV(&buf, []AblationResult{{Metric: "Euc", AvgMs: 5, MaxMs: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Euc,5,9") {
+		t.Errorf("ablation CSV:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	timing := []TimingResult{{Name: "CliffGuard", DesignTime: 2 * time.Second, DeployTime: 30 * time.Second, NominalCalls: 13}}
+	if err := WriteTimingCSV(&buf, timing); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CliffGuard,2,30,13") {
+		t.Errorf("timing CSV:\n%s", buf.String())
+	}
+}

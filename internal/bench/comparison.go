@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cliffguard/internal/baselines"
+	"cliffguard/internal/designer"
+	"cliffguard/internal/stats"
+	"cliffguard/internal/workload"
+)
+
+// DesignerResult summarizes one designer's window-by-window performance:
+// the per-window average and maximum designable-query latencies, each
+// averaged over all window transitions (the y-axes of Figures 7, 10, 15).
+type DesignerResult struct {
+	Name  string
+	AvgMs float64 // mean over windows of per-window average latency
+	MaxMs float64 // mean over windows of per-window max latency
+
+	PerWindowAvg []float64
+	PerWindowMax []float64
+
+	DesignTime time.Duration // total offline design time across windows
+	DeploySize int64         // total bytes of structures deployed
+}
+
+// CompareDesigners runs the monthly-redesign experiment of Section 6.4 for
+// the named designers: design on window W_i (FutureKnowing designs on
+// W_{i+1}), evaluate every designable query of W_{i+1}.
+func (sc *Scenario) CompareDesigners(names []string) ([]DesignerResult, error) {
+	windows := sc.Windows()
+	if len(windows) < 2 {
+		return nil, fmt.Errorf("bench: need at least 2 windows, have %d", len(windows))
+	}
+	// Designers see the designable slice of their input window: the paper
+	// restricts the experiment to the 515 (of 15.5K) queries with >= 3x
+	// design headroom; feeding the designers the same slice keeps their
+	// budgets on the queries the evaluation measures.
+	inputs := make([]*workload.Workload, len(windows))
+	for i, w := range windows {
+		inputs[i] = sc.DesignableQueries(w)
+	}
+	results := make([]DesignerResult, 0, len(names))
+	for _, name := range names {
+		d, err := sc.DesignerByName(name)
+		if err != nil {
+			return nil, err
+		}
+		res := DesignerResult{Name: name}
+		_, future := d.(*baselines.FutureKnowing)
+		for i := 0; i+1 < len(windows); i++ {
+			input := inputs[i]
+			if future {
+				input = inputs[i+1]
+			}
+			start := time.Now()
+			design, err := d.Design(input)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s on window %d: %w", name, i, err)
+			}
+			res.DesignTime += time.Since(start)
+			res.DeploySize += design.SizeBytes()
+
+			avg, max, err := sc.EvaluateWindow(windows[i+1], design)
+			if err != nil {
+				return nil, fmt.Errorf("bench: evaluating %s on window %d: %w", name, i+1, err)
+			}
+			res.PerWindowAvg = append(res.PerWindowAvg, avg)
+			res.PerWindowMax = append(res.PerWindowMax, max)
+		}
+		res.AvgMs = stats.Mean(res.PerWindowAvg)
+		res.MaxMs = stats.Mean(res.PerWindowMax)
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// EvaluateWindow returns the average and maximum per-query latency of the
+// window's designable queries under the design.
+func (sc *Scenario) EvaluateWindow(w *workload.Workload, design *designer.Design) (avg, max float64, err error) {
+	var costs []float64
+	for _, it := range w.Items {
+		if !sc.Designable(it.Q) {
+			continue
+		}
+		c, err := sc.Cost.Cost(it.Q, design)
+		if err != nil {
+			return 0, 0, err
+		}
+		costs = append(costs, c)
+	}
+	if len(costs) == 0 {
+		return 0, 0, fmt.Errorf("bench: window has no designable queries")
+	}
+	return stats.Mean(costs), stats.Max(costs), nil
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cliffguard/internal/distance"
+	"cliffguard/internal/stats"
+	"cliffguard/internal/wlgen"
+	"cliffguard/internal/workload"
+)
+
+// Table1Row is one row of Table 1: drift statistics between consecutive
+// 28-day windows of a workload.
+type Table1Row struct {
+	Workload           string
+	Min, Max, Avg, Std float64
+	Gaps               int
+}
+
+// Table1 computes the drift statistics for each workload set.
+func Table1(sets []*wlgen.Set) []Table1Row {
+	rows := make([]Table1Row, 0, len(sets))
+	for _, set := range sets {
+		m := distance.NewEuclidean(set.Config.Schema.NumColumns())
+		st := distance.Consecutive(m, set.Months)
+		rows = append(rows, Table1Row{
+			Workload: set.Config.Name,
+			Min:      st.Min, Max: st.Max, Avg: st.Avg, Std: st.Std,
+			Gaps: st.Count,
+		})
+	}
+	return rows
+}
+
+// OverlapSeries is one Figure 5 curve: for a fixed window size, the average
+// fraction of queries belonging to templates shared with a window `lag`
+// windows earlier.
+type OverlapSeries struct {
+	WindowDays int
+	ByLag      []float64 // index 0 = lag 1
+}
+
+// Figure5 computes template-overlap decay for the given window sizes.
+func Figure5(set *wlgen.Set, windowDays []int, maxLag int) []OverlapSeries {
+	var out []OverlapSeries
+	for _, days := range windowDays {
+		windows := workload.Windows(set.Queries, time.Duration(days)*24*time.Hour)
+		var nonEmpty []*workload.Workload
+		for _, w := range windows {
+			if w.Len() > 0 {
+				nonEmpty = append(nonEmpty, w)
+			}
+		}
+		series := OverlapSeries{WindowDays: days}
+		for lag := 1; lag <= maxLag; lag++ {
+			var vals []float64
+			for i := 0; i+lag < len(nonEmpty); i++ {
+				vals = append(vals, nonEmpty[i+lag].SharedTemplateFraction(nonEmpty[i], workload.MaskSWGO))
+			}
+			if len(vals) == 0 {
+				break
+			}
+			series.ByLag = append(series.ByLag, stats.Mean(vals))
+		}
+		out = append(out, series)
+	}
+	return out
+}
+
+// SoundnessPoint is one Figure 6 observation: a window at distance Delta
+// from a base window W0, and its average latency under W0's nominal design.
+type SoundnessPoint struct {
+	Distance float64
+	AvgMs    float64
+}
+
+// SoundnessResult is Figure 6's output: raw points plus their correlations.
+type SoundnessResult struct {
+	Points   []SoundnessPoint
+	Pearson  float64
+	Spearman float64
+}
+
+// Figure6 tests the soundness criterion (R1, Section 6.3): a design made for
+// W0 should serve nearer windows better than farther ones. For each of up to
+// maxBases base windows, every later window contributes one
+// (distance, latency) point.
+func (sc *Scenario) Figure6(maxBases int) (*SoundnessResult, error) {
+	windows := sc.Windows()
+	if len(windows) < 3 {
+		return nil, fmt.Errorf("bench: need at least 3 windows")
+	}
+	if maxBases <= 0 || maxBases > len(windows)-1 {
+		maxBases = len(windows) - 1
+	}
+	res := &SoundnessResult{}
+	for b := 0; b < maxBases; b++ {
+		base := windows[b]
+		design, err := sc.Nominal.Design(sc.DesignableQueries(base))
+		if err != nil {
+			return nil, fmt.Errorf("bench: figure 6 design on window %d: %w", b, err)
+		}
+		for j := b + 1; j < len(windows); j++ {
+			d := sc.Metric.Distance(base, windows[j])
+			avg, _, err := sc.EvaluateWindow(windows[j], design)
+			if err != nil {
+				continue
+			}
+			res.Points = append(res.Points, SoundnessPoint{Distance: d, AvgMs: avg})
+		}
+	}
+	if len(res.Points) < 2 {
+		return nil, fmt.Errorf("bench: figure 6 produced too few points")
+	}
+	xs := make([]float64, len(res.Points))
+	ys := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		xs[i], ys[i] = p.Distance, p.AvgMs
+	}
+	res.Pearson = stats.Pearson(xs, ys)
+	res.Spearman = stats.Spearman(xs, ys)
+	sort.SliceStable(res.Points, func(i, j int) bool { return res.Points[i].Distance < res.Points[j].Distance })
+	return res, nil
+}
+
+// LatencyMetricResult is Figure 16's output for one omega: points of
+// (delta_latency distance, latency ratio) and their rank correlation.
+type LatencyMetricResult struct {
+	Omega    float64
+	Points   []SoundnessPoint // Distance = delta_latency, AvgMs = latency ratio
+	Spearman float64
+}
+
+// Figure16 evaluates the latency-aware metric's monotonicity for each omega:
+// for window pairs (W0, W1), the ratio of W1's latency to W0's latency under
+// a design made for W0 should grow with delta_latency(W0, W1).
+func (sc *Scenario) Figure16(omegas []float64, maxBases int) ([]LatencyMetricResult, error) {
+	windows := sc.Windows()
+	if len(windows) < 3 {
+		return nil, fmt.Errorf("bench: need at least 3 windows")
+	}
+	if maxBases <= 0 || maxBases > len(windows)-1 {
+		maxBases = len(windows) - 1
+	}
+	var out []LatencyMetricResult
+	for _, omega := range omegas {
+		metric := distance.NewLatency(sc.Schema.NumColumns(), omega, sc.Baseline)
+		res := LatencyMetricResult{Omega: omega}
+		for b := 0; b < maxBases; b++ {
+			base := windows[b]
+			design, err := sc.Nominal.Design(sc.DesignableQueries(base))
+			if err != nil {
+				return nil, err
+			}
+			baseAvg, _, err := sc.EvaluateWindow(base, design)
+			if err != nil || baseAvg <= 0 {
+				continue
+			}
+			for j := b + 1; j < len(windows); j++ {
+				d := metric.Distance(base, windows[j])
+				avg, _, err := sc.EvaluateWindow(windows[j], design)
+				if err != nil {
+					continue
+				}
+				res.Points = append(res.Points, SoundnessPoint{Distance: d, AvgMs: avg / baseAvg})
+			}
+		}
+		if len(res.Points) >= 2 {
+			xs := make([]float64, len(res.Points))
+			ys := make([]float64, len(res.Points))
+			for i, p := range res.Points {
+				xs[i], ys[i] = p.Distance, p.AvgMs
+			}
+			res.Spearman = stats.Spearman(xs, ys)
+		}
+		sort.SliceStable(res.Points, func(i, j int) bool { return res.Points[i].Distance < res.Points[j].Distance })
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Experiment results are exportable as CSV so the paper's plots can be
+// regenerated with any plotting tool. Every writer emits a header row and
+// one record per observation.
+
+// WriteComparisonCSV exports a designer comparison (Figures 7, 10, 15):
+// designer, averaged avg/max latency, per-window series, design time.
+func WriteComparisonCSV(w io.Writer, results []DesignerResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"designer", "window", "avg_ms", "max_ms", "design_time_s", "deploy_bytes"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		// The summary row uses window = -1.
+		if err := cw.Write([]string{
+			r.Name, "-1", f(r.AvgMs), f(r.MaxMs),
+			f(r.DesignTime.Seconds()), strconv.FormatInt(r.DeploySize, 10),
+		}); err != nil {
+			return err
+		}
+		for i := range r.PerWindowAvg {
+			if err := cw.Write([]string{
+				r.Name, strconv.Itoa(i), f(r.PerWindowAvg[i]), f(r.PerWindowMax[i]), "", "",
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable1CSV exports Table 1's drift statistics.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "min_delta", "max_delta", "avg_delta", "std_delta", "gaps"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Workload, f(r.Min), f(r.Max), f(r.Avg), f(r.Std), strconv.Itoa(r.Gaps),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteOverlapCSV exports Figure 5's overlap-vs-lag series.
+func WriteOverlapCSV(w io.Writer, series []OverlapSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"window_days", "lag", "shared_fraction"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i, v := range s.ByLag {
+			if err := cw.Write([]string{
+				strconv.Itoa(s.WindowDays), strconv.Itoa(i + 1), f(v),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSoundnessCSV exports Figure 6's raw (distance, latency) points.
+func WriteSoundnessCSV(w io.Writer, res *SoundnessResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"distance", "avg_ms"}); err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		if err := cw.Write([]string{f(p.Distance), f(p.AvgMs)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepCSV exports a parameter sweep (Figures 8, 9, 12, 13).
+func WriteSweepCSV(w io.Writer, xLabel string, points []SweepPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{xLabel, "avg_ms", "max_ms"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{f(p.X), f(p.AvgMs), f(p.MaxMs)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAblationCSV exports Figure 11's distance-function comparison or the
+// loop-variant ablation.
+func WriteAblationCSV(w io.Writer, results []AblationResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"metric", "avg_ms", "max_ms"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := cw.Write([]string{r.Metric, f(r.AvgMs), f(r.MaxMs)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimingCSV exports Figure 14's offline-time comparison.
+func WriteTimingCSV(w io.Writer, results []TimingResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"designer", "design_time_s", "deploy_time_s", "nominal_calls"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := cw.Write([]string{
+			r.Name,
+			f(float64(r.DesignTime) / float64(time.Second)),
+			f(float64(r.DeployTime) / float64(time.Second)),
+			strconv.Itoa(r.NominalCalls),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

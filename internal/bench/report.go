@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PrintTable1 renders Table 1 in the paper's layout.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %6s\n",
+		"Workload", "Min delta", "Max delta", "Avg delta", "Std delta", "Gaps")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12.5f %12.5f %12.5f %12.5f %6d\n",
+			r.Workload, r.Min, r.Max, r.Avg, r.Std, r.Gaps)
+	}
+}
+
+// PrintComparison renders a Figure 7/10/15-style designer comparison.
+func PrintComparison(w io.Writer, title string, results []DesignerResult) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-20s %14s %14s %14s\n", "Designer", "Avg Latency", "Max Latency", "Design Time")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-20s %11.0f ms %11.0f ms %14s\n", r.Name, r.AvgMs, r.MaxMs, r.DesignTime.Round(1e6))
+	}
+	// The paper's headline ratios.
+	var existing, cliff *DesignerResult
+	for i := range results {
+		switch results[i].Name {
+		case "Existing":
+			existing = &results[i]
+		case "CliffGuard":
+			cliff = &results[i]
+		}
+	}
+	if existing != nil && cliff != nil && cliff.AvgMs > 0 && cliff.MaxMs > 0 {
+		fmt.Fprintf(w, "CliffGuard vs Existing: avg %.1fx, max %.1fx\n",
+			existing.AvgMs/cliff.AvgMs, existing.MaxMs/cliff.MaxMs)
+	}
+}
+
+// PrintOverlap renders Figure 5's curves.
+func PrintOverlap(w io.Writer, series []OverlapSeries) {
+	for _, s := range series {
+		var vals []string
+		for _, v := range s.ByLag {
+			vals = append(vals, fmt.Sprintf("%4.0f%%", v*100))
+		}
+		fmt.Fprintf(w, "win=%2dd: %s\n", s.WindowDays, strings.Join(vals, " "))
+	}
+}
+
+// PrintSoundness renders Figure 6's distance-vs-latency relation, bucketed.
+func PrintSoundness(w io.Writer, res *SoundnessResult, buckets int) {
+	if buckets < 1 {
+		buckets = 8
+	}
+	lo := res.Points[0].Distance
+	hi := res.Points[len(res.Points)-1].Distance
+	if hi <= lo {
+		hi = lo + 1e-9
+	}
+	width := (hi - lo) / float64(buckets)
+	type agg struct {
+		sum float64
+		n   int
+	}
+	bs := make([]agg, buckets)
+	for _, p := range res.Points {
+		i := int((p.Distance - lo) / width)
+		if i >= buckets {
+			i = buckets - 1
+		}
+		bs[i].sum += p.AvgMs
+		bs[i].n++
+	}
+	fmt.Fprintf(w, "%-14s %14s %6s\n", "distance", "avg latency", "n")
+	for i, b := range bs {
+		if b.n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%.5f-%.5f %11.0f ms %6d\n", lo+float64(i)*width, lo+float64(i+1)*width, b.sum/float64(b.n), b.n)
+	}
+	fmt.Fprintf(w, "pearson=%.3f spearman=%.3f (n=%d points)\n", res.Pearson, res.Spearman, len(res.Points))
+}
+
+// PrintSweep renders a Figure 8/9/12/13-style sweep.
+func PrintSweep(w io.Writer, xLabel string, points []SweepPoint) {
+	fmt.Fprintf(w, "%-12s %14s %14s\n", xLabel, "Avg Latency", "Max Latency")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-12.5g %11.0f ms %11.0f ms\n", p.X, p.AvgMs, p.MaxMs)
+	}
+}
+
+// PrintAblation renders Figure 11's distance-function comparison.
+func PrintAblation(w io.Writer, results []AblationResult) {
+	fmt.Fprintf(w, "%-24s %14s %14s\n", "Distance fn", "Avg Latency", "Max Latency")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-24s %11.0f ms %11.0f ms\n", r.Metric, r.AvgMs, r.MaxMs)
+	}
+}
+
+// PrintTiming renders Figure 14's offline-time comparison.
+func PrintTiming(w io.Writer, results []TimingResult) {
+	fmt.Fprintf(w, "%-20s %14s %14s %8s\n", "Designer", "Design Time", "Deploy Time", "Calls")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-20s %14s %14s %8d\n",
+			r.Name, r.DesignTime.Round(1e6), r.DeployTime.Round(1e6), r.NominalCalls)
+	}
+}
+
+// PrintLatencyMetric renders Figure 16's per-omega rank correlations.
+func PrintLatencyMetric(w io.Writer, results []LatencyMetricResult) {
+	for _, r := range results {
+		fmt.Fprintf(w, "omega=%.2f: spearman=%.3f over %d points\n", r.Omega, r.Spearman, len(r.Points))
+	}
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"cliffguard/internal/core"
+	"cliffguard/internal/distance"
+	"cliffguard/internal/sample"
+	"cliffguard/internal/stats"
+	"cliffguard/internal/workload"
+)
+
+// SweepPoint is one x/y pair of a parameter-sweep experiment: the swept
+// parameter value and CliffGuard's resulting average and worst-case latency.
+type SweepPoint struct {
+	X     float64
+	AvgMs float64
+	MaxMs float64
+}
+
+// runCliffGuardVariant runs the window-by-window experiment for a CliffGuard
+// instance built per window with the given option override, returning its
+// averaged avg/max latency.
+func (sc *Scenario) runCliffGuardVariant(override func(*core.Options), sampler *sample.Sampler) (avg, max float64, err error) {
+	windows := sc.Windows()
+	if len(windows) < 2 {
+		return 0, 0, fmt.Errorf("bench: need at least 2 windows")
+	}
+	var avgs, maxs []float64
+	for i := 0; i+1 < len(windows); i++ {
+		cg := sc.CliffGuard(override)
+		if sampler != nil {
+			cg.Sampler = sampler
+		}
+		design, err := cg.Design(sc.DesignableQueries(windows[i]))
+		if err != nil {
+			return 0, 0, fmt.Errorf("bench: cliffguard on window %d: %w", i, err)
+		}
+		a, m, err := sc.EvaluateWindow(windows[i+1], design)
+		if err != nil {
+			return 0, 0, err
+		}
+		avgs = append(avgs, a)
+		maxs = append(maxs, m)
+	}
+	return stats.Mean(avgs), stats.Mean(maxs), nil
+}
+
+// GammaSweep runs Figures 8-9: CliffGuard at each robustness level, plus the
+// nominal designer's (gamma-independent) reference line.
+func (sc *Scenario) GammaSweep(gammas []float64) (points []SweepPoint, existingAvg, existingMax float64, err error) {
+	// Reference: the nominal designer.
+	ref, err := sc.CompareDesigners([]string{"Existing"})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	existingAvg, existingMax = ref[0].AvgMs, ref[0].MaxMs
+
+	for _, g := range gammas {
+		gamma := g
+		avg, max, err := sc.runCliffGuardVariant(func(o *core.Options) { o.Gamma = gamma }, nil)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("bench: gamma %g: %w", g, err)
+		}
+		points = append(points, SweepPoint{X: g, AvgMs: avg, MaxMs: max})
+	}
+	return points, existingAvg, existingMax, nil
+}
+
+// SampleSizeSweep runs Figure 12: CliffGuard with different neighborhood
+// sample counts n.
+func (sc *Scenario) SampleSizeSweep(sizes []int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, n := range sizes {
+		n := n
+		avg, max, err := sc.runCliffGuardVariant(func(o *core.Options) { o.Samples = n }, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sample size %d: %w", n, err)
+		}
+		out = append(out, SweepPoint{X: float64(n), AvgMs: avg, MaxMs: max})
+	}
+	return out, nil
+}
+
+// IterationSweep runs Figure 13: CliffGuard with different iteration caps.
+func (sc *Scenario) IterationSweep(iters []int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, it := range iters {
+		it := it
+		avg, max, err := sc.runCliffGuardVariant(func(o *core.Options) {
+			o.Iterations = it
+			o.Patience = it // sweep the cap itself, not early stopping
+		}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: iterations %d: %w", it, err)
+		}
+		out = append(out, SweepPoint{X: float64(it), AvgMs: avg, MaxMs: max})
+	}
+	return out, nil
+}
+
+// AblationResult is one Figure 11 bar pair: CliffGuard driven by a
+// particular distance function.
+type AblationResult struct {
+	Metric string
+	AvgMs  float64
+	MaxMs  float64
+}
+
+// DistanceAblation runs Figure 11: CliffGuard under each distance function —
+// the clause-restricted Euclidean variants, the clause-separated variant,
+// and the latency-aware metric.
+func (sc *Scenario) DistanceAblation() ([]AblationResult, error) {
+	n := sc.Schema.NumColumns()
+	mutator := sample.NewMutator(sc.Schema)
+	metrics := []distance.Metric{
+		&distance.Euclidean{NumColumns: n, Mask: workload.MaskSelect},
+		&distance.Euclidean{NumColumns: n, Mask: workload.MaskWhere},
+		&distance.Euclidean{NumColumns: n, Mask: workload.MaskGroupBy},
+		&distance.Euclidean{NumColumns: n, Mask: workload.MaskOrderBy},
+		distance.NewEuclidean(n),
+		distance.NewSeparate(n),
+		distance.NewLatency(n, 0.2, sc.Baseline),
+	}
+	var out []AblationResult
+	for _, m := range metrics {
+		sampler := sample.New(m, mutator)
+		// Clause-restricted metrics can make the scenario's Gamma
+		// unreachable (e.g. an ORDER BY-only distance barely moves under
+		// template churn). Scale Gamma down to what the metric can express;
+		// a metric that cannot express any perturbation degrades CliffGuard
+		// to the nominal designer — which is the ablation's point, not an
+		// error.
+		var avg, max float64
+		var err error
+		for _, scale := range []float64{1, 0.25, 0.0625, 0.015625, 0} {
+			gamma := sc.Gamma * scale
+			avg, max, err = sc.runCliffGuardVariant(func(o *core.Options) { o.Gamma = gamma }, sampler)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, sample.ErrNoPerturbation) {
+				return nil, fmt.Errorf("bench: ablation %s: %w", m.Name(), err)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation %s: %w", m.Name(), err)
+		}
+		out = append(out, AblationResult{Metric: m.Name(), AvgMs: avg, MaxMs: max})
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// deployBytesPerMs models the cost of physically building and loading a
+// design structure. The paper reports deployment dominating design time
+// (15+ hours for a full Vertica design vs 0.5-2.3 hours of design search);
+// the simulator preserves that ratio at its scale.
+const deployBytesPerMs = 10_000.0 // 10 MB/s build+load rate
+
+// TimingResult is one Figure 14 bar pair: offline design time (measured
+// wall clock, per window averaged) and modeled deployment time.
+type TimingResult struct {
+	Name         string
+	DesignTime   time.Duration // average per window (measured)
+	DeployTime   time.Duration // average per window (modeled from bytes)
+	NominalCalls int           // designer invocations per window (CliffGuard makes several)
+}
+
+// Figure14 measures offline design time per designer and models deployment
+// time from the bytes of structures each designer chose.
+func (sc *Scenario) Figure14(names []string) ([]TimingResult, error) {
+	results, err := sc.CompareDesigners(names)
+	if err != nil {
+		return nil, err
+	}
+	windows := len(sc.Windows()) - 1
+	if windows < 1 {
+		return nil, fmt.Errorf("bench: need at least 2 windows")
+	}
+	out := make([]TimingResult, 0, len(results))
+	for _, r := range results {
+		deployMs := float64(r.DeploySize) / deployBytesPerMs / float64(windows)
+		calls := 1
+		if r.Name == "CliffGuard" {
+			calls = 1 + sc.Iterations // initial design + one per robust move
+		}
+		if r.Name == "MajorityVote" || r.Name == "OptimalLocalSearch" {
+			calls = sc.Samples + 1
+		}
+		if r.Name == "NoDesign" {
+			calls = 0
+		}
+		out = append(out, TimingResult{
+			Name:         r.Name,
+			DesignTime:   r.DesignTime / time.Duration(windows),
+			DeployTime:   time.Duration(deployMs * float64(time.Millisecond)),
+			NominalCalls: calls,
+		})
+	}
+	return out, nil
+}

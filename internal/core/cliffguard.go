@@ -1,0 +1,328 @@
+// Package core implements the CliffGuard algorithm (Algorithm 2 of the
+// paper) and its MoveWorkload subroutine (Algorithm 3): a robust-optimization
+// outer loop, derived from the Bertsimas-Nohadani-Teo (BNT) gradient-descent
+// framework, wrapped around an existing nominal designer that is treated as
+// a black box.
+//
+// Each iteration (i) explores the Gamma-neighborhood of the target workload
+// for worst-performing sampled neighbors, and (ii) performs a "robust local
+// move": it merges those worst neighbors into the target workload with a
+// cost- and frequency-derived weight scaled by alpha, re-invokes the nominal
+// designer on the merged workload, and keeps the new design only if it
+// improves the worst-case cost over the sampled neighborhood. Alpha is
+// adapted by backtracking line search (lambda_success > 1 on improvement,
+// 0 < lambda_failure < 1 on failure), mirroring BNT's step-size control.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cliffguard/internal/designer"
+	"cliffguard/internal/sample"
+	"cliffguard/internal/workload"
+)
+
+// Options configure the CliffGuard loop. The defaults follow Section 6.1 of
+// the paper: n=20 samples, 5 iterations, lambda_success=5, lambda_failure=0.5.
+type Options struct {
+	// Gamma is the robustness knob: the radius of the workload-distance
+	// neighborhood the design must be robust within. Gamma = 0 degenerates
+	// to the nominal designer.
+	Gamma float64
+	// Samples is the neighborhood sample count n (default 20).
+	Samples int
+	// Iterations bounds the robust-move loop (default 5).
+	Iterations int
+	// Patience stops the loop after this many consecutive non-improving
+	// iterations (default: Iterations, i.e. disabled).
+	Patience int
+	// TopFraction selects the worst-neighbor set: the top fraction of
+	// sampled neighbors by cost (default 0.2, per Section 4.3's "top-K or
+	// top 20%" bias mitigation). At least one neighbor is always selected.
+	TopFraction float64
+	// InitialAlpha is the starting step-size exponent (default 1).
+	InitialAlpha float64
+	// LambdaSuccess multiplies alpha after an improving move (default 5).
+	LambdaSuccess float64
+	// LambdaFailure multiplies alpha after a failed move (default 0.5).
+	LambdaFailure float64
+	// Seed makes sampling deterministic.
+	Seed int64
+	// DisableAccumulation reverts to the paper's literal formulation where
+	// each robust move sees only the current iteration's worst neighbors
+	// (ablation knob; see the package comment for why accumulation is the
+	// default).
+	DisableAccumulation bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples <= 0 {
+		o.Samples = 20
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 5
+	}
+	if o.Patience <= 0 {
+		o.Patience = o.Iterations
+	}
+	if o.TopFraction <= 0 || o.TopFraction > 1 {
+		o.TopFraction = 0.2
+	}
+	if o.InitialAlpha <= 0 {
+		o.InitialAlpha = 1
+	}
+	if o.LambdaSuccess <= 1 {
+		o.LambdaSuccess = 5
+	}
+	if o.LambdaFailure <= 0 || o.LambdaFailure >= 1 {
+		o.LambdaFailure = 0.5
+	}
+	return o
+}
+
+// CliffGuard wraps a nominal designer in the robust-optimization loop.
+type CliffGuard struct {
+	Nominal designer.Designer
+	Cost    designer.CostModel
+	Sampler *sample.Sampler
+	Opts    Options
+}
+
+// New returns a CliffGuard instance.
+func New(nominal designer.Designer, cost designer.CostModel, sampler *sample.Sampler, opts Options) *CliffGuard {
+	return &CliffGuard{Nominal: nominal, Cost: cost, Sampler: sampler, Opts: opts}
+}
+
+// Name implements designer.Designer.
+func (cg *CliffGuard) Name() string { return "CliffGuard" }
+
+// Trace records one iteration of the loop, for diagnostics and the
+// convergence experiments (Figures 12-13).
+type Trace struct {
+	Iteration     int
+	Alpha         float64
+	WorstCase     float64 // worst-case cost of the incumbent design
+	CandidateCost float64 // worst-case cost of the candidate design
+	Improved      bool
+}
+
+// Design implements designer.Designer (Algorithm 2).
+func (cg *CliffGuard) Design(w0 *workload.Workload) (*designer.Design, error) {
+	d, _, err := cg.DesignWithTrace(w0)
+	return d, err
+}
+
+// DesignWithTrace runs Algorithm 2 and returns the per-iteration trace.
+func (cg *CliffGuard) DesignWithTrace(w0 *workload.Workload) (*designer.Design, []Trace, error) {
+	if w0 == nil || w0.Len() == 0 {
+		return nil, nil, errors.New("core: empty target workload")
+	}
+	opts := cg.Opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Line 1: nominal design for W0.
+	d, err := cg.Nominal.Design(w0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: initial nominal design: %w", err)
+	}
+	if opts.Gamma == 0 {
+		return d, nil, nil // nominal case: nothing to guard against
+	}
+
+	// Line 2: sample the Gamma-neighborhood.
+	neighborhood, err := cg.Sampler.Neighborhood(rng, w0, opts.Gamma, opts.Samples)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: sampling Gamma-neighborhood: %w", err)
+	}
+	// The target workload itself is part of the uncertainty set (distance 0).
+	neighborhood = append(neighborhood, w0)
+
+	alpha := opts.InitialAlpha
+	worst := cg.worstCase(neighborhood, d)
+	var traces []Trace
+	sinceImprove := 0
+
+	// Worst neighbors accumulate across iterations: each robust move must
+	// keep guarding the directions discovered earlier while adding the newly
+	// worst ones. (BNT's moves are incremental by construction — x_{k+1} =
+	// x_k + t_k*d — whereas each nominal re-design starts from scratch, so
+	// without accumulation a move can trade previously-hedged directions for
+	// new ones and never converge.)
+	var accumulated []*workload.Workload
+
+	for iter := 0; iter < opts.Iterations; iter++ {
+		// Neighborhood exploration: worst neighbors under the current design.
+		worstNeighbors := cg.worstNeighbors(neighborhood, d, opts.TopFraction)
+		accumulated = append(accumulated, worstNeighbors...)
+		moveTargets := accumulated
+		if opts.DisableAccumulation {
+			moveTargets = worstNeighbors
+		}
+
+		// Robust local move: merge and re-design.
+		moved := cg.MoveWorkload(w0, moveTargets, d, alpha)
+		cand, err := cg.Nominal.Design(moved)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: nominal design on moved workload: %w", err)
+		}
+		candWorst := cg.worstCase(neighborhood, cand)
+
+		tr := Trace{Iteration: iter, Alpha: alpha, WorstCase: worst, CandidateCost: candWorst}
+		if candWorst < worst {
+			d, worst = cand, candWorst
+			alpha = math.Min(alpha*opts.LambdaSuccess, 8)
+			tr.Improved = true
+			sinceImprove = 0
+		} else {
+			alpha = math.Max(alpha*opts.LambdaFailure, 1.0/32)
+			sinceImprove++
+		}
+		traces = append(traces, tr)
+		if sinceImprove >= opts.Patience {
+			break
+		}
+	}
+	return d, traces, nil
+}
+
+// worstCase returns max over the sampled neighborhood of f(W, D).
+// Queries a cost model cannot handle are skipped (the sampler's mutator only
+// produces in-schema queries, so this is defensive).
+func (cg *CliffGuard) worstCase(neighborhood []*workload.Workload, d *designer.Design) float64 {
+	worst := math.Inf(-1)
+	for _, w := range neighborhood {
+		if c, ok := cg.cost(w, d); ok && c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// worstNeighbors returns the top fraction of the neighborhood by cost under
+// design d, most expensive first.
+func (cg *CliffGuard) worstNeighbors(neighborhood []*workload.Workload, d *designer.Design, frac float64) []*workload.Workload {
+	type scored struct {
+		w *workload.Workload
+		c float64
+	}
+	var all []scored
+	for _, w := range neighborhood {
+		if c, ok := cg.cost(w, d); ok {
+			all = append(all, scored{w, c})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].c > all[j].c })
+	k := int(math.Ceil(frac * float64(len(all))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]*workload.Workload, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].w
+	}
+	return out
+}
+
+// cost evaluates f(W, D), normalized by total weight so that workloads with
+// different total weights (the sampler adds mass) are comparable. Unsupported
+// queries are skipped.
+func (cg *CliffGuard) cost(w *workload.Workload, d *designer.Design) (float64, bool) {
+	var total, weight float64
+	for _, it := range w.Items {
+		c, err := cg.Cost.Cost(it.Q, d)
+		if err != nil {
+			if errors.Is(err, designer.ErrUnsupported) {
+				continue
+			}
+			return 0, false
+		}
+		total += it.Weight * c
+		weight += it.Weight
+	}
+	if weight == 0 {
+		return 0, false
+	}
+	return total / weight, true
+}
+
+// MoveWorkload implements Algorithm 3: build a merged workload closer to the
+// worst neighbors. Following the paper, every query q of a worst neighbor
+// contributes weight proportional to its latency under the current design
+// times its frequency across the worst neighbors — the nominal designer is
+// thereby steered toward the expensive, popular directions — and the merged
+// workload always contains W0, which is why CliffGuard never degrades below
+// the nominal designer even at extreme Gamma (Section 6.5).
+//
+// The scaling factor alpha plays the role of BNT's step size: the
+// neighbor-derived mass is normalized so its total equals alpha times W0's
+// total mass. (The paper applies alpha as an exponent on unnormalized
+// cost-times-frequency products; with latencies in milliseconds and sampled
+// frequencies in the hundreds, that exponent form is numerically explosive —
+// mass-ratio normalization preserves its role in the backtracking line
+// search while keeping the designer's objective balanced between W0 and the
+// perturbation directions.)
+func (cg *CliffGuard) MoveWorkload(w0 *workload.Workload, worstNeighbors []*workload.Workload, d *designer.Design, alpha float64) *workload.Workload {
+	// weight(q, W) aggregated by query identity.
+	w0Weight := make(map[*workload.Query]float64)
+	for _, it := range w0.Items {
+		w0Weight[it.Q] += it.Weight
+	}
+	neighborWeight := make(map[*workload.Query]float64)
+	var order []*workload.Query
+	seen := make(map[*workload.Query]bool)
+	for _, q := range w0.Queries() {
+		if !seen[q] {
+			seen[q] = true
+			order = append(order, q)
+		}
+	}
+	for _, wn := range worstNeighbors {
+		for _, it := range wn.Items {
+			if w0Weight[it.Q] > 0 {
+				// W0's own queries re-appear inside every sampled neighbor;
+				// their movement pressure is already represented by the
+				// weight(q, W0) term.
+				continue
+			}
+			neighborWeight[it.Q] += it.Weight
+			if !seen[it.Q] {
+				seen[it.Q] = true
+				order = append(order, it.Q)
+			}
+		}
+	}
+
+	// Raw movement pressure: latency x frequency per neighbor query.
+	raw := make(map[*workload.Query]float64, len(neighborWeight))
+	var rawTotal float64
+	for q, nw := range neighborWeight {
+		fq, err := cg.Cost.Cost(q, d)
+		if err != nil || fq <= 0 {
+			continue
+		}
+		r := fq * nw
+		raw[q] = r
+		rawTotal += r
+	}
+
+	scale := 0.0
+	if rawTotal > 0 {
+		scale = alpha * w0.TotalWeight() / rawTotal
+	}
+
+	moved := &workload.Workload{}
+	for _, q := range order {
+		omega := w0Weight[q] + raw[q]*scale
+		if omega > 0 && !math.IsInf(omega, 0) && !math.IsNaN(omega) {
+			moved.Add(q, omega)
+		}
+	}
+	return moved
+}

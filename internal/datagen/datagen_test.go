@@ -1,0 +1,122 @@
+package datagen
+
+import (
+	"testing"
+)
+
+func TestWarehouseShape(t *testing.T) {
+	s := Warehouse(1)
+	if got := len(s.FactTables()); got != 2 {
+		t.Fatalf("fact tables = %d, want 2", got)
+	}
+	// Paper-scale schema: hundreds of tables, thousands of columns (R1 had
+	// 310 tables; delta_euclidean's magnitude depends on total column count).
+	if got := len(s.Tables()); got < 300 {
+		t.Errorf("tables = %d, want >= 300", got)
+	}
+	if got := s.NumColumns(); got < 3000 {
+		t.Errorf("columns = %d, want >= 3000", got)
+	}
+	sales, ok := s.Table("sales")
+	if !ok || !sales.Fact || sales.Rows < 1_000_000 {
+		t.Fatalf("sales table malformed: %+v", sales)
+	}
+	// Scale multiplies fact rows.
+	s2 := Warehouse(2)
+	sales2, _ := s2.Table("sales")
+	if sales2.Rows != 2*sales.Rows {
+		t.Errorf("scale 2 rows = %d, want %d", sales2.Rows, 2*sales.Rows)
+	}
+	// Scale < 1 clamps to 1.
+	s0 := Warehouse(0)
+	sales0, _ := s0.Table("sales")
+	if sales0.Rows != sales.Rows {
+		t.Error("scale 0 should clamp to 1")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Warehouse(1)
+	d1 := Generate(s, 2_000, 7)
+	d2 := Generate(s, 2_000, 7)
+	sales, _ := s.Table("sales")
+	col := sales.Columns[3].ID
+	a, b := d1.Column(col), d2.Column(col)
+	if len(a) != 2_000 || len(b) != 2_000 {
+		t.Fatalf("physical rows = %d/%d, want 2000", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generation is not deterministic")
+		}
+	}
+	d3 := Generate(s, 2_000, 8)
+	c := d3.Column(col)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateRespectsCardinality(t *testing.T) {
+	s := Warehouse(1)
+	d := Generate(s, 5_000, 3)
+	for _, tbl := range s.FactTables() {
+		for _, c := range tbl.Columns {
+			vals := d.Column(c.ID)
+			for _, v := range vals[:min(len(vals), 1000)] {
+				if v < 0 || v >= c.Cardinality {
+					t.Fatalf("%s value %d outside [0, %d)", c.Qualified(), v, c.Cardinality)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateRowCaps(t *testing.T) {
+	s := Warehouse(1)
+	d := Generate(s, 1_000, 1)
+	if d.Rows("sales") != 1_000 {
+		t.Errorf("sales capped rows = %d", d.Rows("sales"))
+	}
+	// Small tables stay at their modeled size.
+	if d.Rows("carriers") != 30 {
+		t.Errorf("carriers rows = %d, want 30", d.Rows("carriers"))
+	}
+	// Unknown table: zero.
+	if d.Rows("nope") != 0 {
+		t.Error("unknown table should report 0 rows")
+	}
+	if d.Column(1<<20) != nil {
+		t.Error("unknown column should be nil")
+	}
+}
+
+func TestZipfSkewOnLowCardinality(t *testing.T) {
+	s := Warehouse(1)
+	d := Generate(s, 20_000, 5)
+	// channel has cardinality 8 -> zipfian: value 0 should dominate.
+	id, err := s.ResolveIn("sales", "channel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	for _, v := range d.Column(id) {
+		counts[v]++
+	}
+	if counts[0] <= counts[7] {
+		t.Errorf("zipf skew missing: counts[0]=%d counts[7]=%d", counts[0], counts[7])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

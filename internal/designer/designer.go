@@ -1,0 +1,264 @@
+// Package designer defines the interfaces between CliffGuard and the
+// physical-design machinery: design structures (projections, indices,
+// materialized views), what-if cost models, and the nominal Designer
+// contract that CliffGuard drives as a black box (Section 2's design
+// principle: CliffGuard never looks inside the designer, it only feeds it
+// workloads and reads back designs).
+package designer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cliffguard/internal/workload"
+)
+
+// Structure is one physical design object: a projection, an index, or a
+// materialized view. Structures are immutable once created.
+type Structure interface {
+	// Key is a canonical identity: two structures with the same key are the
+	// same physical object.
+	Key() string
+	// SizeBytes is the modeled storage footprint.
+	SizeBytes() int64
+	// Describe renders a human-readable summary.
+	Describe() string
+}
+
+// Design is a set of structures. The zero value is the empty design
+// (paper's NoDesign: every query runs off the base table/super-projection).
+type Design struct {
+	Structures []Structure
+}
+
+// NewDesign builds a design, deduplicating structures by key.
+func NewDesign(structures ...Structure) *Design {
+	d := &Design{}
+	seen := make(map[string]bool, len(structures))
+	for _, s := range structures {
+		if s == nil || seen[s.Key()] {
+			continue
+		}
+		seen[s.Key()] = true
+		d.Structures = append(d.Structures, s)
+	}
+	return d
+}
+
+// SizeBytes returns the total storage footprint of the design.
+func (d *Design) SizeBytes() int64 {
+	if d == nil {
+		return 0
+	}
+	var total int64
+	for _, s := range d.Structures {
+		total += s.SizeBytes()
+	}
+	return total
+}
+
+// Len returns the number of structures; nil-safe.
+func (d *Design) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.Structures)
+}
+
+// Keys returns the set of structure keys; nil-safe.
+func (d *Design) Keys() map[string]bool {
+	out := make(map[string]bool, d.Len())
+	if d != nil {
+		for _, s := range d.Structures {
+			out[s.Key()] = true
+		}
+	}
+	return out
+}
+
+// With returns a new design with s appended (no mutation of d).
+func (d *Design) With(s Structure) *Design {
+	out := &Design{Structures: make([]Structure, 0, d.Len()+1)}
+	if d != nil {
+		out.Structures = append(out.Structures, d.Structures...)
+	}
+	out.Structures = append(out.Structures, s)
+	return out
+}
+
+// String renders the design's structures sorted by key.
+func (d *Design) String() string {
+	if d.Len() == 0 {
+		return "Design{}"
+	}
+	descs := make([]string, d.Len())
+	for i, s := range d.Structures {
+		descs[i] = s.Describe()
+	}
+	sort.Strings(descs)
+	return "Design{\n  " + strings.Join(descs, "\n  ") + "\n}"
+}
+
+// ErrUnsupported marks queries outside an engine's costable subset (e.g.
+// multi-table specs in the single-anchor simulators).
+var ErrUnsupported = errors.New("designer: query not supported by this engine")
+
+// CostModel is a what-if interface: it estimates the latency, in
+// milliseconds, of running a query under a hypothetical design. This is the
+// paper's f(W, D) building block; the paper notes f "is measured either via
+// actual execution or by consulting the query optimizer's cost estimates"
+// (Section 4.2) — the simulators provide both, and the experiments use the
+// estimates.
+type CostModel interface {
+	Cost(q *workload.Query, d *Design) (float64, error)
+}
+
+// WorkloadCost returns f(W, D): the weighted sum of per-query latencies.
+// Queries the engine cannot cost propagate their error.
+func WorkloadCost(cm CostModel, w *workload.Workload, d *Design) (float64, error) {
+	var total float64
+	for _, it := range w.Items {
+		c, err := cm.Cost(it.Q, d)
+		if err != nil {
+			return 0, fmt.Errorf("costing %s: %w", it.Q, err)
+		}
+		total += it.Weight * c
+	}
+	return total, nil
+}
+
+// Designer finds a design for a workload within its (construction-time)
+// storage budget. Implementations are the paper's "existing designers";
+// CliffGuard wraps one.
+type Designer interface {
+	Name() string
+	Design(w *workload.Workload) (*Design, error)
+}
+
+// CompressByTemplate merges queries sharing a SWGO template into a single
+// weighted representative (the highest-weight instance). Designers use this
+// both for tractability and — in the DBMS-X-style designer — as the paper's
+// "workload compression" anti-overfitting heuristic.
+func CompressByTemplate(w *workload.Workload) *workload.Workload {
+	type group struct {
+		rep    *workload.Query
+		repW   float64
+		weight float64
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, it := range w.Items {
+		key := it.Q.TemplateKey(workload.MaskSWGO)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.weight += it.Weight
+		if it.Weight > g.repW || g.rep == nil {
+			g.rep, g.repW = it.Q, it.Weight
+		}
+	}
+	out := &workload.Workload{}
+	for _, key := range order {
+		g := groups[key]
+		out.Add(g.rep, g.weight)
+	}
+	return out
+}
+
+// GreedySelect implements the selection loop shared by the nominal
+// designers: repeatedly add the candidate structure with the highest
+// benefit-per-byte under the current design until the budget is exhausted or
+// no candidate helps. Benefit is the reduction in f(W, D).
+//
+// The loop exploits the engines' min-composition property — the cost of a
+// query under a design is the minimum of its per-structure access-path costs
+// — to evaluate candidates incrementally: each (query, structure) pair is
+// costed once, and a pick only lowers the per-query running minimum.
+func GreedySelect(cm CostModel, w *workload.Workload, candidates []Structure, budget int64) (*Design, error) {
+	design := NewDesign()
+	if len(candidates) == 0 {
+		return design, nil
+	}
+	var structures []Structure
+	seen := make(map[string]bool, len(candidates))
+	for _, c := range candidates {
+		if c == nil || seen[c.Key()] {
+			continue
+		}
+		seen[c.Key()] = true
+		structures = append(structures, c)
+	}
+
+	nq := len(w.Items)
+	cur := make([]float64, nq)
+	for i, it := range w.Items {
+		c, err := cm.Cost(it.Q, nil)
+		if err != nil {
+			return nil, fmt.Errorf("costing %s: %w", it.Q, err)
+		}
+		cur[i] = c
+	}
+	// pair[s][q]: cost of query q with structure s alone.
+	pair := make([][]float64, len(structures))
+	for si, s := range structures {
+		row := make([]float64, nq)
+		d := NewDesign(s)
+		for qi, it := range w.Items {
+			c, err := cm.Cost(it.Q, d)
+			if err != nil {
+				return nil, fmt.Errorf("costing %s: %w", it.Q, err)
+			}
+			row[qi] = c
+		}
+		pair[si] = row
+	}
+
+	taken := make([]bool, len(structures))
+	used := int64(0)
+	for {
+		bestIdx := -1
+		bestScore := 0.0
+		for si, s := range structures {
+			if taken[si] || used+s.SizeBytes() > budget {
+				continue
+			}
+			var gain float64
+			for qi, it := range w.Items {
+				if c := pair[si][qi]; c < cur[qi] {
+					gain += it.Weight * (cur[qi] - c)
+				}
+			}
+			if gain <= 0 {
+				continue
+			}
+			score := gain / float64(maxI64(s.SizeBytes(), 1))
+			if bestIdx < 0 || score > bestScore {
+				bestIdx, bestScore = si, score
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		taken[bestIdx] = true
+		design = design.With(structures[bestIdx])
+		used += structures[bestIdx].SizeBytes()
+		for qi := range cur {
+			if c := pair[bestIdx][qi]; c < cur[qi] {
+				cur[qi] = c
+			}
+		}
+	}
+	return design, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,253 @@
+// Package distance implements the workload distance metrics of Section 5 and
+// Appendix C of the CliffGuard paper: delta_euclidean (Equation 9) over the
+// sparse template-frequency vector, the clause-separated variant
+// delta_separate, clause-restricted variants used in the Figure 11 ablation,
+// and the latency-aware delta_latency (Equations 11-12).
+//
+// Each workload is conceptually a (2^n - 1)-dimensional frequency vector over
+// column subsets; all metrics here exploit sparsity and run in O(T^2 * n/64)
+// where T is the number of distinct templates actually present.
+package distance
+
+import (
+	"fmt"
+	"math"
+
+	"cliffguard/internal/workload"
+)
+
+// Metric measures the dissimilarity of two workloads. Implementations must
+// be symmetric and return 0 for identical workloads.
+type Metric interface {
+	Name() string
+	Distance(w1, w2 *workload.Workload) float64
+}
+
+// Euclidean is the paper's delta_euclidean (Equation 9): the quadratic form
+// |V1-V2| * S * |V1-V2|^T where S[i][j] is the Hamming distance between
+// column subsets i and j divided by 2n, and |.| is the element-wise absolute
+// value of the frequency difference. Mask selects which clauses contribute
+// columns (the paper's default is SWGO).
+type Euclidean struct {
+	// NumColumns is the total number of columns in the database (the
+	// paper's n). Must be positive.
+	NumColumns int
+	// Mask selects the clauses whose columns define a query's template.
+	// The zero mask is treated as MaskSWGO.
+	Mask workload.ClauseMask
+}
+
+// NewEuclidean returns the default SWGO euclidean metric for a database with
+// n columns.
+func NewEuclidean(n int) *Euclidean {
+	return &Euclidean{NumColumns: n, Mask: workload.MaskSWGO}
+}
+
+// Name identifies the metric, including its clause mask.
+func (e *Euclidean) Name() string {
+	return fmt.Sprintf("Euc-union(%s)", e.mask())
+}
+
+func (e *Euclidean) mask() workload.ClauseMask {
+	if e.Mask == 0 {
+		return workload.MaskSWGO
+	}
+	return e.Mask
+}
+
+// Distance computes delta_euclidean(w1, w2).
+func (e *Euclidean) Distance(w1, w2 *workload.Workload) float64 {
+	if e.NumColumns <= 0 {
+		panic("distance: Euclidean.NumColumns must be positive")
+	}
+	m := e.mask()
+	f1, s1 := w1.VectorWithSets(m)
+	f2, s2 := w2.VectorWithSets(m)
+	diffs, sets := diffVector(f1, f2, s1, s2)
+	return quadraticForm(diffs, sets, 2*float64(e.NumColumns))
+}
+
+// diffVector merges two sparse frequency vectors into the element-wise
+// absolute difference, paired with each key's column set.
+func diffVector(f1, f2 map[string]float64, s1, s2 map[string]workload.ColSet) ([]float64, []workload.ColSet) {
+	diffs := make([]float64, 0, len(f1)+len(f2))
+	sets := make([]workload.ColSet, 0, len(f1)+len(f2))
+	for k, v1 := range f1 {
+		d := v1 - f2[k]
+		if d < 0 {
+			d = -d
+		}
+		if d > 0 {
+			diffs = append(diffs, d)
+			sets = append(sets, s1[k])
+		}
+	}
+	for k, v2 := range f2 {
+		if _, seen := f1[k]; seen {
+			continue
+		}
+		if v2 > 0 {
+			diffs = append(diffs, v2)
+			sets = append(sets, s2[k])
+		}
+	}
+	return diffs, sets
+}
+
+// quadraticForm evaluates sum_ij d_i d_j Hamming(set_i, set_j) / norm.
+func quadraticForm(diffs []float64, sets []workload.ColSet, norm float64) float64 {
+	var total float64
+	for i := range diffs {
+		// The diagonal is zero (Hamming(x,x)=0); use symmetry for the rest.
+		for j := i + 1; j < len(diffs); j++ {
+			total += 2 * diffs[i] * diffs[j] * float64(sets[i].Hamming(sets[j]))
+		}
+	}
+	return total / norm
+}
+
+// Separate is the paper's delta_separate: identical to Euclidean except that
+// each query is a 4-tuple of per-clause column sets, so two queries that use
+// the same columns in different clauses are distinct templates. Hamming
+// distance is summed across the four clause sets and normalized by 2*(4n).
+type Separate struct {
+	NumColumns int
+}
+
+// NewSeparate returns the clause-separated metric for a database with n columns.
+func NewSeparate(n int) *Separate { return &Separate{NumColumns: n} }
+
+// Name identifies the metric.
+func (s *Separate) Name() string { return "Euc-separate" }
+
+// Distance computes delta_separate(w1, w2).
+func (s *Separate) Distance(w1, w2 *workload.Workload) float64 {
+	if s.NumColumns <= 0 {
+		panic("distance: Separate.NumColumns must be positive")
+	}
+	f1, t1 := w1.SeparateVector()
+	f2, t2 := w2.SeparateVector()
+
+	type entry struct {
+		diff float64
+		sets [4]workload.ColSet
+	}
+	var entries []entry
+	for k, v1 := range f1 {
+		d := v1 - f2[k]
+		if d < 0 {
+			d = -d
+		}
+		if d > 0 {
+			entries = append(entries, entry{d, t1[k]})
+		}
+	}
+	for k, v2 := range f2 {
+		if _, seen := f1[k]; seen {
+			continue
+		}
+		if v2 > 0 {
+			entries = append(entries, entry{v2, t2[k]})
+		}
+	}
+	var total float64
+	for i := range entries {
+		for j := i + 1; j < len(entries); j++ {
+			ham := 0
+			for c := 0; c < 4; c++ {
+				ham += entries[i].sets[c].Hamming(entries[j].sets[c])
+			}
+			total += 2 * entries[i].diff * entries[j].diff * float64(ham)
+		}
+	}
+	return total / (2 * 4 * float64(s.NumColumns))
+}
+
+// BaselineCost returns the cost of running a workload with no physical
+// design (f(W, nil) in the paper); delta_latency uses it to compare the
+// performance character of two workloads independent of any design.
+type BaselineCost func(w *workload.Workload) float64
+
+// Latency is the paper's delta_latency (Appendix C, Equations 11-12):
+// (1-omega)*delta_euclidean + omega*R where
+// R = |f(W1,0)-f(W2,0)| / (f(W1,0)+f(W2,0)).
+type Latency struct {
+	Euc      *Euclidean
+	Omega    float64 // penalty factor in [0,1]; the paper evaluates 0.1 and 0.2
+	Baseline BaselineCost
+}
+
+// NewLatency returns the latency-aware metric.
+func NewLatency(n int, omega float64, baseline BaselineCost) *Latency {
+	return &Latency{Euc: NewEuclidean(n), Omega: omega, Baseline: baseline}
+}
+
+// Name identifies the metric, including omega.
+func (l *Latency) Name() string { return fmt.Sprintf("Euc-latency(w=%.2f)", l.Omega) }
+
+// Distance computes delta_latency(w1, w2).
+func (l *Latency) Distance(w1, w2 *workload.Workload) float64 {
+	euc := l.Euc.Distance(w1, w2)
+	if l.Baseline == nil || l.Omega == 0 {
+		return euc
+	}
+	c1 := l.Baseline(w1)
+	c2 := l.Baseline(w2)
+	var r float64
+	if sum := c1 + c2; sum > 0 {
+		r = abs(c1-c2) / sum
+	}
+	return (1-l.Omega)*euc + l.Omega*r
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// ConsecutiveStats summarizes the distances between consecutive windows: the
+// paper's Table 1 (min/max/avg/std of delta(W_i, W_{i+1})). Windows with no
+// queries are skipped.
+type ConsecutiveStats struct {
+	Min, Max, Avg, Std float64
+	Count              int
+}
+
+// Consecutive computes ConsecutiveStats for a window sequence under a metric.
+func Consecutive(m Metric, windows []*workload.Workload) ConsecutiveStats {
+	var ds []float64
+	var prev *workload.Workload
+	for _, w := range windows {
+		if w.Len() == 0 {
+			continue
+		}
+		if prev != nil {
+			ds = append(ds, m.Distance(prev, w))
+		}
+		prev = w
+	}
+	st := ConsecutiveStats{Count: len(ds)}
+	if len(ds) == 0 {
+		return st
+	}
+	st.Min, st.Max = ds[0], ds[0]
+	var sum float64
+	for _, d := range ds {
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+		sum += d
+	}
+	st.Avg = sum / float64(len(ds))
+	var sq float64
+	for _, d := range ds {
+		sq += (d - st.Avg) * (d - st.Avg)
+	}
+	st.Std = math.Sqrt(sq / float64(len(ds)))
+	return st
+}

@@ -1,0 +1,253 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cliffguard/internal/workload"
+)
+
+const nCols = 64
+
+// queryOn builds a query whose SWGO column set is exactly cols.
+func queryOn(cols ...int) *workload.Query {
+	spec := &workload.Spec{Table: "t", SelectCols: cols}
+	return workload.FromSpec(workload.NextID(), time.Time{}, spec)
+}
+
+// pointMass returns a workload that is all weight on one template.
+func pointMass(cols ...int) *workload.Workload {
+	return workload.New(queryOn(cols...))
+}
+
+func TestEuclideanIdentity(t *testing.T) {
+	m := NewEuclidean(nCols)
+	w := pointMass(1, 2, 3)
+	if d := m.Distance(w, w); d != 0 {
+		t.Fatalf("delta(w,w) = %g, want 0", d)
+	}
+	// Same template, different instances and weights: still distance 0.
+	w2 := workload.New(queryOn(1, 2, 3), queryOn(1, 2, 3))
+	if d := m.Distance(w, w2); d != 0 {
+		t.Fatalf("delta over same templates = %g, want 0", d)
+	}
+}
+
+func TestEuclideanPointMasses(t *testing.T) {
+	m := NewEuclidean(nCols)
+	// Two disjoint point masses: delta = Hamming / n (2 * 1 * 1 * h / 2n).
+	a := pointMass(1, 2, 3)
+	b := pointMass(4, 5, 6)
+	want := 6.0 / nCols
+	if d := m.Distance(a, b); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("delta = %g, want %g", d, want)
+	}
+	// Closer templates yield smaller distance.
+	c := pointMass(1, 2, 4) // Hamming 2 from a
+	if m.Distance(a, c) >= m.Distance(a, b) {
+		t.Fatal("nearer template should be closer")
+	}
+}
+
+func TestEuclideanScalesQuadratically(t *testing.T) {
+	m := NewEuclidean(nCols)
+	base := pointMass(1, 2, 3)
+	// Blend t of the mass onto a distant template; delta should scale as t^2
+	// relative to the full-replacement distance.
+	full := m.Distance(base, pointMass(10, 11, 12))
+	blend := workload.New(queryOn(1, 2, 3))
+	blend.Add(queryOn(10, 11, 12), 1) // 50/50
+	got := m.Distance(base, blend)
+	want := 0.25 * full
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("blend distance = %g, want %g (quadratic in moved mass)", got, want)
+	}
+}
+
+func TestEuclideanMaskRestriction(t *testing.T) {
+	spec1 := &workload.Spec{Table: "t", SelectCols: []int{1},
+		Preds: []workload.Pred{{Col: 2, Op: workload.Eq, Sel: 0.1}}}
+	spec2 := &workload.Spec{Table: "t", SelectCols: []int{1},
+		Preds: []workload.Pred{{Col: 3, Op: workload.Eq, Sel: 0.1}}}
+	w1 := workload.New(workload.FromSpec(workload.NextID(), time.Time{}, spec1))
+	w2 := workload.New(workload.FromSpec(workload.NextID(), time.Time{}, spec2))
+
+	sel := &Euclidean{NumColumns: nCols, Mask: workload.MaskSelect}
+	whr := &Euclidean{NumColumns: nCols, Mask: workload.MaskWhere}
+	if d := sel.Distance(w1, w2); d != 0 {
+		t.Errorf("select-mask distance = %g, want 0 (same select cols)", d)
+	}
+	if d := whr.Distance(w1, w2); d <= 0 {
+		t.Errorf("where-mask distance = %g, want > 0", d)
+	}
+}
+
+func TestSeparateDistinguishesClauses(t *testing.T) {
+	// Same column set, different clause placement: euclidean 0, separate > 0.
+	specA := &workload.Spec{Table: "t", SelectCols: []int{1},
+		Preds: []workload.Pred{{Col: 2, Op: workload.Eq, Sel: 0.1}}}
+	specB := &workload.Spec{Table: "t", SelectCols: []int{2},
+		Preds: []workload.Pred{{Col: 1, Op: workload.Eq, Sel: 0.1}}}
+	w1 := workload.New(workload.FromSpec(workload.NextID(), time.Time{}, specA))
+	w2 := workload.New(workload.FromSpec(workload.NextID(), time.Time{}, specB))
+
+	if d := NewEuclidean(nCols).Distance(w1, w2); d != 0 {
+		t.Errorf("euclidean = %g, want 0", d)
+	}
+	if d := NewSeparate(nCols).Distance(w1, w2); d <= 0 {
+		t.Errorf("separate = %g, want > 0", d)
+	}
+	if d := NewSeparate(nCols).Distance(w1, w1); d != 0 {
+		t.Errorf("separate identity = %g", d)
+	}
+}
+
+func TestLatencyMetric(t *testing.T) {
+	baseline := func(w *workload.Workload) float64 {
+		// Cost proportional to total column count, times weight.
+		var total float64
+		for _, it := range w.Items {
+			total += it.Weight * float64(it.Q.Columns().Len())
+		}
+		return total
+	}
+	m := NewLatency(nCols, 0.2, baseline)
+	a := pointMass(1, 2, 3)    // baseline 3
+	b := pointMass(4, 5, 6, 7) // baseline 4
+	euc := NewEuclidean(nCols).Distance(a, b)
+	want := 0.8*euc + 0.2*(1.0/7)
+	if d := m.Distance(a, b); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("latency metric = %g, want %g", d, want)
+	}
+	// omega = 0 degenerates to euclidean.
+	m0 := NewLatency(nCols, 0, baseline)
+	if d := m0.Distance(a, b); math.Abs(d-euc) > 1e-12 {
+		t.Fatal("omega=0 should equal euclidean")
+	}
+	// nil baseline degenerates to euclidean.
+	mn := NewLatency(nCols, 0.5, nil)
+	if d := mn.Distance(a, b); math.Abs(d-euc) > 1e-12 {
+		t.Fatal("nil baseline should equal euclidean")
+	}
+}
+
+// randomWorkload builds a workload of up to 6 random templates over nCols
+// columns with random weights.
+func randomWorkload(rng *rand.Rand) *workload.Workload {
+	w := &workload.Workload{}
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		k := 1 + rng.Intn(6)
+		cols := make([]int, k)
+		for j := range cols {
+			cols[j] = rng.Intn(nCols)
+		}
+		w.Add(queryOn(cols...), 0.1+rng.Float64()*5)
+	}
+	return w
+}
+
+// TestEuclideanAxioms property-checks the paper's metric requirements
+// (Section 5): R3 symmetry, R4 triangle inequality, plus non-negativity and
+// normalization (0 <= delta <= 1).
+func TestEuclideanAxioms(t *testing.T) {
+	m := NewEuclidean(nCols)
+	cfg := &quick.Config{MaxCount: 400}
+
+	symmetry := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomWorkload(rng), randomWorkload(rng)
+		return math.Abs(m.Distance(a, b)-m.Distance(b, a)) < 1e-12
+	}
+	if err := quick.Check(symmetry, cfg); err != nil {
+		t.Errorf("R3 symmetry: %v", err)
+	}
+
+	bounded := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomWorkload(rng), randomWorkload(rng)
+		d := m.Distance(a, b)
+		return d >= 0 && d <= 1+1e-9
+	}
+	if err := quick.Check(bounded, cfg); err != nil {
+		t.Errorf("bounds: %v", err)
+	}
+
+	triangle := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomWorkload(rng), randomWorkload(rng), randomWorkload(rng)
+		return m.Distance(a, c) <= m.Distance(a, b)+m.Distance(b, c)+1e-9
+	}
+	if err := quick.Check(triangle, cfg); err != nil {
+		t.Errorf("R4 triangle: %v", err)
+	}
+
+	identity := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomWorkload(rng)
+		return m.Distance(a, a) == 0
+	}
+	if err := quick.Check(identity, cfg); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+}
+
+// TestIntraQuerySimilarity checks requirement R2: shifting frequency between
+// two SIMILAR templates yields a smaller distance than shifting it between
+// two DISSIMILAR ones.
+func TestIntraQuerySimilarity(t *testing.T) {
+	m := NewEuclidean(nCols)
+	base := pointMass(1, 2, 3, 4)
+	similar := pointMass(1, 2, 3, 5)        // Hamming 2
+	dissimilar := pointMass(20, 21, 22, 23) // Hamming 8
+	if m.Distance(base, similar) >= m.Distance(base, dissimilar) {
+		t.Fatal("R2 violated: similar-template shift should be closer")
+	}
+}
+
+func TestConsecutive(t *testing.T) {
+	m := NewEuclidean(nCols)
+	w1 := pointMass(1, 2)
+	w2 := pointMass(1, 3)
+	w3 := pointMass(5, 6)
+	empty := &workload.Workload{}
+
+	st := Consecutive(m, []*workload.Workload{w1, empty, w2, w3})
+	if st.Count != 2 {
+		t.Fatalf("Count = %d, want 2 (empty windows skipped)", st.Count)
+	}
+	d12 := m.Distance(w1, w2)
+	d23 := m.Distance(w2, w3)
+	if st.Min != math.Min(d12, d23) || st.Max != math.Max(d12, d23) {
+		t.Errorf("min/max wrong: %+v", st)
+	}
+	if math.Abs(st.Avg-(d12+d23)/2) > 1e-12 {
+		t.Errorf("avg wrong: %+v", st)
+	}
+	if st.Std <= 0 {
+		t.Errorf("std should be positive for unequal gaps")
+	}
+
+	if st := Consecutive(m, nil); st.Count != 0 || st.Avg != 0 {
+		t.Error("empty sequence stats should be zero")
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	if NewEuclidean(10).Name() != "Euc-union(SWGO)" {
+		t.Error(NewEuclidean(10).Name())
+	}
+	if NewSeparate(10).Name() != "Euc-separate" {
+		t.Error(NewSeparate(10).Name())
+	}
+	if NewLatency(10, 0.2, nil).Name() != "Euc-latency(w=0.20)" {
+		t.Error(NewLatency(10, 0.2, nil).Name())
+	}
+	mask := &Euclidean{NumColumns: 10, Mask: workload.MaskWhere}
+	if mask.Name() != "Euc-union(W)" {
+		t.Error(mask.Name())
+	}
+}

@@ -1,0 +1,19 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSolve measures the branch-and-bound on a designer-scale instance
+// (dozens of queries and structures).
+func BenchmarkSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomProblem(rng, 40, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

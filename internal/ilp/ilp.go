@@ -1,0 +1,227 @@
+// Package ilp solves the 0/1 structure-selection integer program used by the
+// OptimalLocalSearchDesigner baseline (Section 6.1): choose a set of design
+// structures within a storage budget that minimizes the workload cost, where
+// each query runs on its cheapest chosen structure (or the base access path).
+//
+// The solver is exact branch-and-bound with an admissible lower bound (the
+// budget-relaxed assignment), falling back to a greedy completion when a
+// node budget is exceeded — candidate pools in this repository are small
+// (tens of structures), so the exact path is the common case.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Problem is one structure-selection instance.
+//
+// Cost[q][s] is the cost of query q when structure s is available; +Inf
+// marks inapplicable pairs. Base[q] is q's cost with no structures (the
+// always-available access path). The objective is
+//
+//	minimize sum_q Weights[q] * min(Base[q], min_{s chosen} Cost[q][s])
+//	subject to sum_{s chosen} Size[s] <= Budget.
+type Problem struct {
+	Weights []float64
+	Base    []float64
+	Cost    [][]float64
+	Size    []int64
+	Budget  int64
+}
+
+// Solution is the solver output.
+type Solution struct {
+	Chosen    []int   // indexes of selected structures, ascending
+	Objective float64 // achieved objective value
+	Exact     bool    // true if proved optimal within the node budget
+	Nodes     int     // branch-and-bound nodes explored
+}
+
+// Validate checks dimensional consistency.
+func (p *Problem) Validate() error {
+	nq, ns := len(p.Weights), len(p.Size)
+	if len(p.Base) != nq {
+		return fmt.Errorf("ilp: Base has %d entries, want %d", len(p.Base), nq)
+	}
+	if len(p.Cost) != nq {
+		return fmt.Errorf("ilp: Cost has %d rows, want %d", len(p.Cost), nq)
+	}
+	for q, row := range p.Cost {
+		if len(row) != ns {
+			return fmt.Errorf("ilp: Cost row %d has %d entries, want %d", q, len(row), ns)
+		}
+	}
+	if p.Budget < 0 {
+		return fmt.Errorf("ilp: negative budget %d", p.Budget)
+	}
+	for s, sz := range p.Size {
+		if sz < 0 {
+			return fmt.Errorf("ilp: structure %d has negative size", s)
+		}
+	}
+	return nil
+}
+
+// Solve runs branch-and-bound with at most maxNodes nodes (0 means a default
+// of 200k). It always returns a feasible solution.
+func Solve(p *Problem, maxNodes int) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if maxNodes <= 0 {
+		maxNodes = 200_000
+	}
+	nq, ns := len(p.Weights), len(p.Size)
+
+	// Structure order: by descending standalone benefit per byte, which
+	// makes greedy completions and early incumbents strong.
+	benefit := make([]float64, ns)
+	for s := 0; s < ns; s++ {
+		for q := 0; q < nq; q++ {
+			if c := p.Cost[q][s]; c < p.Base[q] {
+				benefit[s] += p.Weights[q] * (p.Base[q] - c)
+			}
+		}
+	}
+	order := make([]int, ns)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := order[a], order[b]
+		da := benefit[sa] / float64(max64(p.Size[sa], 1))
+		db := benefit[sb] / float64(max64(p.Size[sb], 1))
+		return da > db
+	})
+
+	objective := func(chosen []bool) float64 {
+		var total float64
+		for q := 0; q < nq; q++ {
+			best := p.Base[q]
+			for s := 0; s < ns; s++ {
+				if chosen[s] && p.Cost[q][s] < best {
+					best = p.Cost[q][s]
+				}
+			}
+			total += p.Weights[q] * best
+		}
+		return total
+	}
+
+	// Incumbent: greedy by the benefit ordering.
+	incumbent := make([]bool, ns)
+	var used int64
+	for _, s := range order {
+		if used+p.Size[s] > p.Budget {
+			continue
+		}
+		incumbent[s] = true
+		used += p.Size[s]
+	}
+	// Prune greedy picks that do not pay for themselves.
+	for s := 0; s < ns; s++ {
+		if !incumbent[s] {
+			continue
+		}
+		incumbent[s] = false
+		without := objective(incumbent)
+		incumbent[s] = true
+		if objective(incumbent) >= without {
+			incumbent[s] = false
+		}
+	}
+	best := objective(incumbent)
+	bestChosen := append([]bool(nil), incumbent...)
+
+	// curMin[q] is q's best cost over structures chosen so far on the DFS
+	// path; bound relaxes the budget for undecided structures.
+	curMin := make([]float64, nq)
+	copy(curMin, p.Base)
+
+	// minRemaining[pos][q]: min cost of q over structures order[pos:].
+	minRemaining := make([][]float64, ns+1)
+	minRemaining[ns] = make([]float64, nq)
+	for q := range minRemaining[ns] {
+		minRemaining[ns][q] = math.Inf(1)
+	}
+	for pos := ns - 1; pos >= 0; pos-- {
+		row := make([]float64, nq)
+		s := order[pos]
+		for q := 0; q < nq; q++ {
+			row[q] = math.Min(minRemaining[pos+1][q], p.Cost[q][s])
+		}
+		minRemaining[pos] = row
+	}
+
+	nodes := 0
+	exact := true
+	chosen := make([]bool, ns)
+
+	var dfs func(pos int, used int64, saved []float64)
+	dfs = func(pos int, used int64, saved []float64) {
+		nodes++
+		if nodes > maxNodes {
+			exact = false
+			return
+		}
+		// Lower bound: every query takes the min over decided-in and all
+		// remaining structures (budget relaxed).
+		var bound float64
+		for q := 0; q < nq; q++ {
+			bound += p.Weights[q] * math.Min(curMin[q], minRemaining[pos][q])
+		}
+		if bound >= best {
+			return
+		}
+		if pos == ns {
+			var obj float64
+			for q := 0; q < nq; q++ {
+				obj += p.Weights[q] * curMin[q]
+			}
+			if obj < best {
+				best = obj
+				copy(bestChosen, chosen)
+			}
+			return
+		}
+		s := order[pos]
+		// Branch 1: include s if it fits.
+		if used+p.Size[s] <= p.Budget {
+			changedQ := make([]int, 0, 8)
+			changedV := make([]float64, 0, 8)
+			for q := 0; q < nq; q++ {
+				if p.Cost[q][s] < curMin[q] {
+					changedQ = append(changedQ, q)
+					changedV = append(changedV, curMin[q])
+					curMin[q] = p.Cost[q][s]
+				}
+			}
+			chosen[s] = true
+			dfs(pos+1, used+p.Size[s], saved)
+			chosen[s] = false
+			for i, q := range changedQ {
+				curMin[q] = changedV[i]
+			}
+		}
+		// Branch 2: exclude s.
+		dfs(pos+1, used, saved)
+	}
+	dfs(0, 0, nil)
+
+	sol := &Solution{Objective: best, Exact: exact, Nodes: nodes}
+	for s := 0; s < ns; s++ {
+		if bestChosen[s] {
+			sol.Chosen = append(sol.Chosen, s)
+		}
+	}
+	return sol, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

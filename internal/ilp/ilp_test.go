@@ -1,0 +1,197 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func objective(p *Problem, chosen []int) float64 {
+	in := make(map[int]bool, len(chosen))
+	for _, s := range chosen {
+		in[s] = true
+	}
+	var total float64
+	for q := range p.Weights {
+		best := p.Base[q]
+		for s := range p.Size {
+			if in[s] && p.Cost[q][s] < best {
+				best = p.Cost[q][s]
+			}
+		}
+		total += p.Weights[q] * best
+	}
+	return total
+}
+
+func sizeOf(p *Problem, chosen []int) int64 {
+	var total int64
+	for _, s := range chosen {
+		total += p.Size[s]
+	}
+	return total
+}
+
+// bruteForce enumerates all subsets (ns <= ~16).
+func bruteForce(p *Problem) float64 {
+	ns := len(p.Size)
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<ns; mask++ {
+		var chosen []int
+		var size int64
+		for s := 0; s < ns; s++ {
+			if mask&(1<<s) != 0 {
+				chosen = append(chosen, s)
+				size += p.Size[s]
+			}
+		}
+		if size > p.Budget {
+			continue
+		}
+		if obj := objective(p, chosen); obj < best {
+			best = obj
+		}
+	}
+	return best
+}
+
+func randomProblem(rng *rand.Rand, nq, ns int) *Problem {
+	p := &Problem{
+		Weights: make([]float64, nq),
+		Base:    make([]float64, nq),
+		Cost:    make([][]float64, nq),
+		Size:    make([]int64, ns),
+	}
+	for q := 0; q < nq; q++ {
+		p.Weights[q] = 0.5 + rng.Float64()*3
+		p.Base[q] = 50 + rng.Float64()*100
+		row := make([]float64, ns)
+		for s := 0; s < ns; s++ {
+			if rng.Intn(3) == 0 {
+				row[s] = math.Inf(1) // inapplicable
+			} else {
+				row[s] = rng.Float64() * 120
+			}
+		}
+		p.Cost[q] = row
+	}
+	var totalSize int64
+	for s := 0; s < ns; s++ {
+		p.Size[s] = int64(1 + rng.Intn(30))
+		totalSize += p.Size[s]
+	}
+	p.Budget = int64(rng.Float64() * float64(totalSize))
+	return p
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 2+rng.Intn(5), 2+rng.Intn(8))
+		sol, err := Solve(p, 0)
+		if err != nil {
+			return false
+		}
+		if !sol.Exact {
+			return false // these instances are tiny; must be exact
+		}
+		want := bruteForce(p)
+		if math.Abs(sol.Objective-want) > 1e-9 {
+			return false
+		}
+		// The reported objective matches the chosen set, and the budget holds.
+		return math.Abs(objective(p, sol.Chosen)-sol.Objective) < 1e-9 &&
+			sizeOf(p, sol.Chosen) <= p.Budget
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveEmptyAndDegenerate(t *testing.T) {
+	// No structures: objective is the base cost.
+	p := &Problem{
+		Weights: []float64{1, 2},
+		Base:    []float64{10, 20},
+		Cost:    [][]float64{{}, {}},
+		Size:    nil,
+		Budget:  100,
+	}
+	sol, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 50 || len(sol.Chosen) != 0 {
+		t.Fatalf("sol = %+v", sol)
+	}
+
+	// Zero budget: nothing fits.
+	rng := rand.New(rand.NewSource(1))
+	p2 := randomProblem(rng, 4, 5)
+	p2.Budget = 0
+	sol2, _ := Solve(p2, 0)
+	if len(sol2.Chosen) != 0 {
+		t.Fatal("zero budget must choose nothing")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	bad := &Problem{Weights: []float64{1}, Base: []float64{1, 2}}
+	if _, err := Solve(bad, 0); err == nil {
+		t.Error("mismatched Base length should fail")
+	}
+	bad2 := &Problem{Weights: []float64{1}, Base: []float64{1},
+		Cost: [][]float64{{1, 2}}, Size: []int64{1}, Budget: 10}
+	if _, err := Solve(bad2, 0); err == nil {
+		t.Error("mismatched Cost row should fail")
+	}
+	bad3 := &Problem{Weights: []float64{1}, Base: []float64{1},
+		Cost: [][]float64{{1}}, Size: []int64{1}, Budget: -1}
+	if _, err := Solve(bad3, 0); err == nil {
+		t.Error("negative budget should fail")
+	}
+	bad4 := &Problem{Weights: []float64{1}, Base: []float64{1},
+		Cost: [][]float64{{1}}, Size: []int64{-1}, Budget: 1}
+	if _, err := Solve(bad4, 0); err == nil {
+		t.Error("negative size should fail")
+	}
+}
+
+func TestSolveNodeCapStillFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := randomProblem(rng, 20, 24)
+	sol, err := Solve(p, 50) // absurdly small node budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	// May be inexact, but must be feasible and consistent.
+	if sizeOf(p, sol.Chosen) > p.Budget {
+		t.Fatal("capped solve violated budget")
+	}
+	if math.Abs(objective(p, sol.Chosen)-sol.Objective) > 1e-9 {
+		t.Fatal("objective inconsistent with chosen set")
+	}
+}
+
+func TestSolvePrunesUselessGreedyPicks(t *testing.T) {
+	// One structure helps; the other does nothing but fits the budget. The
+	// optimum excludes the useless one.
+	p := &Problem{
+		Weights: []float64{1},
+		Base:    []float64{100},
+		Cost:    [][]float64{{5, math.Inf(1)}},
+		Size:    []int64{10, 10},
+		Budget:  20,
+	}
+	sol, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Chosen) != 1 || sol.Chosen[0] != 0 {
+		t.Fatalf("chosen = %v, want [0]", sol.Chosen)
+	}
+	if sol.Objective != 5 {
+		t.Fatalf("objective = %g, want 5", sol.Objective)
+	}
+}

@@ -1,0 +1,373 @@
+package rowsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cliffguard/internal/datagen"
+	"cliffguard/internal/designer"
+	"cliffguard/internal/schema"
+	"cliffguard/internal/workload"
+)
+
+// Cost-model constants. The row store reads whole rows on a scan (unlike the
+// columnar simulator) and pays a random-access penalty when an index leads
+// to base-table fetches. The paper's DBMS-X evaluation ran on a much smaller
+// dataset (20 GB vs 151 GB); RowFraction scales modeled row counts to mirror
+// that.
+const (
+	scanBytesPerMs   = 60_000.0 // sequential scan rate
+	randomPenalty    = 100.0    // per-fetched-row random access multiplier
+	probeMsPerLookup = 0.02     // B-tree descent
+	aggRowsPerMs     = 8_000.0
+	sortRowFactor    = 150_000.0
+	fixedOverheadMs  = 12.0
+)
+
+// DB is a simulated row-store instance. It implements designer.CostModel.
+type DB struct {
+	Schema *schema.Schema
+	Data   *datagen.Dataset
+	// RowFraction scales the schema's modeled row counts (default 1.0).
+	RowFraction float64
+
+	mu   sync.Mutex
+	memo map[*workload.Query]map[string]float64
+
+	auxMu  sync.Mutex
+	perms  map[string][]int32 // index key -> sorted row permutation
+	mviews map[string]*mvData // matview key -> materialized groups
+}
+
+// Open returns a cost-model-only row-store DB.
+func Open(s *schema.Schema) *DB {
+	return &DB{
+		Schema:      s,
+		RowFraction: 1.0,
+		memo:        make(map[*workload.Query]map[string]float64),
+		perms:       make(map[string][]int32),
+		mviews:      make(map[string]*mvData),
+	}
+}
+
+// OpenWithData returns a DB whose executor runs against the dataset.
+func OpenWithData(data *datagen.Dataset) *DB {
+	db := Open(data.Schema)
+	db.Data = data
+	return db
+}
+
+// rows returns the modeled row count of a table after RowFraction scaling.
+func (db *DB) rows(t *schema.Table) float64 {
+	f := db.RowFraction
+	if f <= 0 {
+		f = 1
+	}
+	return math.Max(float64(t.Rows)*f, 1)
+}
+
+// Cost implements designer.CostModel.
+func (db *DB) Cost(q *workload.Query, d *designer.Design) (float64, error) {
+	if err := db.check(q); err != nil {
+		return 0, err
+	}
+	best := db.pathCost(q, "", func() float64 { return db.scanCost(q) })
+	if d != nil {
+		for _, s := range d.Structures {
+			switch st := s.(type) {
+			case *Index:
+				if st.Table != q.Spec.Table {
+					continue
+				}
+				if c, ok := db.indexCost(q, st); ok && c < best {
+					best = c
+				}
+			case *MatView:
+				if st.Table != q.Spec.Table {
+					continue
+				}
+				if c, ok := db.mvCost(q, st); ok && c < best {
+					best = c
+				}
+			}
+		}
+	}
+	return best, nil
+}
+
+// bestAccess returns the chosen structure (nil = full scan) and its cost;
+// the executor follows this decision.
+func (db *DB) bestAccess(q *workload.Query, d *designer.Design) (designer.Structure, float64, error) {
+	if err := db.check(q); err != nil {
+		return nil, 0, err
+	}
+	var bestS designer.Structure
+	best := db.scanCost(q)
+	if d != nil {
+		for _, s := range d.Structures {
+			switch st := s.(type) {
+			case *Index:
+				if st.Table != q.Spec.Table {
+					continue
+				}
+				if c, ok := db.indexCost(q, st); ok && c < best {
+					best, bestS = c, st
+				}
+			case *MatView:
+				if st.Table != q.Spec.Table {
+					continue
+				}
+				if c, ok := db.mvCost(q, st); ok && c < best {
+					best, bestS = c, st
+				}
+			}
+		}
+	}
+	return bestS, best, nil
+}
+
+func (db *DB) check(q *workload.Query) error {
+	if q == nil || q.Spec == nil {
+		return fmt.Errorf("rowsim: query without spec: %w", designer.ErrUnsupported)
+	}
+	if _, ok := db.Schema.Table(q.Spec.Table); !ok {
+		return fmt.Errorf("rowsim: unknown table %q: %w", q.Spec.Table, designer.ErrUnsupported)
+	}
+	for _, c := range q.Spec.ReferencedCols() {
+		if !db.Schema.ValidID(c) || db.Schema.Column(c).Table != q.Spec.Table {
+			return fmt.Errorf("rowsim: column %d outside anchor %q: %w", c, q.Spec.Table, designer.ErrUnsupported)
+		}
+	}
+	return nil
+}
+
+func (db *DB) pathCost(q *workload.Query, pathKey string, compute func() float64) float64 {
+	db.mu.Lock()
+	if m, ok := db.memo[q]; ok {
+		if c, ok := m[pathKey]; ok {
+			db.mu.Unlock()
+			return c
+		}
+	}
+	db.mu.Unlock()
+	c := compute()
+	db.mu.Lock()
+	m, ok := db.memo[q]
+	if !ok {
+		m = make(map[string]float64, 2)
+		db.memo[q] = m
+	}
+	m[pathKey] = c
+	db.mu.Unlock()
+	return c
+}
+
+// scanCost is a full-table scan: the row store reads entire rows.
+func (db *DB) scanCost(q *workload.Query) float64 {
+	t, _ := db.Schema.Table(q.Spec.Table)
+	rows := db.rows(t)
+	cost := fixedOverheadMs + rows*float64(t.RowWidth())/scanBytesPerMs
+	return cost + db.postCost(q, rows*totalSel(q.Spec))
+}
+
+// indexCost estimates access via an index, if applicable: the query must
+// have an equality-prefix (optionally ending in one range) on the index key.
+// A covering index avoids base-table fetches entirely.
+func (db *DB) indexCost(q *workload.Query, idx *Index) (float64, bool) {
+	spec := q.Spec
+	matchSel := 1.0
+	matched := 0
+	for _, keyCol := range idx.Cols {
+		p, ok := predOn(spec.Preds, keyCol)
+		if !ok {
+			break
+		}
+		matchSel *= clampSel(p.Sel)
+		matched++
+		if p.Op != workload.Eq {
+			break
+		}
+	}
+	if matched == 0 {
+		return 0, false
+	}
+	t, _ := db.Schema.Table(spec.Table)
+	rows := db.rows(t)
+	fetched := math.Max(rows*matchSel, 1)
+
+	cost := fixedOverheadMs + probeMsPerLookup*math.Log2(rows+2)
+	need := refColsSet(q)
+	if idx.AllCols().Contains(need) {
+		// Index-only scan over the matched range.
+		var width float64
+		for _, c := range need.IDs() {
+			width += float64(db.Schema.Column(c).Type.Width())
+		}
+		cost += fetched * width / scanBytesPerMs
+	} else {
+		// Base-table fetch per matched row, with random access penalty.
+		cost += fetched * float64(t.RowWidth()) * randomPenalty / scanBytesPerMs
+	}
+	return cost + db.postCost(q, rows*totalSel(spec)), true
+}
+
+// mvCost estimates answering the query from a materialized view: the query's
+// group-by must be a subset of the view's, every aggregate precomputed, no
+// bare select columns beyond group-by columns, and predicates restricted to
+// the view's group-by columns. Note the subset rule: re-aggregation rolls
+// finer groups up into coarser ones.
+func (db *DB) mvCost(q *workload.Query, mv *MatView) (float64, bool) {
+	spec := q.Spec
+	if len(spec.GroupBy) == 0 || len(spec.Aggs) == 0 {
+		return 0, false
+	}
+	gset := mv.GroupSet()
+	for _, c := range spec.GroupBy {
+		if !gset.Has(c) {
+			return 0, false
+		}
+	}
+	for _, c := range spec.SelectCols {
+		if !gset.Has(c) {
+			return 0, false
+		}
+	}
+	for _, a := range spec.Aggs {
+		if !mv.HasAgg(a) {
+			return 0, false
+		}
+		// MIN/MAX/COUNT/SUM roll up; AVG rolls up via SUM+COUNT (HasAgg
+		// enforces availability).
+	}
+	for _, p := range spec.Preds {
+		if !gset.Has(p.Col) {
+			return 0, false
+		}
+	}
+	mvRows := math.Min(float64(mv.Groups()), db.rows(mustTable(db.Schema, spec.Table)))
+	var width float64
+	for _, c := range mv.GroupBy {
+		width += float64(db.Schema.Column(c).Type.Width())
+	}
+	width += float64(len(mv.Aggs)) * 8
+	cost := fixedOverheadMs + mvRows*width/scanBytesPerMs
+	return cost + db.postCost(q, mvRows*totalSel(spec)), true
+}
+
+// postCost adds aggregation and sort costs downstream of the access path.
+func (db *DB) postCost(q *workload.Query, outRows float64) float64 {
+	spec := q.Spec
+	outRows = math.Max(outRows, 1)
+	var cost float64
+	if len(spec.GroupBy) > 0 {
+		cost += outRows / aggRowsPerMs
+		groups := 1.0
+		for _, c := range spec.GroupBy {
+			groups *= float64(db.Schema.Column(c).Cardinality)
+			if groups > outRows {
+				groups = outRows
+				break
+			}
+		}
+		outRows = math.Min(outRows, groups)
+	}
+	if len(spec.OrderBy) > 0 {
+		cost += outRows * math.Log2(outRows+2) / sortRowFactor
+	}
+	return cost
+}
+
+func totalSel(spec *workload.Spec) float64 {
+	s := 1.0
+	for _, p := range spec.Preds {
+		s *= clampSel(p.Sel)
+	}
+	return s
+}
+
+func refColsSet(q *workload.Query) workload.ColSet {
+	var set workload.ColSet
+	for _, c := range q.Spec.ReferencedCols() {
+		set.Add(c)
+	}
+	return set
+}
+
+func predOn(preds []workload.Pred, col int) (workload.Pred, bool) {
+	for _, p := range preds {
+		if p.Col == col {
+			return p, true
+		}
+	}
+	return workload.Pred{}, false
+}
+
+func clampSel(s float64) float64 {
+	if s <= 0 {
+		return 1e-9
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func mustTable(s *schema.Schema, name string) *schema.Table {
+	t, ok := s.Table(name)
+	if !ok {
+		panic("rowsim: unknown table " + name)
+	}
+	return t
+}
+
+// NewIndex builds an index whose modeled size reflects this instance's
+// RowFraction scaling (package-level NewIndex sizes at full modeled rows).
+func (db *DB) NewIndex(table string, cols, include []int) (*Index, error) {
+	idx, err := NewIndex(db.Schema, table, cols, include)
+	if err != nil {
+		return nil, err
+	}
+	if f := db.RowFraction; f > 0 && f < 1 {
+		idx.size = int64(float64(idx.size) * f)
+	}
+	return idx, nil
+}
+
+// NewMatView builds a materialized view whose modeled size reflects this
+// instance's RowFraction scaling.
+func (db *DB) NewMatView(table string, groupBy []int, aggs []workload.Agg) (*MatView, error) {
+	mv, err := NewMatView(db.Schema, table, groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	if f := db.RowFraction; f > 0 && f < 1 {
+		scaled := int64(float64(mv.groups) * 1) // group count does not scale linearly with rows
+		rows := int64(db.rows(mustTable(db.Schema, table)))
+		if scaled > rows {
+			mv.size = mv.size / maxI64(mv.groups/rows, 1)
+			mv.groups = rows
+		}
+	}
+	return mv, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BaselineCost returns f(W, empty design).
+func (db *DB) BaselineCost(w *workload.Workload) float64 {
+	var total float64
+	for _, it := range w.Items {
+		c, err := db.Cost(it.Q, nil)
+		if err != nil {
+			continue
+		}
+		total += it.Weight * c
+	}
+	return total
+}

@@ -1,0 +1,566 @@
+package rowsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cliffguard/internal/designer"
+	"cliffguard/internal/workload"
+)
+
+// Row is one output row: key values then aggregates.
+type Row struct {
+	Key  []int64
+	Aggs []float64
+}
+
+// Result is the executor's output.
+type Result struct {
+	Rows        []Row
+	ScannedRows int
+	Access      string // key of the structure used; "" = full scan
+	EstimatedMs float64
+}
+
+const maxResultRows = 100_000
+
+// mvData is a materialized view instance over the physical data: one entry
+// per group holding running aggregates.
+type mvData struct {
+	mv     *MatView
+	keys   [][]int64
+	counts [][]float64 // per group, per agg
+	sums   [][]float64
+	mins   [][]float64
+	maxs   [][]float64
+}
+
+// Execute runs q under design d against the attached dataset using the
+// access path the cost model chooses.
+func (db *DB) Execute(q *workload.Query, d *designer.Design) (*Result, error) {
+	if db.Data == nil {
+		return nil, fmt.Errorf("rowsim: Execute requires a dataset (use OpenWithData)")
+	}
+	access, est, err := db.bestAccess(q, d)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{EstimatedMs: est}
+
+	switch st := access.(type) {
+	case *MatView:
+		res.Access = st.Key()
+		if err := db.executeFromMV(q, st, res); err != nil {
+			return nil, err
+		}
+	case *Index:
+		res.Access = st.Key()
+		positions := db.indexPositions(st, q.Spec)
+		db.executeScan(q, positions, res)
+	default:
+		n := db.Data.Rows(q.Spec.Table)
+		positions := make([]int32, n)
+		for i := range positions {
+			positions[i] = int32(i)
+		}
+		db.executeScan(q, positions, res)
+	}
+
+	if q.Spec.Limit > 0 && len(res.Rows) > q.Spec.Limit {
+		res.Rows = res.Rows[:q.Spec.Limit]
+	}
+	return res, nil
+}
+
+// indexPositions returns candidate row positions via the index's sorted
+// permutation, narrowed by a binary search on the leading key column.
+func (db *DB) indexPositions(idx *Index, spec *workload.Spec) []int32 {
+	perm := db.permutation(idx)
+	lead := idx.Cols[0]
+	p, ok := predOn(spec.Preds, lead)
+	if !ok {
+		return perm
+	}
+	var lo, hi int64
+	switch p.Op {
+	case workload.Eq:
+		lo, hi = p.Lo, p.Lo
+	case workload.Between:
+		lo, hi = p.Lo, p.Hi
+	case workload.Le:
+		lo, hi = -1<<62, p.Lo
+	case workload.Lt:
+		lo, hi = -1<<62, p.Lo-1
+	case workload.Ge:
+		lo, hi = p.Lo, 1<<62
+	case workload.Gt:
+		lo, hi = p.Lo+1, 1<<62
+	default:
+		return perm
+	}
+	col := db.Data.Column(lead)
+	start := sort.Search(len(perm), func(i int) bool { return col[perm[i]] >= lo })
+	end := sort.Search(len(perm), func(i int) bool { return col[perm[i]] > hi })
+	return perm[start:end]
+}
+
+func (db *DB) permutation(idx *Index) []int32 {
+	db.auxMu.Lock()
+	defer db.auxMu.Unlock()
+	n := db.Data.Rows(idx.Table)
+	if perm, ok := db.perms[idx.Key()]; ok && len(perm) == n {
+		return perm
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	cols := make([][]int64, len(idx.Cols))
+	for i, c := range idx.Cols {
+		cols[i] = db.Data.Column(c)
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ia, ib := int(perm[a]), int(perm[b])
+		for _, col := range cols {
+			if col[ia] != col[ib] {
+				return col[ia] < col[ib]
+			}
+		}
+		return false
+	})
+	db.perms[idx.Key()] = perm
+	return perm
+}
+
+// executeScan evaluates the query over the given row positions.
+func (db *DB) executeScan(q *workload.Query, positions []int32, res *Result) {
+	spec := q.Spec
+	grouped := len(spec.GroupBy) > 0
+	globalAgg := !grouped && len(spec.Aggs) > 0
+
+	type aggState struct {
+		key    []int64
+		counts []float64
+		sums   []float64
+		mins   []float64
+		maxs   []float64
+		init   bool
+	}
+	newState := func(key []int64) *aggState {
+		n := len(spec.Aggs)
+		return &aggState{key: key,
+			counts: make([]float64, n), sums: make([]float64, n),
+			mins: make([]float64, n), maxs: make([]float64, n)}
+	}
+	groups := make(map[string]*aggState)
+	var order []string
+	var global *aggState
+	if globalAgg {
+		global = newState(nil)
+	}
+
+	outCols := append([]int(nil), spec.SelectCols...)
+	for _, oc := range spec.OrderBy {
+		found := false
+		for _, c := range outCols {
+			if c == oc.Col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			outCols = append(outCols, oc.Col)
+		}
+	}
+
+	accumulate := func(st *aggState, row int) {
+		for i, a := range spec.Aggs {
+			var v float64
+			if a.Col >= 0 {
+				v = float64(db.Data.Column(a.Col)[row])
+			}
+			st.counts[i]++
+			st.sums[i] += v
+			if !st.init || v < st.mins[i] {
+				st.mins[i] = v
+			}
+			if !st.init || v > st.maxs[i] {
+				st.maxs[i] = v
+			}
+		}
+		st.init = true
+	}
+
+	var keyBuf strings.Builder
+	for _, pos := range positions {
+		res.ScannedRows++
+		row := int(pos)
+		if !db.rowMatches(spec, row) {
+			continue
+		}
+		switch {
+		case grouped:
+			keyBuf.Reset()
+			key := make([]int64, len(spec.GroupBy))
+			for i, c := range spec.GroupBy {
+				v := db.Data.Column(c)[row]
+				key[i] = v
+				keyBuf.WriteString(strconv.FormatInt(v, 10))
+				keyBuf.WriteByte('|')
+			}
+			ks := keyBuf.String()
+			st, ok := groups[ks]
+			if !ok {
+				st = newState(key)
+				groups[ks] = st
+				order = append(order, ks)
+			}
+			accumulate(st, row)
+		case globalAgg:
+			accumulate(global, row)
+		default:
+			if len(res.Rows) < maxResultRows {
+				out := make([]int64, len(outCols))
+				for i, c := range outCols {
+					out[i] = db.Data.Column(c)[row]
+				}
+				res.Rows = append(res.Rows, Row{Key: out})
+			}
+		}
+	}
+
+	finish := func(st *aggState) []float64 {
+		vals := make([]float64, len(spec.Aggs))
+		for i, a := range spec.Aggs {
+			switch a.Fn {
+			case workload.Count:
+				vals[i] = st.counts[i]
+			case workload.Sum:
+				vals[i] = st.sums[i]
+			case workload.Avg:
+				if st.counts[i] > 0 {
+					vals[i] = st.sums[i] / st.counts[i]
+				}
+			case workload.Min:
+				vals[i] = st.mins[i]
+			case workload.Max:
+				vals[i] = st.maxs[i]
+			}
+		}
+		return vals
+	}
+
+	if grouped {
+		for _, ks := range order {
+			st := groups[ks]
+			res.Rows = append(res.Rows, Row{Key: st.key, Aggs: finish(st)})
+		}
+	} else if globalAgg {
+		res.Rows = append(res.Rows, Row{Aggs: finish(global)})
+	}
+
+	sortRows(spec, outCols, res)
+}
+
+func (db *DB) rowMatches(spec *workload.Spec, row int) bool {
+	for _, p := range spec.Preds {
+		v := db.Data.Column(p.Col)[row]
+		switch p.Op {
+		case workload.Eq:
+			if v != p.Lo {
+				return false
+			}
+		case workload.Lt:
+			if v >= p.Lo {
+				return false
+			}
+		case workload.Le:
+			if v > p.Lo {
+				return false
+			}
+		case workload.Gt:
+			if v <= p.Lo {
+				return false
+			}
+		case workload.Ge:
+			if v < p.Lo {
+				return false
+			}
+		case workload.Between:
+			if v < p.Lo || v > p.Hi {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// executeFromMV answers the query by rolling up the materialized view.
+func (db *DB) executeFromMV(q *workload.Query, mv *MatView, res *Result) error {
+	data := db.materialize(mv)
+	spec := q.Spec
+
+	// Positions of the query's group-by columns within the view's key.
+	keyPos := make([]int, len(spec.GroupBy))
+	for i, c := range spec.GroupBy {
+		pos := -1
+		for j, g := range mv.GroupBy {
+			if g == c {
+				pos = j
+				break
+			}
+		}
+		if pos < 0 {
+			return fmt.Errorf("rowsim: view %s cannot answer group-by column %d", mv.Key(), c)
+		}
+		keyPos[i] = pos
+	}
+	predPos := make(map[int]int) // query pred col -> view key index
+	for _, p := range spec.Preds {
+		for j, g := range mv.GroupBy {
+			if g == p.Col {
+				predPos[p.Col] = j
+			}
+		}
+	}
+	// Per query aggregate, the view aggregate indexes needed for roll-up.
+	type aggSrc struct {
+		idx    int // index in mv.Aggs of the matching aggregate (-1 if via sum+count)
+		sumIdx int
+		cntIdx int
+	}
+	srcs := make([]aggSrc, len(spec.Aggs))
+	findAgg := func(fn workload.AggFn, col int) int {
+		for i, a := range mv.Aggs {
+			if a.Fn == fn && a.Col == col {
+				return i
+			}
+		}
+		return -1
+	}
+	for i, a := range spec.Aggs {
+		if idx := findAgg(a.Fn, a.Col); idx >= 0 {
+			srcs[i] = aggSrc{idx: idx, sumIdx: -1, cntIdx: -1}
+			continue
+		}
+		if a.Fn == workload.Avg {
+			sumIdx := findAgg(workload.Sum, a.Col)
+			cntIdx := findAgg(workload.Count, -1)
+			if cntIdx < 0 {
+				cntIdx = findAgg(workload.Count, a.Col)
+			}
+			if sumIdx >= 0 && cntIdx >= 0 {
+				srcs[i] = aggSrc{idx: -1, sumIdx: sumIdx, cntIdx: cntIdx}
+				continue
+			}
+		}
+		return fmt.Errorf("rowsim: view %s cannot answer aggregate %s(%d)", mv.Key(), a.Fn, a.Col)
+	}
+
+	type roll struct {
+		key    []int64
+		counts []float64
+		sums   []float64
+		mins   []float64
+		maxs   []float64
+		init   bool
+	}
+	out := make(map[string]*roll)
+	var order []string
+	var keyBuf strings.Builder
+
+	for g := range data.keys {
+		res.ScannedRows++
+		// Apply predicates on view key columns.
+		ok := true
+		for _, p := range spec.Preds {
+			v := data.keys[g][predPos[p.Col]]
+			switch p.Op {
+			case workload.Eq:
+				ok = v == p.Lo
+			case workload.Lt:
+				ok = v < p.Lo
+			case workload.Le:
+				ok = v <= p.Lo
+			case workload.Gt:
+				ok = v > p.Lo
+			case workload.Ge:
+				ok = v >= p.Lo
+			case workload.Between:
+				ok = v >= p.Lo && v <= p.Hi
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		keyBuf.Reset()
+		key := make([]int64, len(spec.GroupBy))
+		for i, pos := range keyPos {
+			key[i] = data.keys[g][pos]
+			keyBuf.WriteString(strconv.FormatInt(key[i], 10))
+			keyBuf.WriteByte('|')
+		}
+		ks := keyBuf.String()
+		r, okr := out[ks]
+		if !okr {
+			n := len(spec.Aggs)
+			r = &roll{key: key,
+				counts: make([]float64, n), sums: make([]float64, n),
+				mins: make([]float64, n), maxs: make([]float64, n)}
+			out[ks] = r
+			order = append(order, ks)
+		}
+		for i, s := range srcs {
+			var cnt, sum, mn, mx float64
+			if s.idx >= 0 {
+				cnt = data.counts[g][s.idx]
+				sum = data.sums[g][s.idx]
+				mn = data.mins[g][s.idx]
+				mx = data.maxs[g][s.idx]
+			} else {
+				cnt = data.counts[g][s.cntIdx]
+				sum = data.sums[g][s.sumIdx]
+			}
+			r.counts[i] += cnt
+			r.sums[i] += sum
+			if !r.init || mn < r.mins[i] {
+				r.mins[i] = mn
+			}
+			if !r.init || mx > r.maxs[i] {
+				r.maxs[i] = mx
+			}
+		}
+		r.init = true
+	}
+
+	for _, ks := range order {
+		r := out[ks]
+		vals := make([]float64, len(spec.Aggs))
+		for i, a := range spec.Aggs {
+			switch a.Fn {
+			case workload.Count:
+				vals[i] = r.counts[i]
+			case workload.Sum:
+				vals[i] = r.sums[i]
+			case workload.Avg:
+				if r.counts[i] > 0 {
+					vals[i] = r.sums[i] / r.counts[i]
+				}
+			case workload.Min:
+				vals[i] = r.mins[i]
+			case workload.Max:
+				vals[i] = r.maxs[i]
+			}
+		}
+		res.Rows = append(res.Rows, Row{Key: r.key, Aggs: vals})
+	}
+	sortRows(spec, nil, res)
+	return nil
+}
+
+// materialize builds (lazily, cached) the view's physical contents.
+func (db *DB) materialize(mv *MatView) *mvData {
+	db.auxMu.Lock()
+	defer db.auxMu.Unlock()
+	if d, ok := db.mviews[mv.Key()]; ok {
+		return d
+	}
+	n := db.Data.Rows(mv.Table)
+	d := &mvData{mv: mv}
+	idx := make(map[string]int)
+	var keyBuf strings.Builder
+	for row := 0; row < n; row++ {
+		keyBuf.Reset()
+		key := make([]int64, len(mv.GroupBy))
+		for i, c := range mv.GroupBy {
+			key[i] = db.Data.Column(c)[row]
+			keyBuf.WriteString(strconv.FormatInt(key[i], 10))
+			keyBuf.WriteByte('|')
+		}
+		ks := keyBuf.String()
+		g, ok := idx[ks]
+		if !ok {
+			g = len(d.keys)
+			idx[ks] = g
+			na := len(mv.Aggs)
+			d.keys = append(d.keys, key)
+			d.counts = append(d.counts, make([]float64, na))
+			d.sums = append(d.sums, make([]float64, na))
+			d.mins = append(d.mins, make([]float64, na))
+			d.maxs = append(d.maxs, make([]float64, na))
+			for i := range mv.Aggs {
+				d.mins[g][i] = 1 << 62
+				d.maxs[g][i] = -(1 << 62)
+			}
+		}
+		for i, a := range mv.Aggs {
+			var v float64
+			if a.Col >= 0 {
+				v = float64(db.Data.Column(a.Col)[row])
+			}
+			d.counts[g][i]++
+			d.sums[g][i] += v
+			if v < d.mins[g][i] {
+				d.mins[g][i] = v
+			}
+			if v > d.maxs[g][i] {
+				d.maxs[g][i] = v
+			}
+		}
+	}
+	db.mviews[mv.Key()] = d
+	return d
+}
+
+// sortRows orders result rows by the spec's ORDER BY keys, to the extent the
+// output layout carries them.
+func sortRows(spec *workload.Spec, outCols []int, res *Result) {
+	if len(spec.OrderBy) == 0 {
+		return
+	}
+	type keyIdx struct {
+		idx  int
+		desc bool
+	}
+	var keys []keyIdx
+	if len(spec.GroupBy) > 0 {
+		for _, oc := range spec.OrderBy {
+			for i, g := range spec.GroupBy {
+				if g == oc.Col {
+					keys = append(keys, keyIdx{i, oc.Desc})
+				}
+			}
+		}
+	} else {
+		for _, oc := range spec.OrderBy {
+			for i, c := range outCols {
+				if c == oc.Col {
+					keys = append(keys, keyIdx{i, oc.Desc})
+					break
+				}
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		ra, rb := res.Rows[a], res.Rows[b]
+		for _, k := range keys {
+			va, vb := ra.Key[k.idx], rb.Key[k.idx]
+			if va == vb {
+				continue
+			}
+			if k.desc {
+				return va > vb
+			}
+			return va < vb
+		}
+		return false
+	})
+}

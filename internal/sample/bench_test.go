@@ -1,0 +1,36 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSampleAt measures one Gamma-neighborhood draw (Algorithm 4):
+// perturbation search, blend, verification.
+func BenchmarkSampleAt(b *testing.B) {
+	s := testSchema()
+	sampler, _ := newTestSampler(s)
+	rng := rand.New(rand.NewSource(1))
+	w0 := baseWorkload(s, rng, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sampler.SampleAt(rng, w0, 0.005); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMutate measures one template mutation.
+func BenchmarkMutate(b *testing.B) {
+	s := testSchema()
+	mut := NewMutator(s)
+	rng := rand.New(rand.NewSource(2))
+	w0 := baseWorkload(s, rng, 5)
+	base := w0.Items[0].Q
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mut.Mutate(rng, base) == nil {
+			b.Fatal("nil mutation")
+		}
+	}
+}

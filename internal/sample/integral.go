@@ -1,0 +1,77 @@
+package sample
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cliffguard/internal/workload"
+)
+
+// SampleAtIntegral is the paper's literal Algorithm 4: it adds ⌊c⌋ integral
+// copies of every perturbation query instead of a single fractional-weight
+// entry. The landing distance is therefore quantized — with small workloads
+// or small alpha, ⌊c⌋ can round the blend well away from (or to zero of) the
+// requested distance — which is why SampleAt is the default. This variant
+// exists for fidelity and for the ablation benchmarks.
+func (s *Sampler) SampleAtIntegral(rng *rand.Rand, w0 *workload.Workload, alpha float64) (*workload.Workload, error) {
+	if alpha < 0 {
+		return nil, fmt.Errorf("sample: negative distance %g", alpha)
+	}
+	if w0.Len() == 0 {
+		return nil, errors.New("sample: empty target workload")
+	}
+	if alpha == 0 {
+		return w0.Clone(), nil
+	}
+
+	templates := w0.TemplateSet(workload.MaskSWGO)
+	var qset *workload.Workload
+	var beta float64
+	k := s.PerturbationSize
+	if k <= 0 {
+		k = len(templates) / 3
+		if k < 6 {
+			k = 6
+		}
+		if k > 40 {
+			k = 40
+		}
+	}
+	for try := 0; try < s.maxTries(); try++ {
+		cands := s.Source.Candidates(rng, w0, k)
+		var fresh []*workload.Query
+		for _, q := range cands {
+			if !templates[q.TemplateKey(workload.MaskSWGO)] {
+				fresh = append(fresh, q)
+			}
+		}
+		if len(fresh) > 0 {
+			cand := workload.New(fresh...)
+			if b := s.Metric.Distance(w0, cand); b > alpha {
+				qset, beta = cand, b
+				break
+			}
+		}
+		if try%3 == 2 && k < 48 {
+			k += 4
+		}
+	}
+	if qset == nil {
+		return nil, fmt.Errorf("%w (alpha=%g)", ErrNoPerturbation, alpha)
+	}
+
+	lambda := math.Sqrt(alpha / beta)
+	n := w0.TotalWeight()
+	kf := float64(qset.Len())
+	copies := int(math.Floor(n * lambda / (kf * (1 - lambda))))
+
+	out := w0.Clone()
+	for c := 0; c < copies; c++ {
+		for _, it := range qset.Items {
+			out.Add(it.Q, it.Weight)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+
+	"cliffguard/internal/schema"
+	"cliffguard/internal/workload"
+)
+
+// Mutator is the default QuerySource: it perturbs templates drawn from W0 by
+// adding and removing columns within the same table. This models the paper's
+// uncertainty structure — future queries resemble past ones but reference
+// drifted column subsets — without using any knowledge of the actual future
+// workload.
+type Mutator struct {
+	Schema *schema.Schema
+	// MaxFlips bounds how many columns a single mutation adds/removes
+	// (default 5).
+	MaxFlips int
+}
+
+// NewMutator returns a mutator over the given schema.
+func NewMutator(s *schema.Schema) *Mutator { return &Mutator{Schema: s, MaxFlips: 2} }
+
+// Candidates implements QuerySource by mutating randomly chosen (weight-
+// proportional) queries of w0. Mutations pick replacement columns in
+// proportion to how often each column appears across w0 — the workload's own
+// hot columns are where drift is most likely to land, and no knowledge of
+// the actual future is used.
+func (m *Mutator) Candidates(rng *rand.Rand, w0 *workload.Workload, k int) []*workload.Query {
+	if w0.Len() == 0 || k <= 0 {
+		return nil
+	}
+	pop := columnPopularity(w0)
+	out := make([]*workload.Query, 0, k)
+	for i := 0; i < k; i++ {
+		base := m.pick(rng, w0)
+		if base == nil || base.Spec == nil {
+			continue
+		}
+		if q := m.mutateWith(rng, base, pop); q != nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// columnPopularity returns a flattened (square-root) weighted frequency of
+// each column across the workload's queries. The flattening matters: drift
+// reaches warm columns, not just the very hottest ones, so the perturbation
+// prior should not mirror the workload's frequency skew exactly.
+func columnPopularity(w0 *workload.Workload) map[int]float64 {
+	pop := make(map[int]float64)
+	for _, it := range w0.Items {
+		for _, c := range it.Q.Columns().IDs() {
+			pop[c] += it.Weight
+		}
+	}
+	for c, w := range pop {
+		pop[c] = math.Sqrt(w)
+	}
+	return pop
+}
+
+// pick draws a query from w0 with probability proportional to weight.
+func (m *Mutator) pick(rng *rand.Rand, w0 *workload.Workload) *workload.Query {
+	total := w0.TotalWeight()
+	if total <= 0 {
+		return nil
+	}
+	r := rng.Float64() * total
+	for _, it := range w0.Items {
+		r -= it.Weight
+		if r <= 0 {
+			return it.Q
+		}
+	}
+	return w0.Items[len(w0.Items)-1].Q
+}
+
+// Mutate returns a perturbed copy of q: its spec with 1..MaxFlips column
+// flips applied across the select/where/group-by clauses, staying within the
+// query's anchor table. Replacement columns are drawn uniformly; Candidates
+// uses the popularity-weighted variant. Returns nil if the base query's
+// table is unknown.
+func (m *Mutator) Mutate(rng *rand.Rand, q *workload.Query) *workload.Query {
+	return m.mutateWith(rng, q, nil)
+}
+
+// mutateWith is Mutate with an optional column-popularity prior.
+func (m *Mutator) mutateWith(rng *rand.Rand, q *workload.Query, pop map[int]float64) *workload.Query {
+	tbl, ok := m.Schema.Table(q.Spec.Table)
+	if !ok {
+		return nil
+	}
+	spec := cloneSpec(q.Spec)
+	maxFlips := m.MaxFlips
+	if maxFlips <= 0 {
+		maxFlips = 5
+	}
+	flips := 1 + rng.Intn(maxFlips)
+	for i := 0; i < flips; i++ {
+		m.flip(rng, spec, tbl, pop)
+	}
+	if len(spec.SelectCols) == 0 && len(spec.Aggs) == 0 {
+		// A query must select something; restore one projected column.
+		spec.SelectCols = append(spec.SelectCols, tbl.Columns[rng.Intn(len(tbl.Columns))].ID)
+	}
+	nq := workload.FromSpec(q.ID, q.Timestamp, spec)
+	return nq
+}
+
+// flip applies one random structural mutation to the spec.
+func (m *Mutator) flip(rng *rand.Rand, spec *workload.Spec, tbl *schema.Table, pop map[int]float64) {
+	col := pickByPopularity(rng, tbl, pop)
+	switch rng.Intn(7) {
+	case 0: // add a select column
+		if !containsInt(spec.SelectCols, col.ID) {
+			spec.SelectCols = append(spec.SelectCols, col.ID)
+		}
+	case 1: // drop a select column
+		if len(spec.SelectCols) > 1 {
+			spec.SelectCols = removeAt(spec.SelectCols, rng.Intn(len(spec.SelectCols)))
+		}
+	case 2: // add a predicate with a random point/range filter
+		if !predOn(spec.Preds, col.ID) {
+			spec.Preds = append(spec.Preds, randomPred(rng, col))
+		}
+	case 3: // drop a predicate
+		if len(spec.Preds) > 0 {
+			i := rng.Intn(len(spec.Preds))
+			spec.Preds = append(spec.Preds[:i], spec.Preds[i+1:]...)
+		}
+	case 4: // add a group-by column
+		if !containsInt(spec.GroupBy, col.ID) {
+			spec.GroupBy = append(spec.GroupBy, col.ID)
+			if len(spec.Aggs) == 0 {
+				spec.Aggs = append(spec.Aggs, workload.Agg{Fn: workload.Count, Col: -1})
+			}
+		}
+	case 5: // drop a group-by column
+		if len(spec.GroupBy) > 0 {
+			spec.GroupBy = removeAt(spec.GroupBy, rng.Intn(len(spec.GroupBy)))
+		}
+	case 6: // re-target an aggregated measure
+		for ai, a := range spec.Aggs {
+			if a.Col < 0 {
+				continue
+			}
+			spec.Aggs[ai].Col = col.ID
+			break
+		}
+	}
+}
+
+// randomPred builds a filter on col with selectivity drawn log-uniformly in
+// [1/card, ~0.2], mirroring the filter shapes the workload generators emit.
+func randomPred(rng *rand.Rand, col schema.Column) workload.Pred {
+	card := col.Cardinality
+	if card < 2 {
+		card = 2
+	}
+	if rng.Intn(2) == 0 {
+		v := rng.Int63n(card)
+		return workload.Pred{Col: col.ID, Op: workload.Eq, Lo: v, Hi: v, Sel: 1 / float64(card)}
+	}
+	span := 1 + rng.Int63n(maxI64(card/5, 1))
+	lo := rng.Int63n(maxI64(card-span, 1))
+	return workload.Pred{Col: col.ID, Op: workload.Between, Lo: lo, Hi: lo + span - 1,
+		Sel: float64(span) / float64(card)}
+}
+
+// pickByPopularity draws one of the table's columns weighted by the
+// popularity prior (with additive smoothing so cold columns stay reachable);
+// a nil prior degrades to uniform.
+func pickByPopularity(rng *rand.Rand, tbl *schema.Table, pop map[int]float64) schema.Column {
+	if pop == nil {
+		return tbl.Columns[rng.Intn(len(tbl.Columns))]
+	}
+	var total, maxW float64
+	for _, c := range tbl.Columns {
+		if w := pop[c.ID]; w > maxW {
+			maxW = w
+		}
+	}
+	smoothing := maxW*0.1 + 1e-9
+	for _, c := range tbl.Columns {
+		total += pop[c.ID] + smoothing
+	}
+	r := rng.Float64() * total
+	for _, c := range tbl.Columns {
+		r -= pop[c.ID] + smoothing
+		if r <= 0 {
+			return c
+		}
+	}
+	return tbl.Columns[len(tbl.Columns)-1]
+}
+
+func cloneSpec(s *workload.Spec) *workload.Spec {
+	out := &workload.Spec{Table: s.Table, Limit: s.Limit}
+	out.SelectCols = append([]int(nil), s.SelectCols...)
+	out.Aggs = append([]workload.Agg(nil), s.Aggs...)
+	out.Preds = append([]workload.Pred(nil), s.Preds...)
+	out.GroupBy = append([]int(nil), s.GroupBy...)
+	out.OrderBy = append([]workload.OrderCol(nil), s.OrderBy...)
+	return out
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func predOn(preds []workload.Pred, col int) bool {
+	for _, p := range preds {
+		if p.Col == col {
+			return true
+		}
+	}
+	return false
+}
+
+func removeAt(s []int, i int) []int {
+	return append(s[:i], s[i+1:]...)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,204 @@
+// Package sample implements Algorithm 4 of the CliffGuard paper: sampling
+// the workload space so that a sampled workload W1 lies at a requested
+// distance alpha from a given workload W0. CliffGuard uses this to populate
+// the Gamma-neighborhood it explores for worst-case neighbors.
+//
+// The construction follows the paper: find a query set Q disjoint from W0
+// with beta = delta(W0, Q) > alpha, then blend Q into W0 with mixing weight
+// c = n*lambda / (k*(1-lambda)) where lambda = sqrt(alpha/beta). Because
+// delta_euclidean is quadratic in the frequency-difference vector, the blend
+// lands at exactly alpha. This implementation uses fractional item weights
+// instead of floor(c) integral copies, so the landing is exact rather than
+// quantized; a verification-and-bisection fallback handles metrics that are
+// not exactly quadratic (e.g. delta_latency).
+package sample
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cliffguard/internal/distance"
+	"cliffguard/internal/workload"
+)
+
+// QuerySource produces candidate perturbation queries "near" a workload.
+// Candidates should be plausible future queries: same tables and similar
+// column sets as W0's queries, but with templates not present in W0.
+type QuerySource interface {
+	// Candidates returns up to k candidate queries. Implementations may
+	// return fewer if they cannot generate enough distinct templates.
+	Candidates(rng *rand.Rand, w0 *workload.Workload, k int) []*workload.Query
+}
+
+// Sampler samples workloads in the Gamma-neighborhood of a target workload.
+type Sampler struct {
+	Metric distance.Metric
+	Source QuerySource
+	// MaxTries bounds the search for a perturbation set with beta > alpha
+	// (the paper reports success within a few tries for k <= 5).
+	MaxTries int
+	// Tolerance is the acceptable relative error |delta-alpha|/alpha after
+	// construction; beyond it the sampler bisects the blend weight.
+	Tolerance float64
+	// PerturbationSize is the initial number of perturbation queries per
+	// sample (the paper's k). 0 means adaptive: a third of W0's distinct
+	// templates, so the perturbed mass models broad template churn rather
+	// than a few runaway queries.
+	PerturbationSize int
+}
+
+// New returns a sampler with the paper-informed defaults.
+func New(m distance.Metric, src QuerySource) *Sampler {
+	return &Sampler{Metric: m, Source: src, MaxTries: 24, Tolerance: 0.05}
+}
+
+// ErrNoPerturbation is returned when the source cannot produce a query set
+// far enough from W0 to reach the requested distance.
+var ErrNoPerturbation = errors.New("sample: could not find a perturbation set with delta(W0,Q) > alpha")
+
+// SampleAt returns a workload at distance ~alpha from w0 (Algorithm 4).
+// alpha == 0 returns a clone of w0.
+func (s *Sampler) SampleAt(rng *rand.Rand, w0 *workload.Workload, alpha float64) (*workload.Workload, error) {
+	if alpha < 0 {
+		return nil, fmt.Errorf("sample: negative distance %g", alpha)
+	}
+	if w0.Len() == 0 {
+		return nil, errors.New("sample: empty target workload")
+	}
+	if alpha == 0 {
+		return w0.Clone(), nil
+	}
+
+	// Find Q = {q1..qk}, Q disjoint from W0's templates, with
+	// delta(W0, Q) > alpha; grow k when unsuccessful.
+	templates := w0.TemplateSet(workload.MaskSWGO)
+	var qset *workload.Workload
+	var beta float64
+	// Spread the perturbed mass across multiple plausible drift directions:
+	// one heavy mutant is not a representative neighborhood sample when the
+	// same distance can also be reached by broad template churn.
+	k := s.PerturbationSize
+	if k <= 0 {
+		k = len(templates) / 3
+		if k < 6 {
+			k = 6
+		}
+		if k > 40 {
+			k = 40
+		}
+	}
+	for try := 0; try < s.maxTries(); try++ {
+		cands := s.Source.Candidates(rng, w0, k)
+		var fresh []*workload.Query
+		for _, q := range cands {
+			if !templates[q.TemplateKey(workload.MaskSWGO)] {
+				fresh = append(fresh, q)
+			}
+		}
+		if len(fresh) > 0 {
+			cand := workload.New(fresh...)
+			if b := s.Metric.Distance(w0, cand); b > alpha {
+				qset, beta = cand, b
+				break
+			}
+		}
+		if try%3 == 2 && k < 48 {
+			k += 4
+		}
+	}
+	if qset == nil {
+		return nil, fmt.Errorf("%w (alpha=%g)", ErrNoPerturbation, alpha)
+	}
+
+	// Blend: lambda = sqrt(alpha/beta); c = n*lambda / (k*(1-lambda)).
+	lambda := math.Sqrt(alpha / beta)
+	n := w0.TotalWeight()
+	kf := float64(qset.Len())
+	c := n * lambda / (kf * (1 - lambda))
+
+	build := func(c float64) *workload.Workload {
+		out := w0.Clone()
+		for _, it := range qset.Items {
+			out.Add(it.Q, c*it.Weight)
+		}
+		return out
+	}
+	w1 := build(c)
+
+	// Verify; for non-quadratic metrics bisect c until within tolerance.
+	got := s.Metric.Distance(w0, w1)
+	if relErr(got, alpha) > s.tolerance() {
+		lo, hi := 0.0, c
+		// Grow hi until it overshoots, then bisect.
+		for i := 0; i < 32 && s.Metric.Distance(w0, build(hi)) < alpha; i++ {
+			hi *= 2
+		}
+		for i := 0; i < 48; i++ {
+			mid := (lo + hi) / 2
+			if s.Metric.Distance(w0, build(mid)) < alpha {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		w1 = build((lo + hi) / 2)
+	}
+	return w1, nil
+}
+
+// Neighborhood returns n sampled workloads with distances drawn uniformly
+// from (0, gamma] (Algorithm 2, line 2). Failed draws are skipped, so the
+// result may be shorter than n; it errors only if no draw succeeds.
+func (s *Sampler) Neighborhood(rng *rand.Rand, w0 *workload.Workload, gamma float64, n int) ([]*workload.Workload, error) {
+	if gamma < 0 {
+		return nil, fmt.Errorf("sample: negative gamma %g", gamma)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("sample: non-positive sample count %d", n)
+	}
+	if gamma == 0 {
+		out := make([]*workload.Workload, n)
+		for i := range out {
+			out[i] = w0.Clone()
+		}
+		return out, nil
+	}
+	var out []*workload.Workload
+	var lastErr error
+	for i := 0; i < n; i++ {
+		alpha := gamma * (0.05 + 0.95*rng.Float64()) // avoid degenerate near-zero draws
+		w1, err := s.SampleAt(rng, w0, alpha)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out = append(out, w1)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sample: no neighborhood samples succeeded: %w", lastErr)
+	}
+	return out, nil
+}
+
+func (s *Sampler) maxTries() int {
+	if s.MaxTries > 0 {
+		return s.MaxTries
+	}
+	return 24
+}
+
+func (s *Sampler) tolerance() float64 {
+	if s.Tolerance > 0 {
+		return s.Tolerance
+	}
+	return 0.05
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}

@@ -1,0 +1,86 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"cliffguard/internal/schema"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary input: whatever the
+// bytes, Parse must terminate and either produce a valid query or an error —
+// never panic or hang. (The corpus seeds the interesting grammar shapes;
+// `go test -fuzz=FuzzParse ./internal/sqlparse` explores beyond them.)
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT sale_id FROM sales",
+		"SELECT * FROM sales WHERE day < 100",
+		"SELECT region, COUNT(*), SUM(amount) FROM sales WHERE day BETWEEN 1 AND 9 GROUP BY region ORDER BY region DESC LIMIT 5",
+		"SELECT s.amount FROM sales s JOIN customers c ON s.customer_id = c.cust_key",
+		"SELECT sale_id FROM sales WHERE region IN ('v1','v2')",
+		"SELECT sale_id FROM sales WHERE region = 'it''s'",
+		"SELECT amount -- comment\nFROM sales",
+		"SELECT a FROM sales WHERE x <> 1",
+		"select Amount from SALES where DAY >= 10;",
+		"SELECT ((((",
+		"'unterminated",
+		"-- only a comment",
+		"SELECT \x00 FROM sales",
+		"SELECT a FROM b WHERE c = -9999999999999999999999",
+	}
+	sch := fuzzSchema()
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		p := NewParser(sch)
+		q, err := p.Parse(sql)
+		if err != nil {
+			return // rejecting is fine; crashing is not
+		}
+		// Accepted queries must be structurally valid.
+		if q.Spec == nil || q.Spec.Table == "" {
+			t.Fatalf("accepted query without a table: %q", sql)
+		}
+		for _, c := range q.Spec.ReferencedCols() {
+			if !sch.ValidID(c) {
+				t.Fatalf("accepted query with invalid column %d: %q", c, sql)
+			}
+		}
+		for _, pr := range q.Spec.Preds {
+			if pr.Sel < 0 || pr.Sel > 1 {
+				t.Fatalf("selectivity %g out of range: %q", pr.Sel, sql)
+			}
+		}
+		// Accepted specs must render back to parseable SQL.
+		rendered, err := Render(sch, q.Spec)
+		if err != nil {
+			t.Fatalf("accepted query failed to render: %q: %v", sql, err)
+		}
+		if _, err := p.Parse(rendered); err != nil {
+			t.Fatalf("rendered SQL failed to re-parse: %q -> %q: %v", sql, rendered, err)
+		}
+	})
+}
+
+func fuzzSchema() *schema.Schema {
+	return schema.MustNew([]schema.TableDef{
+		{
+			Name: "sales", Fact: true, Rows: 10_000,
+			Columns: []schema.ColumnDef{
+				{Name: "sale_id", Type: schema.Int64, Cardinality: 10_000},
+				{Name: "customer_id", Type: schema.Int64, Cardinality: 1_000},
+				{Name: "region", Type: schema.String, Cardinality: 20},
+				{Name: "amount", Type: schema.Float64, Cardinality: 5_000},
+				{Name: "day", Type: schema.Int64, Cardinality: 365},
+			},
+		},
+		{
+			Name: "customers", Rows: 1_000,
+			Columns: []schema.ColumnDef{
+				{Name: "cust_key", Type: schema.Int64, Cardinality: 1_000},
+				{Name: "segment", Type: schema.String, Cardinality: 10},
+			},
+		},
+	})
+}

@@ -1,0 +1,158 @@
+// Package sqlparse implements a lexer, parser and renderer for the analytic
+// SQL subset that CliffGuard's workloads use: single-block SELECT queries
+// with optional joins, conjunctive WHERE predicates, GROUP BY, ORDER BY and
+// LIMIT. Parsing resolves column references against a schema.Schema and
+// produces a workload.Query (clause column sets + execution Spec), which is
+// the representation every other component consumes.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators: ( ) , * = < > <= >= . ;
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "ORDER": true,
+	"BY": true, "AND": true, "OR": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "ON": true, "AS": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "BETWEEN": true, "IN": true, "COUNT": true, "SUM": true,
+	"AVG": true, "MIN": true, "MAX": true, "DISTINCT": true, "NOT": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int    // byte offset in the input
+}
+
+// lexError reports a lexical error with its position.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("sqlparse: at offset %d: %s", e.pos, e.msg) }
+
+// lex tokenizes the input. It is strict: unknown bytes are errors.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentCont(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{tokKeyword, upper, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' && startsValue(toks)):
+			start := i
+			if c == '-' {
+				i++
+			}
+			seenDot := false
+			for i < n && (input[i] >= '0' && input[i] <= '9' || (input[i] == '.' && !seenDot && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9')) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &lexError{start, "unterminated string literal"}
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c == '<' || c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, input[i : i+2], i})
+				i += 2
+			} else if c == '<' && i+1 < n && input[i+1] == '>' {
+				toks = append(toks, token{tokSymbol, "<>", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, string(c), i})
+				i++
+			}
+		case c == '!' && i+1 < n && input[i+1] == '=':
+			toks = append(toks, token{tokSymbol, "!=", i})
+			i += 2
+		case strings.IndexByte("(),*=.;", c) >= 0:
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, &lexError{i, fmt.Sprintf("unexpected character %q", rune(c))}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// startsValue reports whether a '-' at the current position begins a negative
+// numeric literal rather than an operator, based on the previous token.
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	switch last.kind {
+	case tokSymbol:
+		return last.text != ")" && last.text != "*"
+	case tokKeyword:
+		return true
+	default:
+		return false
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || c >= '0' && c <= '9'
+}

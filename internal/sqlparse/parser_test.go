@@ -1,0 +1,311 @@
+package sqlparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"cliffguard/internal/schema"
+	"cliffguard/internal/workload"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustNew([]schema.TableDef{
+		{
+			Name: "sales", Fact: true, Rows: 10_000,
+			Columns: []schema.ColumnDef{
+				{Name: "sale_id", Type: schema.Int64, Cardinality: 10_000},
+				{Name: "customer_id", Type: schema.Int64, Cardinality: 1_000},
+				{Name: "region", Type: schema.String, Cardinality: 20},
+				{Name: "amount", Type: schema.Float64, Cardinality: 5_000},
+				{Name: "day", Type: schema.Int64, Cardinality: 365},
+			},
+		},
+		{
+			Name: "customers", Rows: 1_000,
+			Columns: []schema.ColumnDef{
+				{Name: "cust_key", Type: schema.Int64, Cardinality: 1_000},
+				{Name: "segment", Type: schema.String, Cardinality: 10},
+			},
+		},
+	})
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	p := NewParser(testSchema(t))
+	q, err := p.Parse("SELECT sale_id, amount FROM sales WHERE customer_id = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Spec.Table != "sales" {
+		t.Errorf("table = %q", q.Spec.Table)
+	}
+	if len(q.Spec.SelectCols) != 2 {
+		t.Errorf("select cols = %v", q.Spec.SelectCols)
+	}
+	if len(q.Spec.Preds) != 1 {
+		t.Fatalf("preds = %v", q.Spec.Preds)
+	}
+	pred := q.Spec.Preds[0]
+	if pred.Op != workload.Eq || pred.Lo != 42 {
+		t.Errorf("pred = %+v", pred)
+	}
+	if math.Abs(pred.Sel-1.0/1000) > 1e-12 {
+		t.Errorf("eq selectivity = %g, want 0.001", pred.Sel)
+	}
+	if !q.Where.Has(1) || !q.Select.Has(0) || !q.Select.Has(3) {
+		t.Error("clause sets wrong")
+	}
+}
+
+func TestParseAggregatesGroupOrderLimit(t *testing.T) {
+	p := NewParser(testSchema(t))
+	q, err := p.Parse("SELECT region, COUNT(*), SUM(amount), AVG(amount) FROM sales " +
+		"WHERE day BETWEEN 10 AND 40 GROUP BY region ORDER BY region DESC LIMIT 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Spec.Aggs) != 3 {
+		t.Fatalf("aggs = %v", q.Spec.Aggs)
+	}
+	if q.Spec.Aggs[0].Fn != workload.Count || q.Spec.Aggs[0].Col != -1 {
+		t.Errorf("count agg = %+v", q.Spec.Aggs[0])
+	}
+	if q.Spec.Aggs[1].Fn != workload.Sum || q.Spec.Aggs[2].Fn != workload.Avg {
+		t.Error("agg functions wrong")
+	}
+	if len(q.Spec.GroupBy) != 1 || len(q.Spec.OrderBy) != 1 || !q.Spec.OrderBy[0].Desc {
+		t.Error("group/order wrong")
+	}
+	if q.Spec.Limit != 50 {
+		t.Errorf("limit = %d", q.Spec.Limit)
+	}
+	pred := q.Spec.Preds[0]
+	if pred.Op != workload.Between || pred.Lo != 10 || pred.Hi != 40 {
+		t.Errorf("between pred = %+v", pred)
+	}
+	if math.Abs(pred.Sel-31.0/365) > 1e-12 {
+		t.Errorf("between selectivity = %g", pred.Sel)
+	}
+}
+
+func TestParseStringLiteralsAndIN(t *testing.T) {
+	p := NewParser(testSchema(t))
+	q, err := p.Parse("SELECT sale_id FROM sales WHERE region = 'v7'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Spec.Preds[0].Lo != 7 {
+		t.Errorf("coded string literal = %d, want 7", q.Spec.Preds[0].Lo)
+	}
+
+	q, err = p.Parse("SELECT sale_id FROM sales WHERE day IN (5, 9, 7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := q.Spec.Preds[0]
+	if pred.Op != workload.Between || pred.Lo != 5 || pred.Hi != 9 {
+		t.Errorf("IN pred = %+v", pred)
+	}
+	if math.Abs(pred.Sel-3.0/365) > 1e-12 {
+		t.Errorf("IN selectivity = %g", pred.Sel)
+	}
+}
+
+func TestParseComparisonOperators(t *testing.T) {
+	p := NewParser(testSchema(t))
+	for _, tc := range []struct {
+		sql string
+		op  workload.CmpOp
+	}{
+		{"SELECT sale_id FROM sales WHERE day < 100", workload.Lt},
+		{"SELECT sale_id FROM sales WHERE day <= 100", workload.Le},
+		{"SELECT sale_id FROM sales WHERE day > 100", workload.Gt},
+		{"SELECT sale_id FROM sales WHERE day >= 100", workload.Ge},
+	} {
+		q, err := p.Parse(tc.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sql, err)
+		}
+		if q.Spec.Preds[0].Op != tc.op {
+			t.Errorf("%s: op = %v, want %v", tc.sql, q.Spec.Preds[0].Op, tc.op)
+		}
+		if s := q.Spec.Preds[0].Sel; s <= 0 || s > 1 {
+			t.Errorf("%s: selectivity %g out of range", tc.sql, s)
+		}
+	}
+	// <> becomes a wide range with complement selectivity.
+	q, err := p.Parse("SELECT sale_id FROM sales WHERE day <> 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Spec.Preds[0].Sel < 0.99 {
+		t.Errorf("<> selectivity = %g", q.Spec.Preds[0].Sel)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	p := NewParser(testSchema(t))
+	q, err := p.Parse("SELECT s.amount, c.segment FROM sales s " +
+		"JOIN customers c ON s.customer_id = c.cust_key WHERE c.segment = 'v3'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns from both tables appear in the clause sets.
+	sch := testSchema(t)
+	segID, _ := sch.ResolveIn("customers", "segment")
+	custID, _ := sch.ResolveIn("sales", "customer_id")
+	keyID, _ := sch.ResolveIn("customers", "cust_key")
+	if !q.Select.Has(segID) {
+		t.Error("joined select column missing")
+	}
+	if !q.Where.Has(custID) || !q.Where.Has(keyID) || !q.Where.Has(segID) {
+		t.Error("join/filter columns missing from WHERE set")
+	}
+	if q.Spec.Table != "sales" {
+		t.Errorf("anchor = %q", q.Spec.Table)
+	}
+}
+
+func TestParseStarAndAliases(t *testing.T) {
+	p := NewParser(testSchema(t))
+	q, err := p.Parse("SELECT * FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Spec.SelectCols) != 5 {
+		t.Errorf("star expanded to %d cols", len(q.Spec.SelectCols))
+	}
+	if _, err := p.Parse("SELECT amount AS a, SUM(day) total FROM sales"); err != nil {
+		t.Fatalf("aliases: %v", err)
+	}
+	if _, err := p.Parse("SELECT sales.amount FROM sales AS s"); err == nil {
+		// qualifying by base name after aliasing is resolved via schema
+		t.Log("base-name qualification accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	p := NewParser(testSchema(t))
+	cases := []string{
+		"",                                                  // empty
+		"UPDATE sales SET x = 1",                            // not a select
+		"SELECT FROM sales",                                 // empty select list
+		"SELECT nope FROM sales",                            // unknown column
+		"SELECT amount FROM nope",                           // unknown table
+		"SELECT amount FROM sales WHERE",                    // dangling where
+		"SELECT amount FROM sales WHERE day",                // missing operator
+		"SELECT amount FROM sales WHERE day = ",             // missing literal
+		"SELECT amount FROM sales LIMIT x",                  // bad limit
+		"SELECT amount FROM sales trailing junk",            // trailing input
+		"SELECT SUM(*) FROM sales",                          // SUM(*) invalid
+		"SELECT amount FROM sales WHERE day = 1 OR day = 2", // OR unsupported
+		"SELECT amount FROM sales WHERE region = 'oops",     // unterminated string
+	}
+	for _, sql := range cases {
+		if _, err := p.Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseAt(t *testing.T) {
+	p := NewParser(testSchema(t))
+	ts := time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC)
+	q, err := p.ParseAt("SELECT amount FROM sales", 99, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID != 99 || !q.Timestamp.Equal(ts) {
+		t.Error("ParseAt did not stamp ID/timestamp")
+	}
+	if q.SQL == "" {
+		t.Error("SQL text not recorded")
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	p := NewParser(testSchema(t))
+	q, err := p.Parse("SELECT amount -- trailing comment\nFROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Spec.SelectCols) != 1 {
+		t.Error("comment handling broke parsing")
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	p := NewParser(s)
+	cases := []string{
+		"SELECT sale_id, amount FROM sales WHERE customer_id = 42",
+		"SELECT region, COUNT(*), SUM(amount) FROM sales WHERE day BETWEEN 10 AND 40 GROUP BY region",
+		"SELECT sale_id FROM sales WHERE region = 'v7' ORDER BY sale_id DESC LIMIT 10",
+		"SELECT day, MIN(amount), MAX(amount), AVG(amount) FROM sales GROUP BY day ORDER BY day",
+	}
+	for _, sql := range cases {
+		q1, err := p.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		rendered, err := Render(s, q1.Spec)
+		if err != nil {
+			t.Fatalf("render %q: %v", sql, err)
+		}
+		q2, err := p.Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", rendered, err)
+		}
+		if q1.TemplateKey(workload.MaskSWGO) != q2.TemplateKey(workload.MaskSWGO) {
+			t.Errorf("round trip changed template: %q -> %q", sql, rendered)
+		}
+		if q1.SeparateKey() != q2.SeparateKey() {
+			t.Errorf("round trip changed clause structure: %q -> %q", sql, rendered)
+		}
+		if len(q1.Spec.Preds) != len(q2.Spec.Preds) {
+			t.Errorf("round trip changed predicates: %q -> %q", sql, rendered)
+		}
+		for i := range q1.Spec.Preds {
+			a, b := q1.Spec.Preds[i], q2.Spec.Preds[i]
+			if a.Col != b.Col || a.Lo != b.Lo || a.Hi != b.Hi {
+				t.Errorf("pred %d drifted: %+v vs %+v", i, a, b)
+			}
+		}
+		if q1.Spec.Limit != q2.Spec.Limit {
+			t.Errorf("limit drifted for %q", sql)
+		}
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	s := testSchema(t)
+	if _, err := Render(s, &workload.Spec{Table: "sales"}); err == nil {
+		t.Error("empty select list should fail")
+	}
+	if _, err := Render(s, &workload.Spec{Table: "sales", SelectCols: []int{999}}); err == nil {
+		t.Error("invalid column should fail")
+	}
+}
+
+func TestParseErrorType(t *testing.T) {
+	p := NewParser(testSchema(t))
+	_, err := p.Parse("SELECT nope FROM sales")
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error %T, want *ParseError", err)
+	}
+	if !strings.Contains(pe.Error(), "nope") {
+		t.Errorf("error message %q should name the column", pe.Error())
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}

@@ -1,0 +1,100 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"cliffguard/internal/schema"
+	"cliffguard/internal/workload"
+)
+
+// Render turns a Spec back into SQL text. The workload generators emit Specs,
+// render them, and the pipeline re-parses the text, so Render and Parse must
+// round-trip: Parse(Render(spec)) yields an equivalent spec (predicates may
+// gain recomputed selectivities).
+func Render(s *schema.Schema, spec *workload.Spec) (string, error) {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	var items []string
+	for _, c := range spec.SelectCols {
+		if !s.ValidID(c) {
+			return "", fmt.Errorf("sqlparse: render: invalid column ID %d", c)
+		}
+		items = append(items, s.Column(c).Name)
+	}
+	for _, a := range spec.Aggs {
+		if a.Col < 0 {
+			items = append(items, "COUNT(*)")
+		} else {
+			if !s.ValidID(a.Col) {
+				return "", fmt.Errorf("sqlparse: render: invalid aggregate column ID %d", a.Col)
+			}
+			items = append(items, fmt.Sprintf("%s(%s)", a.Fn, s.Column(a.Col).Name))
+		}
+	}
+	if len(items) == 0 {
+		return "", fmt.Errorf("sqlparse: render: empty select list")
+	}
+	b.WriteString(strings.Join(items, ", "))
+	b.WriteString(" FROM ")
+	b.WriteString(spec.Table)
+
+	if len(spec.Preds) > 0 {
+		b.WriteString(" WHERE ")
+		var preds []string
+		for _, p := range spec.Preds {
+			if !s.ValidID(p.Col) {
+				return "", fmt.Errorf("sqlparse: render: invalid predicate column ID %d", p.Col)
+			}
+			col := s.Column(p.Col)
+			name := col.Name
+			if col.Table != spec.Table {
+				name = col.Qualified()
+			}
+			switch p.Op {
+			case workload.Between:
+				preds = append(preds, fmt.Sprintf("%s BETWEEN %s AND %s",
+					name, renderValue(col, p.Lo), renderValue(col, p.Hi)))
+			default:
+				preds = append(preds, fmt.Sprintf("%s %s %s", name, p.Op, renderValue(col, p.Lo)))
+			}
+		}
+		b.WriteString(strings.Join(preds, " AND "))
+	}
+
+	if len(spec.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		var cols []string
+		for _, c := range spec.GroupBy {
+			cols = append(cols, s.Column(c).Name)
+		}
+		b.WriteString(strings.Join(cols, ", "))
+	}
+
+	if len(spec.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		var cols []string
+		for _, o := range spec.OrderBy {
+			c := s.Column(o.Col).Name
+			if o.Desc {
+				c += " DESC"
+			}
+			cols = append(cols, c)
+		}
+		b.WriteString(strings.Join(cols, ", "))
+	}
+
+	if spec.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", spec.Limit)
+	}
+	return b.String(), nil
+}
+
+// renderValue renders an int64-coded value as the literal the parser's
+// default coder will decode back to the same value.
+func renderValue(col schema.Column, v int64) string {
+	if col.Type == schema.String {
+		return fmt.Sprintf("'v%d'", v)
+	}
+	return fmt.Sprintf("%d", v)
+}

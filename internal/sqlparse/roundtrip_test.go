@@ -1,0 +1,135 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cliffguard/internal/schema"
+	"cliffguard/internal/workload"
+)
+
+// randomSpec builds a random but valid Spec over the test schema's sales
+// table, mirroring the shapes the workload generators emit.
+func randomSpec(rng *rand.Rand, s *schema.Schema) *workload.Spec {
+	tbl, _ := s.Table("sales")
+	spec := &workload.Spec{Table: tbl.Name}
+	pick := func() schema.Column {
+		return tbl.Columns[rng.Intn(len(tbl.Columns))]
+	}
+
+	grouped := rng.Intn(2) == 0
+	if grouped {
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			spec.GroupBy = append(spec.GroupBy, pick().ID)
+		}
+		spec.SelectCols = append(spec.SelectCols, spec.GroupBy...)
+		fns := []workload.AggFn{workload.Sum, workload.Avg, workload.Min, workload.Max}
+		spec.Aggs = append(spec.Aggs, workload.Agg{Fn: workload.Count, Col: -1})
+		if rng.Intn(2) == 0 {
+			spec.Aggs = append(spec.Aggs, workload.Agg{Fn: fns[rng.Intn(len(fns))], Col: pick().ID})
+		}
+	} else {
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			spec.SelectCols = append(spec.SelectCols, pick().ID)
+		}
+		if rng.Intn(2) == 0 {
+			spec.OrderBy = append(spec.OrderBy, workload.OrderCol{Col: spec.SelectCols[0], Desc: rng.Intn(2) == 0})
+			spec.Limit = 1 + rng.Intn(500)
+		}
+	}
+
+	for i := 0; i < rng.Intn(3); i++ {
+		c := pick()
+		card := c.Cardinality
+		if card < 2 {
+			card = 2
+		}
+		if rng.Intn(2) == 0 {
+			v := rng.Int63n(card)
+			spec.Preds = append(spec.Preds, workload.Pred{
+				Col: c.ID, Op: workload.Eq, Lo: v, Hi: v, Sel: 1 / float64(card)})
+		} else {
+			lo := rng.Int63n(card)
+			hi := lo + rng.Int63n(card-lo)
+			spec.Preds = append(spec.Preds, workload.Pred{
+				Col: c.ID, Op: workload.Between, Lo: lo, Hi: hi,
+				Sel: float64(hi-lo+1) / float64(card)})
+		}
+	}
+	return spec
+}
+
+// roundTripSchema has a realistic mix of types (including strings whose
+// literals must survive the v<k> coding).
+func roundTripSchema() *schema.Schema {
+	return schema.MustNew([]schema.TableDef{{
+		Name: "sales", Fact: true, Rows: 100_000,
+		Columns: []schema.ColumnDef{
+			{Name: "id", Type: schema.Int64, Cardinality: 100_000},
+			{Name: "cust", Type: schema.Int64, Cardinality: 4_000},
+			{Name: "region", Type: schema.String, Cardinality: 30},
+			{Name: "kind", Type: schema.String, Cardinality: 7},
+			{Name: "amount", Type: schema.Float64, Cardinality: 20_000},
+			{Name: "day", Type: schema.Int64, Cardinality: 365},
+			{Name: "qty", Type: schema.Int64, Cardinality: 50},
+		},
+	}})
+}
+
+// TestRenderParsePropertyRoundTrip: for any generated spec, Render then
+// Parse reproduces the clause structure, predicates and limit exactly.
+func TestRenderParsePropertyRoundTrip(t *testing.T) {
+	s := roundTripSchema()
+	p := NewParser(s)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := randomSpec(rng, s)
+		q1 := workload.FromSpec(1, timeZero(), spec)
+
+		sql, err := Render(s, spec)
+		if err != nil {
+			t.Logf("render failed for %+v: %v", spec, err)
+			return false
+		}
+		q2, err := p.Parse(sql)
+		if err != nil {
+			t.Logf("parse failed for %q: %v", sql, err)
+			return false
+		}
+		if q1.SeparateKey() != q2.SeparateKey() {
+			t.Logf("clause structure drifted: %q", sql)
+			return false
+		}
+		if len(q1.Spec.Preds) != len(q2.Spec.Preds) {
+			return false
+		}
+		for i := range q1.Spec.Preds {
+			a, b := q1.Spec.Preds[i], q2.Spec.Preds[i]
+			if a.Col != b.Col || a.Lo != b.Lo || a.Hi != b.Hi || a.Op != b.Op {
+				t.Logf("pred drifted in %q: %+v vs %+v", sql, a, b)
+				return false
+			}
+		}
+		if len(q1.Spec.Aggs) != len(q2.Spec.Aggs) || q1.Spec.Limit != q2.Spec.Limit {
+			return false
+		}
+		for i := range q1.Spec.Aggs {
+			if q1.Spec.Aggs[i] != q2.Spec.Aggs[i] {
+				return false
+			}
+		}
+		for i := range q1.Spec.OrderBy {
+			if q1.Spec.OrderBy[i] != q2.Spec.OrderBy[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func timeZero() (t time.Time) { return }

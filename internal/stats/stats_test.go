@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if Max(xs) != 4 || Min(xs) != 1 {
+		t.Errorf("Max/Min = %g/%g", Max(xs), Min(xs))
+	}
+	if got := Std(xs); math.Abs(got-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("Std = %g", got)
+	}
+	// Empty and singleton inputs.
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 || Std(nil) != 0 {
+		t.Error("empty-input stats should be 0")
+	}
+	if Std([]float64{5}) != 0 {
+		t.Error("singleton Std should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {-5, 10}, {110, 50}, {10, 14},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Percentile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Input must not be mutated (sorted copy).
+	in := []float64{3, 1, 2}
+	Percentile(in, 50)
+	if in[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Pearson(xs, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect positive = %g", got)
+	}
+	if got := Pearson(xs, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect negative = %g", got)
+	}
+	if Pearson(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Error("zero-variance should be 0")
+	}
+	if Pearson(xs, []float64{1, 2}) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+	if Pearson([]float64{1}, []float64{1}) != 0 {
+		t.Error("single point should be 0")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone but non-linear: Spearman 1, Pearson < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone Spearman = %g", got)
+	}
+	if got := Pearson(xs, ys); got >= 1 {
+		t.Errorf("non-linear Pearson = %g", got)
+	}
+	// Ties share average ranks: symmetric result.
+	if got := Spearman([]float64{1, 1, 2}, []float64{1, 1, 2}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("tied Spearman = %g", got)
+	}
+}
+
+func TestCorrelationProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	inRange := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		p := Pearson(xs, ys)
+		s := Spearman(xs, ys)
+		return p >= -1-1e-9 && p <= 1+1e-9 && s >= -1-1e-9 && s <= 1+1e-9 &&
+			math.Abs(Pearson(xs, ys)-Pearson(ys, xs)) < 1e-12
+	}
+	if err := quick.Check(inRange, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package vertsim
+
+import (
+	"testing"
+	"time"
+
+	"cliffguard/internal/datagen"
+	"cliffguard/internal/designer"
+	"cliffguard/internal/workload"
+)
+
+func benchQuery() *workload.Query {
+	return workload.FromSpec(workload.NextID(), time.Time{}, &workload.Spec{
+		Table:      "f",
+		SelectCols: []int{1},
+		GroupBy:    []int{1},
+		Aggs:       []workload.Agg{{Fn: workload.Count, Col: -1}, {Fn: workload.Sum, Col: 2}},
+		Preds:      []workload.Pred{{Col: 2, Op: workload.Eq, Lo: 42, Hi: 42, Sel: 1.0 / 300}},
+	})
+}
+
+// BenchmarkExecutorScan measures a full super-projection scan with
+// aggregation over the physical data.
+func BenchmarkExecutorScan(b *testing.B) {
+	s := execSchema()
+	db := OpenWithData(datagen.Generate(s, 5_000, 7))
+	q := benchQuery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Execute(q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecutorProjection measures the sort-matched projection path
+// (binary-search narrowing) on the same query.
+func BenchmarkExecutorProjection(b *testing.B) {
+	s := execSchema()
+	db := OpenWithData(datagen.Generate(s, 5_000, 7))
+	q := benchQuery()
+	p, err := NewProjection(s, "f", []int{1, 2}, []workload.OrderCol{{Col: 2}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := designer.NewDesign(p)
+	if _, err := db.Execute(q, d); err != nil { // build the permutation once
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Execute(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWhatIfCost measures one un-memoized what-if estimate.
+func BenchmarkWhatIfCost(b *testing.B) {
+	s := testSchema()
+	db := Open(s)
+	p, _ := NewProjection(s, "f", []int{0, 1, 2, 3}, []workload.OrderCol{{Col: 1}})
+	d := designer.NewDesign(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh query per iteration defeats the memo, measuring the model.
+		q := benchQuery()
+		if _, err := db.Cost(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package vertsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cliffguard/internal/datagen"
+	"cliffguard/internal/designer"
+	"cliffguard/internal/schema"
+	"cliffguard/internal/workload"
+)
+
+// Cost-model constants, in milliseconds-producing units. They are tuned so
+// that full scans of the warehouse fact tables land in the multi-second
+// range and covered, sort-matched queries land in the tens of milliseconds —
+// the latency regime of the paper's Figures 7-9.
+const (
+	// scanBytesPerMs is the modeled sequential scan rate (40 MB/s).
+	scanBytesPerMs = 40_000.0
+	// aggRowsPerMs is the hash-aggregation throughput.
+	aggRowsPerMs = 8_000.0
+	// sortRowFactor divides rows*log2(rows) for explicit sorts.
+	sortRowFactor = 150_000.0
+	// fixedOverheadMs models planning and dispatch per query.
+	fixedOverheadMs = 30.0
+	// scanCompression is the scan-rate advantage of reading a sorted,
+	// RLE-encoded projection (storage compression is stronger, see
+	// sortedCompression in projection.go).
+	scanCompression = 0.9
+)
+
+// DB is a simulated columnar database instance: a schema, an optional
+// physical dataset (for the executor), and a memoizing what-if cost model.
+// DB implements designer.CostModel.
+type DB struct {
+	Schema *schema.Schema
+	Data   *datagen.Dataset // nil means cost-model only
+
+	mu   sync.Mutex
+	memo map[*workload.Query]map[string]float64 // per-query per-path cost
+
+	sortedMu sync.Mutex
+	sorted   map[string][]int32 // projection key -> row permutation (executor)
+}
+
+// Open returns a cost-model-only DB over the schema.
+func Open(s *schema.Schema) *DB {
+	return &DB{
+		Schema: s,
+		memo:   make(map[*workload.Query]map[string]float64),
+		sorted: make(map[string][]int32),
+	}
+}
+
+// OpenWithData returns a DB whose executor runs against the dataset.
+func OpenWithData(data *datagen.Dataset) *DB {
+	db := Open(data.Schema)
+	db.Data = data
+	return db
+}
+
+// Cost implements designer.CostModel: the estimated latency (ms) of q under
+// design d, using the cheapest applicable access path (a covering projection
+// or the super-projection).
+func (db *DB) Cost(q *workload.Query, d *designer.Design) (float64, error) {
+	if err := db.check(q); err != nil {
+		return 0, err
+	}
+	best := db.pathCost(q, nil) // super-projection
+	if d != nil {
+		for _, s := range d.Structures {
+			p, ok := s.(*Projection)
+			if !ok || p.Anchor != q.Spec.Table {
+				continue
+			}
+			if !p.Covers(refCols(q)) {
+				continue
+			}
+			if c := db.pathCost(q, p); c < best {
+				best = c
+			}
+		}
+	}
+	return best, nil
+}
+
+// BestPath returns the chosen projection (nil for the super-projection) and
+// its estimated cost. The executor uses it to run the same plan the
+// estimator picked.
+func (db *DB) BestPath(q *workload.Query, d *designer.Design) (*Projection, float64, error) {
+	if err := db.check(q); err != nil {
+		return nil, 0, err
+	}
+	var bestP *Projection
+	best := db.pathCost(q, nil)
+	if d != nil {
+		for _, s := range d.Structures {
+			p, ok := s.(*Projection)
+			if !ok || p.Anchor != q.Spec.Table || !p.Covers(refCols(q)) {
+				continue
+			}
+			if c := db.pathCost(q, p); c < best {
+				best, bestP = c, p
+			}
+		}
+	}
+	return bestP, best, nil
+}
+
+// check validates that the query is within the simulator's costable subset:
+// a spec over a single known anchor table whose referenced columns all
+// belong to that table.
+func (db *DB) check(q *workload.Query) error {
+	if q == nil || q.Spec == nil {
+		return fmt.Errorf("vertsim: query without spec: %w", designer.ErrUnsupported)
+	}
+	if _, ok := db.Schema.Table(q.Spec.Table); !ok {
+		return fmt.Errorf("vertsim: unknown table %q: %w", q.Spec.Table, designer.ErrUnsupported)
+	}
+	for _, c := range q.Spec.ReferencedCols() {
+		if !db.Schema.ValidID(c) {
+			return fmt.Errorf("vertsim: invalid column %d: %w", c, designer.ErrUnsupported)
+		}
+		if db.Schema.Column(c).Table != q.Spec.Table {
+			return fmt.Errorf("vertsim: column %s outside anchor %q: %w",
+				db.Schema.Column(c).Qualified(), q.Spec.Table, designer.ErrUnsupported)
+		}
+	}
+	return nil
+}
+
+func refCols(q *workload.Query) workload.ColSet {
+	var set workload.ColSet
+	for _, c := range q.Spec.ReferencedCols() {
+		set.Add(c)
+	}
+	return set
+}
+
+// pathCost estimates latency of q via projection p (nil = super-projection),
+// memoized per (query, path) pair.
+func (db *DB) pathCost(q *workload.Query, p *Projection) float64 {
+	pathKey := ""
+	if p != nil {
+		pathKey = p.Key()
+	}
+	db.mu.Lock()
+	if m, ok := db.memo[q]; ok {
+		if c, ok := m[pathKey]; ok {
+			db.mu.Unlock()
+			return c
+		}
+	}
+	db.mu.Unlock()
+
+	c := db.computePathCost(q, p)
+
+	db.mu.Lock()
+	m, ok := db.memo[q]
+	if !ok {
+		m = make(map[string]float64, 2)
+		db.memo[q] = m
+	}
+	m[pathKey] = c
+	db.mu.Unlock()
+	return c
+}
+
+// computePathCost is the actual cost model.
+//
+//	scan  = rowsScanned * referencedWidth / scanRate
+//	agg   = outputRows / aggRate            (if grouped)
+//	sort  = outRows*log2(outRows)/sortRate  (if ORDER BY unsatisfied)
+//
+// rowsScanned shrinks by the selectivity of predicates matching the
+// projection's sort-key prefix: equalities extend the usable prefix, the
+// first range predicate uses it and stops, and the super-projection (no sort
+// order) always scans everything.
+func (db *DB) computePathCost(q *workload.Query, p *Projection) float64 {
+	t, _ := db.Schema.Table(q.Spec.Table)
+	rows := float64(t.Rows)
+
+	var width float64
+	for _, c := range q.Spec.ReferencedCols() {
+		width += float64(db.Schema.Column(c).Type.Width())
+	}
+
+	prefixSel := 1.0
+	var sortCols []workload.OrderCol
+	compression := 1.0 // super-projection: unsorted, no run-length encoding
+	if p != nil {
+		sortCols = p.SortCols
+		if len(sortCols) > 0 {
+			// Sorted projections scan somewhat compressed data; the real win
+			// comes from sort-prefix pruning, not from mere coverage.
+			compression = scanCompression
+		}
+	}
+	for _, oc := range sortCols {
+		pred, ok := predOn(q.Spec.Preds, oc.Col)
+		if !ok {
+			break
+		}
+		prefixSel *= clampSel(pred.Sel)
+		if pred.Op != workload.Eq {
+			break // a range consumes the prefix
+		}
+	}
+
+	totalSel := 1.0
+	for _, pred := range q.Spec.Preds {
+		totalSel *= clampSel(pred.Sel)
+	}
+
+	rowsScanned := math.Max(rows*prefixSel, 1)
+	outRows := math.Max(rows*totalSel, 1)
+
+	cost := fixedOverheadMs
+	cost += rowsScanned * width * compression / scanBytesPerMs
+
+	if len(q.Spec.GroupBy) > 0 {
+		aggCost := outRows / aggRowsPerMs
+		if groupBySortStreamed(q.Spec, sortCols) {
+			// Rows arrive clustered by the grouping key: streaming (one-pass,
+			// no hash table) aggregation.
+			aggCost *= 0.1
+		}
+		cost += aggCost
+		outRows = math.Min(outRows, db.groupEstimate(q.Spec.GroupBy))
+	}
+	if len(q.Spec.OrderBy) > 0 && !orderSatisfied(q.Spec, sortCols) {
+		cost += outRows * math.Log2(outRows+2) / sortRowFactor
+	}
+	return cost
+}
+
+// groupBySortStreamed reports whether the path's sort key leads with the
+// query's group-by columns (in any order), enabling one-pass aggregation.
+func groupBySortStreamed(spec *workload.Spec, sortCols []workload.OrderCol) bool {
+	if len(spec.GroupBy) == 0 || len(spec.GroupBy) > len(sortCols) {
+		return false
+	}
+	gset := workload.NewColSet(spec.GroupBy...)
+	for i := 0; i < len(spec.GroupBy); i++ {
+		if !gset.Has(sortCols[i].Col) {
+			return false
+		}
+	}
+	return true
+}
+
+// groupEstimate caps the number of output groups by the product of group-by
+// column cardinalities.
+func (db *DB) groupEstimate(groupBy []int) float64 {
+	est := 1.0
+	for _, c := range groupBy {
+		est *= float64(db.Schema.Column(c).Cardinality)
+		if est > 1e12 {
+			return 1e12
+		}
+	}
+	return est
+}
+
+// orderSatisfied reports whether a path's sort order already delivers the
+// query's ORDER BY (ORDER BY must be a direction-matching prefix of the sort
+// key, and only when the query does not regroup rows).
+func orderSatisfied(spec *workload.Spec, sortCols []workload.OrderCol) bool {
+	if len(spec.GroupBy) > 0 {
+		return false // aggregation destroys scan order
+	}
+	if len(spec.OrderBy) > len(sortCols) {
+		return false
+	}
+	for i, oc := range spec.OrderBy {
+		if sortCols[i].Col != oc.Col || sortCols[i].Desc != oc.Desc {
+			return false
+		}
+	}
+	return true
+}
+
+func predOn(preds []workload.Pred, col int) (workload.Pred, bool) {
+	for _, p := range preds {
+		if p.Col == col {
+			return p, true
+		}
+	}
+	return workload.Pred{}, false
+}
+
+func clampSel(s float64) float64 {
+	if s <= 0 {
+		return 1e-9
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// BaselineCost returns f(W, empty design): the workload's cost with no
+// projections (the paper's NoDesign upper bound, also used by delta_latency).
+func (db *DB) BaselineCost(w *workload.Workload) float64 {
+	var total float64
+	for _, it := range w.Items {
+		c, err := db.Cost(it.Q, nil)
+		if err != nil {
+			continue
+		}
+		total += it.Weight * c
+	}
+	return total
+}

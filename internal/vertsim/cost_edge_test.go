@@ -1,0 +1,176 @@
+package vertsim
+
+import (
+	"testing"
+	"time"
+
+	"cliffguard/internal/datagen"
+	"cliffguard/internal/designer"
+	"cliffguard/internal/workload"
+)
+
+func edgeQuery(spec *workload.Spec) *workload.Query {
+	return workload.FromSpec(workload.NextID(), time.Time{}, spec)
+}
+
+// TestPrefixSelectivitySemantics pins the sort-prefix rules: equalities
+// extend the usable prefix, the first range predicate consumes it, and a gap
+// in the prefix stops matching.
+func TestPrefixSelectivitySemantics(t *testing.T) {
+	s := testSchema()
+	db := Open(s)
+
+	eqA := workload.Pred{Col: 0, Op: workload.Eq, Lo: 1, Hi: 1, Sel: 0.01}
+	eqB := workload.Pred{Col: 1, Op: workload.Eq, Lo: 1, Hi: 1, Sel: 0.1}
+	rangeB := workload.Pred{Col: 1, Op: workload.Between, Lo: 1, Hi: 10, Sel: 0.1}
+
+	mk := func(preds ...workload.Pred) *workload.Query {
+		return edgeQuery(&workload.Spec{Table: "f", SelectCols: []int{3}, Preds: preds})
+	}
+	proj := func(sort ...int) *Projection {
+		var ocs []workload.OrderCol
+		for _, c := range sort {
+			ocs = append(ocs, workload.OrderCol{Col: c})
+		}
+		p, err := NewProjection(s, "f", []int{0, 1, 3}, ocs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	cost := func(q *workload.Query, p *Projection) float64 {
+		c, err := db.Cost(q, designer.NewDesign(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	// Two equalities on sort (a,b): both prune.
+	both := cost(mk(eqA, eqB), proj(0, 1))
+	// Only the first equality prunes when the second pred is missing.
+	first := cost(mk(eqA), proj(0, 1))
+	if both >= first {
+		t.Errorf("two-eq prefix %g should beat one-eq %g", both, first)
+	}
+
+	// A range on the second sort column still prunes (eq then range)...
+	eqThenRange := cost(mk(eqA, rangeB), proj(0, 1))
+	if eqThenRange >= first {
+		t.Errorf("eq+range prefix %g should beat eq-only %g", eqThenRange, first)
+	}
+	// ...but a range on the FIRST sort column consumes the prefix: for the
+	// same query, extending the sort key past the range column buys nothing.
+	rangeFirstLong := cost(mk(rangeB, eqA), proj(1, 0))
+	rangeFirstShort := cost(mk(rangeB, eqA), proj(1))
+	if rangeFirstLong != rangeFirstShort {
+		t.Errorf("range-first prefix should stop: %g vs %g", rangeFirstLong, rangeFirstShort)
+	}
+
+	// A predicate gap stops the prefix: sort (b,a) with only a pred on a.
+	gap := cost(mk(eqA), proj(1, 0))
+	matched := cost(mk(eqA), proj(0, 1))
+	if gap <= matched {
+		t.Errorf("gapped prefix %g should not beat matched prefix %g", gap, matched)
+	}
+}
+
+func TestGroupEstimateCapsOutRows(t *testing.T) {
+	s := testSchema()
+	db := Open(s)
+	// ORDER BY after GROUP BY sorts at most the number of groups, not the
+	// filtered row count: a low-cardinality group-by bounds sort cost.
+	lowCard := edgeQuery(&workload.Spec{
+		Table: "f", SelectCols: []int{2}, GroupBy: []int{2},
+		Aggs:    []workload.Agg{{Fn: workload.Count, Col: -1}},
+		OrderBy: []workload.OrderCol{{Col: 2}},
+	})
+	highCard := edgeQuery(&workload.Spec{
+		Table: "f", SelectCols: []int{0}, GroupBy: []int{0},
+		Aggs:    []workload.Agg{{Fn: workload.Count, Col: -1}},
+		OrderBy: []workload.OrderCol{{Col: 0}},
+	})
+	cLow, _ := db.Cost(lowCard, nil)
+	cHigh, _ := db.Cost(highCard, nil)
+	if cLow >= cHigh {
+		t.Errorf("10-group sort %g should be cheaper than 1000-group sort %g", cLow, cHigh)
+	}
+}
+
+func TestOrderSatisfiedRules(t *testing.T) {
+	spec := &workload.Spec{
+		OrderBy: []workload.OrderCol{{Col: 1}, {Col: 2, Desc: true}},
+	}
+	if !orderSatisfied(spec, []workload.OrderCol{{Col: 1}, {Col: 2, Desc: true}, {Col: 3}}) {
+		t.Error("matching prefix should satisfy")
+	}
+	if orderSatisfied(spec, []workload.OrderCol{{Col: 1}, {Col: 2}}) {
+		t.Error("direction mismatch should not satisfy")
+	}
+	if orderSatisfied(spec, []workload.OrderCol{{Col: 1}}) {
+		t.Error("shorter sort key should not satisfy")
+	}
+	grouped := &workload.Spec{
+		GroupBy: []int{1},
+		OrderBy: []workload.OrderCol{{Col: 1}},
+	}
+	if orderSatisfied(grouped, []workload.OrderCol{{Col: 1}}) {
+		t.Error("aggregation destroys scan order")
+	}
+}
+
+func TestExecutorDescLeadingColumnFullScans(t *testing.T) {
+	s := execSchema()
+	data := datagen.Generate(s, 5_000, 7)
+	db := OpenWithData(data)
+
+	// Binary-search narrowing only applies to ascending leading columns; a
+	// DESC leading sort still answers correctly via the full permutation.
+	q := edgeQuery(&workload.Spec{
+		Table:      "f",
+		SelectCols: []int{0},
+		Preds:      []workload.Pred{{Col: 2, Op: workload.Eq, Lo: 5, Hi: 5, Sel: 1.0 / 300}},
+	})
+	desc, err := NewProjection(s, "f", []int{0, 2}, []workload.OrderCol{{Col: 2, Desc: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, _ := db.Execute(q, nil)
+	got, err := db.Execute(q, designer.NewDesign(desc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowsEqual(canonical(scan.Rows), canonical(got.Rows)) {
+		t.Fatal("DESC-sorted projection returned wrong rows")
+	}
+}
+
+func TestExecutorRangeOperatorsNarrow(t *testing.T) {
+	s := execSchema()
+	data := datagen.Generate(s, 5_000, 7)
+	db := OpenWithData(data)
+
+	proj, _ := NewProjection(s, "f", []int{0, 2}, []workload.OrderCol{{Col: 2}})
+	for _, op := range []workload.CmpOp{workload.Lt, workload.Le, workload.Gt, workload.Ge} {
+		q := edgeQuery(&workload.Spec{
+			Table:      "f",
+			SelectCols: []int{0},
+			Preds:      []workload.Pred{{Col: 2, Op: op, Lo: 150, Hi: 150, Sel: 0.5}},
+		})
+		scan, err := db.Execute(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := db.Execute(q, designer.NewDesign(proj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rowsEqual(canonical(scan.Rows), canonical(fast.Rows)) {
+			t.Fatalf("op %v: narrowed scan disagrees", op)
+		}
+		if fast.ScannedRows > scan.ScannedRows {
+			t.Fatalf("op %v: narrowing read more rows", op)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package vertsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cliffguard/internal/designer"
+	"cliffguard/internal/workload"
+)
+
+// Row is one output row of the executor: the grouping/projection key values
+// followed by aggregate values.
+type Row struct {
+	Key  []int64
+	Aggs []float64
+}
+
+// Result is the output of executing a query.
+type Result struct {
+	Rows        []Row
+	ScannedRows int     // physical rows read from the chosen path
+	Projection  string  // key of the projection used; "" = super-projection
+	EstimatedMs float64 // the cost model's estimate for the chosen path
+}
+
+// maxResultRows bounds non-aggregate result materialization.
+const maxResultRows = 100_000
+
+// Execute runs q under design d against the attached dataset, using the same
+// access path the cost model would choose. It errors if the DB has no data.
+func (db *DB) Execute(q *workload.Query, d *designer.Design) (*Result, error) {
+	if db.Data == nil {
+		return nil, fmt.Errorf("vertsim: Execute requires a dataset (use OpenWithData)")
+	}
+	proj, est, err := db.BestPath(q, d)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{EstimatedMs: est}
+	if proj != nil {
+		res.Projection = proj.Key()
+	}
+
+	spec := q.Spec
+	nPhys := db.Data.Rows(spec.Table)
+
+	// Candidate row positions: either all rows in natural order, or the
+	// projection's sorted permutation, possibly narrowed by binary search on
+	// the leading sort column.
+	var positions []int32
+	if proj == nil || len(proj.SortCols) == 0 {
+		positions = naturalOrder(nPhys)
+	} else {
+		perm := db.permutation(proj, nPhys)
+		positions = db.narrow(perm, proj, spec)
+	}
+
+	grouped := len(spec.GroupBy) > 0
+	globalAgg := !grouped && len(spec.Aggs) > 0
+
+	type aggState struct {
+		key    []int64
+		counts []float64
+		sums   []float64
+		mins   []float64
+		maxs   []float64
+		init   bool
+	}
+	newState := func(key []int64) *aggState {
+		n := len(spec.Aggs)
+		return &aggState{
+			key:    key,
+			counts: make([]float64, n),
+			sums:   make([]float64, n),
+			mins:   make([]float64, n),
+			maxs:   make([]float64, n),
+		}
+	}
+	groups := make(map[string]*aggState)
+	var groupOrder []string
+	var global *aggState
+	if globalAgg {
+		global = newState(nil)
+	}
+
+	// Output layout for plain (non-aggregate) queries: SelectCols followed
+	// by any ORDER BY columns not already selected.
+	outCols := append([]int(nil), spec.SelectCols...)
+	for _, oc := range spec.OrderBy {
+		found := false
+		for _, c := range outCols {
+			if c == oc.Col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			outCols = append(outCols, oc.Col)
+		}
+	}
+
+	var keyBuf strings.Builder
+	for _, pos := range positions {
+		res.ScannedRows++
+		row := int(pos)
+		if !db.rowMatches(spec, row) {
+			continue
+		}
+		switch {
+		case grouped:
+			keyBuf.Reset()
+			key := make([]int64, len(spec.GroupBy))
+			for i, c := range spec.GroupBy {
+				v := db.Data.Column(c)[row]
+				key[i] = v
+				keyBuf.WriteString(strconv.FormatInt(v, 10))
+				keyBuf.WriteByte('|')
+			}
+			ks := keyBuf.String()
+			st, ok := groups[ks]
+			if !ok {
+				st = newState(key)
+				groups[ks] = st
+				groupOrder = append(groupOrder, ks)
+			}
+			db.accumulate(spec, st.counts, st.sums, st.mins, st.maxs, &st.init, row)
+		case globalAgg:
+			db.accumulate(spec, global.counts, global.sums, global.mins, global.maxs, &global.init, row)
+		default:
+			if len(res.Rows) < maxResultRows {
+				out := make([]int64, len(outCols))
+				for i, c := range outCols {
+					out[i] = db.Data.Column(c)[row]
+				}
+				res.Rows = append(res.Rows, Row{Key: out})
+			}
+		}
+	}
+
+	finish := func(st *aggState) []float64 {
+		vals := make([]float64, len(spec.Aggs))
+		for i, a := range spec.Aggs {
+			switch a.Fn {
+			case workload.Count:
+				vals[i] = st.counts[i]
+			case workload.Sum:
+				vals[i] = st.sums[i]
+			case workload.Avg:
+				if st.counts[i] > 0 {
+					vals[i] = st.sums[i] / st.counts[i]
+				}
+			case workload.Min:
+				vals[i] = st.mins[i]
+			case workload.Max:
+				vals[i] = st.maxs[i]
+			}
+		}
+		return vals
+	}
+
+	if grouped {
+		for _, ks := range groupOrder {
+			st := groups[ks]
+			res.Rows = append(res.Rows, Row{Key: st.key, Aggs: finish(st)})
+		}
+	} else if globalAgg {
+		res.Rows = append(res.Rows, Row{Aggs: finish(global)})
+	}
+
+	if len(spec.OrderBy) > 0 && !globalAgg {
+		db.sortResult(spec, outCols, res)
+	}
+	if spec.Limit > 0 && len(res.Rows) > spec.Limit {
+		res.Rows = res.Rows[:spec.Limit]
+	}
+	return res, nil
+}
+
+// rowMatches evaluates every predicate against the physical row.
+func (db *DB) rowMatches(spec *workload.Spec, row int) bool {
+	for _, p := range spec.Preds {
+		v := db.Data.Column(p.Col)[row]
+		switch p.Op {
+		case workload.Eq:
+			if v != p.Lo {
+				return false
+			}
+		case workload.Lt:
+			if v >= p.Lo {
+				return false
+			}
+		case workload.Le:
+			if v > p.Lo {
+				return false
+			}
+		case workload.Gt:
+			if v <= p.Lo {
+				return false
+			}
+		case workload.Ge:
+			if v < p.Lo {
+				return false
+			}
+		case workload.Between:
+			if v < p.Lo || v > p.Hi {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (db *DB) accumulate(spec *workload.Spec, counts, sums, mins, maxs []float64, init *bool, row int) {
+	for i, a := range spec.Aggs {
+		var v float64
+		if a.Col >= 0 {
+			v = float64(db.Data.Column(a.Col)[row])
+		}
+		counts[i]++
+		sums[i] += v
+		if !*init || v < mins[i] {
+			mins[i] = v
+		}
+		if !*init || v > maxs[i] {
+			maxs[i] = v
+		}
+	}
+	*init = true
+}
+
+// sortResult orders res.Rows by the spec's ORDER BY keys. For grouped
+// results only group-by columns can be sorted on; others are ignored (they
+// are not well-defined per group in this simulator).
+func (db *DB) sortResult(spec *workload.Spec, outCols []int, res *Result) {
+	type keyIdx struct {
+		idx  int
+		desc bool
+	}
+	var keys []keyIdx
+	if len(spec.GroupBy) > 0 {
+		for _, oc := range spec.OrderBy {
+			for i, g := range spec.GroupBy {
+				if g == oc.Col {
+					keys = append(keys, keyIdx{i, oc.Desc})
+				}
+			}
+		}
+	} else {
+		for _, oc := range spec.OrderBy {
+			for i, c := range outCols {
+				if c == oc.Col {
+					keys = append(keys, keyIdx{i, oc.Desc})
+					break
+				}
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		ra, rb := res.Rows[a], res.Rows[b]
+		for _, k := range keys {
+			va, vb := ra.Key[k.idx], rb.Key[k.idx]
+			if va == vb {
+				continue
+			}
+			if k.desc {
+				return va > vb
+			}
+			return va < vb
+		}
+		return false
+	})
+}
+
+func naturalOrder(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// permutation returns (building lazily) the projection's sorted row order
+// over the physical data.
+func (db *DB) permutation(p *Projection, nPhys int) []int32 {
+	db.sortedMu.Lock()
+	defer db.sortedMu.Unlock()
+	if perm, ok := db.sorted[p.Key()]; ok && len(perm) == nPhys {
+		return perm
+	}
+	perm := naturalOrder(nPhys)
+	cols := make([][]int64, len(p.SortCols))
+	for i, oc := range p.SortCols {
+		cols[i] = db.Data.Column(oc.Col)
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ia, ib := int(perm[a]), int(perm[b])
+		for i, oc := range p.SortCols {
+			va, vb := cols[i][ia], cols[i][ib]
+			if va == vb {
+				continue
+			}
+			if oc.Desc {
+				return va > vb
+			}
+			return va < vb
+		}
+		return false
+	})
+	db.sorted[p.Key()] = perm
+	return perm
+}
+
+// narrow restricts the scan range using a binary search on the leading sort
+// column when the query filters it with an equality or closed range and the
+// column is sorted ascending.
+func (db *DB) narrow(perm []int32, p *Projection, spec *workload.Spec) []int32 {
+	if len(p.SortCols) == 0 || p.SortCols[0].Desc {
+		return perm
+	}
+	lead := p.SortCols[0].Col
+	pred, ok := predOn(spec.Preds, lead)
+	if !ok {
+		return perm
+	}
+	var lo, hi int64
+	switch pred.Op {
+	case workload.Eq:
+		lo, hi = pred.Lo, pred.Lo
+	case workload.Between:
+		lo, hi = pred.Lo, pred.Hi
+	case workload.Le:
+		lo, hi = -1<<62, pred.Lo
+	case workload.Lt:
+		lo, hi = -1<<62, pred.Lo-1
+	case workload.Ge:
+		lo, hi = pred.Lo, 1<<62
+	case workload.Gt:
+		lo, hi = pred.Lo+1, 1<<62
+	default:
+		return perm
+	}
+	col := db.Data.Column(lead)
+	start := sort.Search(len(perm), func(i int) bool { return col[perm[i]] >= lo })
+	end := sort.Search(len(perm), func(i int) bool { return col[perm[i]] > hi })
+	return perm[start:end]
+}
+
+// Deploy eagerly materializes every projection in the design against the
+// attached dataset (building the sorted row permutations the executor would
+// otherwise build lazily) and returns the modeled deployment cost of the
+// design at full modeled scale. The paper's Appendix A.4 observes that
+// deployment dominates design search by an order of magnitude; this is the
+// operation it is dominated by.
+func (db *DB) Deploy(d *designer.Design) (modeledMs float64, err error) {
+	if d == nil {
+		return 0, nil
+	}
+	for _, s := range d.Structures {
+		p, ok := s.(*Projection)
+		if !ok {
+			return 0, fmt.Errorf("vertsim: cannot deploy %T", s)
+		}
+		if db.Data != nil {
+			db.permutation(p, db.Data.Rows(p.Anchor))
+		}
+		// Modeled cost: write out the projection's compressed bytes plus the
+		// sort of its full modeled row count.
+		t, ok := db.Schema.Table(p.Anchor)
+		if !ok {
+			return 0, fmt.Errorf("vertsim: unknown anchor %q", p.Anchor)
+		}
+		rows := float64(t.Rows)
+		modeledMs += float64(p.SizeBytes()) / deployWriteBytesPerMs
+		modeledMs += rows * math.Log2(rows+2) / sortRowFactor
+	}
+	return modeledMs, nil
+}
+
+// deployWriteBytesPerMs is the modeled projection build+write rate.
+const deployWriteBytesPerMs = 20_000.0

@@ -1,0 +1,125 @@
+// Package vertsim is an in-memory columnar database simulator modeled on
+// Vertica, the primary evaluation target of the CliffGuard paper. Its
+// physical design objects are sorted projections: column subsets of an
+// anchor table stored sorted by a key prefix. The package provides
+//
+//   - a what-if cost model (the "query optimizer's cost estimates" that the
+//     paper's f(W, D) consults),
+//   - a real executor over synthetic data (for calibration and examples), and
+//   - a DBD-style greedy nominal designer (the paper's ExistingDesigner).
+//
+// The essential behaviour preserved from Vertica: a query that is fully
+// covered by a projection whose sort order matches its predicates runs
+// orders of magnitude faster than one that must fall back to scanning the
+// super-projection — the performance cliff that CliffGuard guards against.
+package vertsim
+
+import (
+	"fmt"
+	"strings"
+
+	"cliffguard/internal/schema"
+	"cliffguard/internal/workload"
+)
+
+// Projection is one sorted projection: a subset of an anchor table's
+// columns, sorted by SortCols. It implements designer.Structure.
+type Projection struct {
+	Anchor   string
+	Cols     workload.ColSet
+	SortCols []workload.OrderCol
+
+	key  string
+	size int64
+}
+
+// sortedCompression models the storage saving of run-length encoding on the
+// sorted key prefix of a projection.
+const sortedCompression = 0.4
+
+// NewProjection builds a projection over the given columns of anchor,
+// sorted by sortCols (which must be members of cols). It validates against
+// the schema and precomputes identity and size.
+func NewProjection(s *schema.Schema, anchor string, cols []int, sortCols []workload.OrderCol) (*Projection, error) {
+	t, ok := s.Table(anchor)
+	if !ok {
+		return nil, fmt.Errorf("vertsim: unknown anchor table %q", anchor)
+	}
+	var set workload.ColSet
+	var width int64
+	for _, c := range cols {
+		if !s.ValidID(c) {
+			return nil, fmt.Errorf("vertsim: invalid column ID %d", c)
+		}
+		col := s.Column(c)
+		if col.Table != anchor {
+			return nil, fmt.Errorf("vertsim: column %s does not belong to anchor %q", col.Qualified(), anchor)
+		}
+		if set.Has(c) {
+			continue
+		}
+		set.Add(c)
+		width += col.Type.Width()
+	}
+	if set.Empty() {
+		return nil, fmt.Errorf("vertsim: projection on %q has no columns", anchor)
+	}
+	seen := make(map[int]bool, len(sortCols))
+	dedup := make([]workload.OrderCol, 0, len(sortCols))
+	for _, oc := range sortCols {
+		if !set.Has(oc.Col) {
+			return nil, fmt.Errorf("vertsim: sort column %d not in projection column set", oc.Col)
+		}
+		if seen[oc.Col] {
+			continue
+		}
+		seen[oc.Col] = true
+		dedup = append(dedup, oc)
+	}
+	p := &Projection{Anchor: anchor, Cols: set, SortCols: dedup}
+	compression := 1.0
+	if len(dedup) > 0 {
+		compression = sortedCompression
+	}
+	p.size = int64(float64(t.Rows*width) * compression)
+	var b strings.Builder
+	b.WriteString("proj:")
+	b.WriteString(anchor)
+	b.WriteString(":")
+	b.WriteString(set.Key())
+	b.WriteString(":sort=")
+	for i, oc := range dedup {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", oc.Col)
+		if oc.Desc {
+			b.WriteByte('-')
+		}
+	}
+	p.key = b.String()
+	return p, nil
+}
+
+// Key implements designer.Structure.
+func (p *Projection) Key() string { return p.key }
+
+// SizeBytes implements designer.Structure.
+func (p *Projection) SizeBytes() int64 { return p.size }
+
+// Describe implements designer.Structure.
+func (p *Projection) Describe() string {
+	sorts := make([]string, len(p.SortCols))
+	for i, oc := range p.SortCols {
+		dir := ""
+		if oc.Desc {
+			dir = " DESC"
+		}
+		sorts[i] = fmt.Sprintf("%d%s", oc.Col, dir)
+	}
+	return fmt.Sprintf("PROJECTION %s cols=%s order=(%s) size=%dMB",
+		p.Anchor, p.Cols, strings.Join(sorts, ","), p.size/(1<<20))
+}
+
+// Covers reports whether the projection contains every column in need.
+func (p *Projection) Covers(need workload.ColSet) bool { return p.Cols.Contains(need) }

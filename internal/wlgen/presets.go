@@ -1,0 +1,93 @@
+package wlgen
+
+import (
+	"math"
+	"math/rand"
+
+	"cliffguard/internal/schema"
+)
+
+// Presets mirror Section 6.1 / Table 1 of the paper. The R1 drift range
+// [m, M] = [0.00016, 0.0031] with average ~0.0012; S1 drifts within
+// [0.1m, m] (a near-static workload); S2 spans the same [m, M] range as R1
+// but uniformly.
+const (
+	driftMin = 0.00016 // Table 1's m
+	driftMax = 0.0031  // Table 1's M
+)
+
+// defaultMonths matches R1's ~13 four-week windows over one year.
+const defaultMonths = 13
+
+// R1Config models the real customer workload: drifts drawn from a clipped
+// lognormal whose mean matches Table 1's average (0.0012).
+func R1Config(s *schema.Schema, seed int64) *Config {
+	rng := rand.New(rand.NewSource(seed*31 + 7))
+	targets := make([]float64, defaultMonths-1)
+	for i := range targets {
+		// lognormal around ~0.0010 with heavy-ish upper tail, clipped to [m, M].
+		v := math.Exp(rng.NormFloat64()*0.8 - 6.95)
+		if v < driftMin {
+			v = driftMin
+		}
+		if v > driftMax {
+			v = driftMax
+		}
+		targets[i] = v
+	}
+	return &Config{
+		Name:               "R1",
+		Schema:             s,
+		Seed:               seed,
+		Months:             defaultMonths,
+		QueriesPerWeek:     400,
+		ActiveTemplates:    90,
+		CoreFraction:       0.35,
+		DesignableFraction: 0.12,
+		DriftTargets:       targets,
+		RoundTripSQL:       true,
+	}
+}
+
+// S1Config models the near-static synthetic workload: drift in [0.1m, m].
+func S1Config(s *schema.Schema, seed int64) *Config {
+	rng := rand.New(rand.NewSource(seed*37 + 11))
+	targets := make([]float64, defaultMonths-1)
+	for i := range targets {
+		targets[i] = driftMin * (0.1 + 0.9*rng.Float64())
+	}
+	return &Config{
+		Name:               "S1",
+		Schema:             s,
+		Seed:               seed,
+		Months:             defaultMonths,
+		QueriesPerWeek:     400,
+		ActiveTemplates:    90,
+		CoreFraction:       0.5,
+		DesignableFraction: 0.12,
+		DriftTargets:       targets,
+		RoundTripSQL:       true,
+	}
+}
+
+// S2Config models the uniformly drifting synthetic workload: drift uniform
+// in [m, M].
+func S2Config(s *schema.Schema, seed int64) *Config {
+	rng := rand.New(rand.NewSource(seed*41 + 13))
+	targets := make([]float64, defaultMonths-1)
+	for i := range targets {
+		targets[i] = driftMin + (driftMax-driftMin)*rng.Float64()
+	}
+	return &Config{
+		Name:               "S2",
+		Schema:             s,
+		Seed:               seed,
+		Months:             defaultMonths,
+		QueriesPerWeek:     400,
+		ActiveTemplates:    90,
+		CoreFraction:       0.3,
+		DesignableFraction: 0.12,
+		DriftTargets:       targets,
+		RoundTripSQL:       true,
+	}
+}

@@ -1,0 +1,220 @@
+package wlgen
+
+import (
+	"testing"
+	"time"
+
+	"cliffguard/internal/datagen"
+	"cliffguard/internal/distance"
+	"cliffguard/internal/workload"
+)
+
+// sharedSet generates one R1 set per test binary run; generation is the
+// expensive part of these tests.
+var sharedSet *Set
+
+func getSet(t *testing.T) *Set {
+	t.Helper()
+	if sharedSet == nil {
+		set, err := R1Config(datagen.Warehouse(1), 42).Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedSet = set
+	}
+	return sharedSet
+}
+
+func TestGenerateShape(t *testing.T) {
+	set := getSet(t)
+	cfg := set.Config
+	if len(set.Months) != cfg.Months {
+		t.Fatalf("months = %d, want %d", len(set.Months), cfg.Months)
+	}
+	wantQueries := cfg.QueriesPerWeek * 4 * cfg.Months
+	if len(set.Queries) != wantQueries {
+		t.Fatalf("queries = %d, want %d", len(set.Queries), wantQueries)
+	}
+	if len(set.AchievedDrift) != cfg.Months-1 {
+		t.Fatalf("achieved drift entries = %d", len(set.AchievedDrift))
+	}
+	// Every query is parseable output of the round-trip path.
+	for _, q := range set.Queries[:200] {
+		if q.SQL == "" {
+			t.Fatal("round-trip SQL missing")
+		}
+		if q.Spec == nil || q.Columns().Empty() {
+			t.Fatal("malformed query")
+		}
+	}
+	// Timestamps are non-decreasing.
+	for i := 1; i < len(set.Queries); i++ {
+		if set.Queries[i].Timestamp.Before(set.Queries[i-1].Timestamp) {
+			t.Fatal("timestamps not monotone")
+		}
+	}
+}
+
+func TestDriftCalibration(t *testing.T) {
+	set := getSet(t)
+	cfg := set.Config
+	// Calibrated (template-level) drift should be close to the targets
+	// wherever the target is reachable.
+	for i, target := range cfg.DriftTargets {
+		got := set.AchievedDrift[i]
+		if target > 0 && got > 0 {
+			ratio := got / target
+			if ratio < 0.5 || ratio > 2.0 {
+				t.Errorf("month %d: achieved drift %.5f vs target %.5f", i, got, target)
+			}
+		}
+	}
+	// Measured drift on the actual emitted windows lands in Table 1's range
+	// (generously bounded; sampling noise adds a floor).
+	m := distance.NewEuclidean(cfg.Schema.NumColumns())
+	st := distance.Consecutive(m, set.Months)
+	if st.Avg < 0.0003 || st.Avg > 0.004 {
+		t.Errorf("measured avg drift %.5f outside plausible Table 1 range", st.Avg)
+	}
+	if st.Max > 0.006 {
+		t.Errorf("measured max drift %.5f too large", st.Max)
+	}
+}
+
+func TestTemplateOverlapDecays(t *testing.T) {
+	set := getSet(t)
+	months := set.Months
+	avgOverlap := func(lag int) float64 {
+		var sum float64
+		var n int
+		for i := 0; i+lag < len(months); i++ {
+			sum += months[i+lag].SharedTemplateFraction(months[i], workload.MaskSWGO)
+			n++
+		}
+		return sum / float64(n)
+	}
+	l1, l3, l6 := avgOverlap(1), avgOverlap(3), avgOverlap(6)
+	if !(l1 > l3 && l3 > l6) {
+		t.Errorf("overlap should decay with lag: %f, %f, %f", l1, l3, l6)
+	}
+	// The stable core keeps a floor; churn keeps a ceiling (Figure 5 shape).
+	if l1 < 0.3 || l1 > 0.9 {
+		t.Errorf("lag-1 monthly overlap %f outside plausible range", l1)
+	}
+	// Weekly windows overlap more than monthly ones at lag 1.
+	weeks := workload.Windows(set.Queries, 7*24*time.Hour)
+	var wsum float64
+	var wn int
+	for i := 0; i+1 < len(weeks); i++ {
+		if weeks[i].Len() == 0 || weeks[i+1].Len() == 0 {
+			continue
+		}
+		wsum += weeks[i+1].SharedTemplateFraction(weeks[i], workload.MaskSWGO)
+		wn++
+	}
+	if wsum/float64(wn) <= l1 {
+		t.Errorf("weekly overlap %f should exceed monthly %f", wsum/float64(wn), l1)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := datagen.Warehouse(1)
+	cfg1 := S1Config(s, 5)
+	cfg1.Months = 3
+	cfg1.DriftTargets = cfg1.DriftTargets[:2]
+	cfg1.QueriesPerWeek = 40
+	set1, err := cfg1.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := S1Config(s, 5)
+	cfg2.Months = 3
+	cfg2.DriftTargets = cfg2.DriftTargets[:2]
+	cfg2.QueriesPerWeek = 40
+	set2, err := cfg2.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set1.Queries) != len(set2.Queries) {
+		t.Fatal("non-deterministic query count")
+	}
+	for i := range set1.Queries {
+		if set1.Queries[i].SQL != set2.Queries[i].SQL {
+			t.Fatalf("query %d differs:\n%s\n%s", i, set1.Queries[i].SQL, set2.Queries[i].SQL)
+		}
+	}
+}
+
+func TestPresetsDiffer(t *testing.T) {
+	s := datagen.Warehouse(1)
+	r1 := R1Config(s, 1)
+	s1 := S1Config(s, 1)
+	s2 := S2Config(s, 1)
+	avg := func(xs []float64) float64 {
+		var t float64
+		for _, x := range xs {
+			t += x
+		}
+		return t / float64(len(xs))
+	}
+	if avg(s1.DriftTargets) >= avg(r1.DriftTargets)/3 {
+		t.Error("S1 drift should be far below R1")
+	}
+	if avg(s2.DriftTargets) <= avg(s1.DriftTargets) {
+		t.Error("S2 drift should exceed S1")
+	}
+	// All targets within Table 1's [0.1m, M] envelope.
+	for _, cfg := range []*Config{r1, s1, s2} {
+		for _, d := range cfg.DriftTargets {
+			if d < driftMin*0.1-1e-12 || d > driftMax+1e-12 {
+				t.Errorf("%s target %g outside envelope", cfg.Name, d)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := datagen.Warehouse(1)
+	if _, err := (&Config{Schema: nil}).Generate(); err == nil {
+		t.Error("nil schema should fail")
+	}
+	if _, err := (&Config{Schema: s, Months: 1}).Generate(); err == nil {
+		t.Error("single month should fail")
+	}
+	if _, err := (&Config{Schema: s, Months: 3, DriftTargets: []float64{0.001}}).Generate(); err == nil {
+		t.Error("target count mismatch should fail")
+	}
+	if _, err := (&Config{Schema: s, Months: 3, DriftTargets: []float64{0.001, 0.001}}).Generate(); err == nil {
+		t.Error("zero queries per week should fail")
+	}
+	if _, err := (&Config{Schema: s, Months: 2, DriftTargets: []float64{0.001},
+		QueriesPerWeek: 10, CoreFraction: 0.9, DesignableFraction: 0.2}).Generate(); err == nil {
+		t.Error("over-unity strata should fail")
+	}
+}
+
+func TestDesignableChurnFollowsTargets(t *testing.T) {
+	// S1 (tiny targets) keeps most designable templates across a month
+	// boundary; a heavy-drift config churns most of them.
+	s := datagen.Warehouse(1)
+	low := S1Config(s, 9)
+	low.Months, low.DriftTargets, low.QueriesPerWeek = 3, low.DriftTargets[:2], 150
+	setLow, err := low.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := S2Config(s, 9)
+	high.Months, high.QueriesPerWeek = 3, 150
+	high.DriftTargets = []float64{driftMax, driftMax}
+	setHigh, err := high.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := func(set *Set) float64 {
+		return set.Months[1].SharedTemplateFraction(set.Months[0], workload.MaskSWGO)
+	}
+	if overlap(setLow) <= overlap(setHigh) {
+		t.Errorf("S1-like overlap %f should exceed heavy-drift overlap %f",
+			overlap(setLow), overlap(setHigh))
+	}
+}

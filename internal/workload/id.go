@@ -1,0 +1,9 @@
+package workload
+
+import "sync/atomic"
+
+var idCounter atomic.Int64
+
+// NextID returns a process-unique query ID. Workload generators and the
+// sampler's mutator use it so that distinct query objects never share an ID.
+func NextID() int64 { return idCounter.Add(1) }

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a workload: volumes, template structure and column usage.
+// The wlgen CLI prints it, and it is handy when inspecting drift by hand.
+type Stats struct {
+	Queries     int
+	TotalWeight float64
+	Templates   int // distinct SWGO templates
+
+	// TopTemplates lists the heaviest templates' share of total weight,
+	// descending, capped at 10 entries.
+	TopTemplates []TemplateShare
+
+	// ColumnUse counts how many queries reference each column (weighted),
+	// split by clause.
+	ColumnUse map[int]ClauseCounts
+
+	// Shape histograms (weighted fractions).
+	Aggregated float64 // share of weight with aggregates
+	Filtered   float64 // share of weight with at least one predicate
+	Ordered    float64 // share of weight with ORDER BY
+}
+
+// TemplateShare is one entry of Stats.TopTemplates.
+type TemplateShare struct {
+	Columns ColSet
+	Share   float64
+}
+
+// ClauseCounts is the weighted usage of one column per clause.
+type ClauseCounts struct {
+	Select, Where, GroupBy, OrderBy float64
+}
+
+// ComputeStats summarizes the workload.
+func ComputeStats(w *Workload) Stats {
+	st := Stats{
+		Queries:     w.Len(),
+		TotalWeight: w.TotalWeight(),
+		ColumnUse:   make(map[int]ClauseCounts),
+	}
+	if st.TotalWeight <= 0 {
+		return st
+	}
+	type tmpl struct {
+		cols  ColSet
+		share float64
+	}
+	templates := make(map[string]*tmpl)
+	for _, it := range w.Items {
+		q, wt := it.Q, it.Weight
+		key := q.TemplateKey(MaskSWGO)
+		tm, ok := templates[key]
+		if !ok {
+			tm = &tmpl{cols: q.MaskedColumns(MaskSWGO)}
+			templates[key] = tm
+		}
+		tm.share += wt / st.TotalWeight
+
+		for _, c := range q.Select.IDs() {
+			cc := st.ColumnUse[c]
+			cc.Select += wt
+			st.ColumnUse[c] = cc
+		}
+		for _, c := range q.Where.IDs() {
+			cc := st.ColumnUse[c]
+			cc.Where += wt
+			st.ColumnUse[c] = cc
+		}
+		for _, c := range q.GroupBy.IDs() {
+			cc := st.ColumnUse[c]
+			cc.GroupBy += wt
+			st.ColumnUse[c] = cc
+		}
+		for _, c := range q.OrderBy.IDs() {
+			cc := st.ColumnUse[c]
+			cc.OrderBy += wt
+			st.ColumnUse[c] = cc
+		}
+		if q.Spec != nil {
+			if len(q.Spec.Aggs) > 0 {
+				st.Aggregated += wt / st.TotalWeight
+			}
+			if len(q.Spec.Preds) > 0 {
+				st.Filtered += wt / st.TotalWeight
+			}
+			if len(q.Spec.OrderBy) > 0 {
+				st.Ordered += wt / st.TotalWeight
+			}
+		}
+	}
+	st.Templates = len(templates)
+	for _, tm := range templates {
+		st.TopTemplates = append(st.TopTemplates, TemplateShare{Columns: tm.cols, Share: tm.share})
+	}
+	sort.SliceStable(st.TopTemplates, func(i, j int) bool {
+		if st.TopTemplates[i].Share != st.TopTemplates[j].Share {
+			return st.TopTemplates[i].Share > st.TopTemplates[j].Share
+		}
+		return st.TopTemplates[i].Columns.Key() < st.TopTemplates[j].Columns.Key()
+	})
+	if len(st.TopTemplates) > 10 {
+		st.TopTemplates = st.TopTemplates[:10]
+	}
+	return st
+}
+
+// String renders a human-readable summary.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d queries (weight %.0f), %d templates; %.0f%% aggregated, %.0f%% filtered, %.0f%% ordered\n",
+		st.Queries, st.TotalWeight, st.Templates,
+		100*st.Aggregated, 100*st.Filtered, 100*st.Ordered)
+	for i, ts := range st.TopTemplates {
+		fmt.Fprintf(&b, "  top template %2d: %5.1f%% %s\n", i+1, ts.Share*100, ts.Columns)
+	}
+	return b.String()
+}

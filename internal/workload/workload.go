@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Item is one weighted entry of a workload. Weight is the (possibly
+// fractional) frequency of the query; the Γ-neighborhood sampler produces
+// fractional weights so that sampled workloads land at an exact distance.
+type Item struct {
+	Q      *Query
+	Weight float64
+}
+
+// Workload is a weighted multiset of queries. The zero value is empty.
+type Workload struct {
+	Items []Item
+}
+
+// New builds a workload from queries, each with weight 1.
+func New(queries ...*Query) *Workload {
+	w := &Workload{Items: make([]Item, 0, len(queries))}
+	for _, q := range queries {
+		w.Items = append(w.Items, Item{Q: q, Weight: 1})
+	}
+	return w
+}
+
+// Add appends a query with the given weight. Non-positive weights are
+// ignored: they would corrupt the frequency vector.
+func (w *Workload) Add(q *Query, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	w.Items = append(w.Items, Item{Q: q, Weight: weight})
+}
+
+// Len returns the number of items (not total weight).
+func (w *Workload) Len() int { return len(w.Items) }
+
+// TotalWeight returns the sum of item weights.
+func (w *Workload) TotalWeight() float64 {
+	var t float64
+	for _, it := range w.Items {
+		t += it.Weight
+	}
+	return t
+}
+
+// Queries returns the distinct query pointers in item order.
+func (w *Workload) Queries() []*Query {
+	qs := make([]*Query, len(w.Items))
+	for i, it := range w.Items {
+		qs[i] = it.Q
+	}
+	return qs
+}
+
+// Clone returns a shallow copy (queries shared, items copied).
+func (w *Workload) Clone() *Workload {
+	out := &Workload{Items: make([]Item, len(w.Items))}
+	copy(out.Items, w.Items)
+	return out
+}
+
+// Union returns a new workload containing all items of w and v.
+func (w *Workload) Union(v *Workload) *Workload {
+	out := &Workload{Items: make([]Item, 0, len(w.Items)+len(v.Items))}
+	out.Items = append(out.Items, w.Items...)
+	out.Items = append(out.Items, v.Items...)
+	return out
+}
+
+// Scale returns a copy of w with all weights multiplied by f (f > 0).
+func (w *Workload) Scale(f float64) *Workload {
+	out := w.Clone()
+	for i := range out.Items {
+		out.Items[i].Weight *= f
+	}
+	return out
+}
+
+// Vector returns the workload's normalized template-frequency vector under
+// the given clause mask: template key -> fraction of total weight. This is
+// the paper's V_W (Section 5), represented sparsely; the key doubles as the
+// identity of the column subset.
+func (w *Workload) Vector(m ClauseMask) map[string]float64 {
+	total := w.TotalWeight()
+	out := make(map[string]float64)
+	if total <= 0 {
+		return out
+	}
+	for _, it := range w.Items {
+		out[it.Q.TemplateKey(m)] += it.Weight / total
+	}
+	return out
+}
+
+// VectorWithSets returns the normalized frequency vector along with a
+// representative masked column set per template key. Distance computations
+// need both the frequencies and the underlying column sets.
+func (w *Workload) VectorWithSets(m ClauseMask) (map[string]float64, map[string]ColSet) {
+	total := w.TotalWeight()
+	freqs := make(map[string]float64)
+	sets := make(map[string]ColSet)
+	if total <= 0 {
+		return freqs, sets
+	}
+	for _, it := range w.Items {
+		cols := it.Q.MaskedColumns(m)
+		key := cols.Key()
+		freqs[key] += it.Weight / total
+		if _, ok := sets[key]; !ok {
+			sets[key] = cols
+		}
+	}
+	return freqs, sets
+}
+
+// SeparateVector returns the normalized frequency vector under the 4-tuple
+// (delta_separate) representation, with per-clause sets for each key.
+func (w *Workload) SeparateVector() (map[string]float64, map[string][numClauses]ColSet) {
+	total := w.TotalWeight()
+	freqs := make(map[string]float64)
+	sets := make(map[string][numClauses]ColSet)
+	if total <= 0 {
+		return freqs, sets
+	}
+	for _, it := range w.Items {
+		key := it.Q.SeparateKey()
+		freqs[key] += it.Weight / total
+		if _, ok := sets[key]; !ok {
+			sets[key] = [numClauses]ColSet{
+				it.Q.Select, it.Q.Where, it.Q.GroupBy, it.Q.OrderBy,
+			}
+		}
+	}
+	return freqs, sets
+}
+
+// TemplateSet returns the set of template keys under the mask.
+func (w *Workload) TemplateSet(m ClauseMask) map[string]bool {
+	out := make(map[string]bool)
+	for _, it := range w.Items {
+		out[it.Q.TemplateKey(m)] = true
+	}
+	return out
+}
+
+// SharedTemplateFraction returns the fraction of w's weight belonging to
+// templates that also occur in v (Figure 5's overlap measure).
+func (w *Workload) SharedTemplateFraction(v *Workload, m ClauseMask) float64 {
+	total := w.TotalWeight()
+	if total <= 0 {
+		return 0
+	}
+	vt := v.TemplateSet(m)
+	var shared float64
+	for _, it := range w.Items {
+		if vt[it.Q.TemplateKey(m)] {
+			shared += it.Weight
+		}
+	}
+	return shared / total
+}
+
+// TimeSpan returns the earliest and latest query timestamps, or zero times
+// for an empty workload.
+func (w *Workload) TimeSpan() (time.Time, time.Time) {
+	if len(w.Items) == 0 {
+		return time.Time{}, time.Time{}
+	}
+	lo, hi := w.Items[0].Q.Timestamp, w.Items[0].Q.Timestamp
+	for _, it := range w.Items[1:] {
+		ts := it.Q.Timestamp
+		if ts.Before(lo) {
+			lo = ts
+		}
+		if ts.After(hi) {
+			hi = ts
+		}
+	}
+	return lo, hi
+}
+
+// String summarizes the workload.
+func (w *Workload) String() string {
+	return fmt.Sprintf("Workload{%d items, weight %.1f, %d templates}",
+		len(w.Items), w.TotalWeight(), len(w.TemplateSet(MaskSWGO)))
+}
+
+// Windows partitions timestamped queries into consecutive fixed-duration
+// windows starting at the earliest timestamp (the paper's 4-week windows,
+// Section 6.1). Queries are weight-1. Empty interior windows are preserved so
+// window indexes correspond to elapsed time; callers typically skip empties.
+func Windows(queries []*Query, d time.Duration) []*Workload {
+	if len(queries) == 0 || d <= 0 {
+		return nil
+	}
+	sorted := make([]*Query, len(queries))
+	copy(sorted, queries)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Timestamp.Before(sorted[j].Timestamp)
+	})
+	start := sorted[0].Timestamp
+	end := sorted[len(sorted)-1].Timestamp
+	n := int(end.Sub(start)/d) + 1
+	out := make([]*Workload, n)
+	for i := range out {
+		out[i] = &Workload{}
+	}
+	for _, q := range sorted {
+		i := int(q.Timestamp.Sub(start) / d)
+		if i >= n { // end boundary
+			i = n - 1
+		}
+		out[i].Add(q, 1)
+	}
+	return out
+}
