@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: ci vet build test race fuzz-smoke bench
+
+# The full local gate: what should pass before every commit.
+ci: vet build race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The whole suite under the race detector; the engine cost models are shared
+# across CliffGuard's parallel neighborhood evaluation, so -race is the gate
+# that matters.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz of the SQL parser on top of the checked-in corpus
+# (internal/sqlparse/testdata/fuzz/).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparse/
+
+# Parallel neighborhood-evaluation benchmarks (cold and warm cache).
+bench:
+	$(GO) test ./internal/bench/ -run '^$$' -bench BenchmarkNeighborhoodEval -benchmem

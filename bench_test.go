@@ -13,6 +13,7 @@
 package cliffguard_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -387,7 +388,7 @@ func BenchmarkMicro_NominalDesign(b *testing.B) {
 	w := sc.DesignableQueries(sc.Windows()[0])
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sc.Nominal.Design(w); err != nil {
+		if _, err := sc.Nominal.Design(context.Background(), w); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -29,13 +29,15 @@
 //	db := cliffguard.NewVertica(s)            // columnar engine simulator
 //	nominal := cliffguard.NewVerticaDesigner(db, 512<<20)
 //	guard := cliffguard.New(nominal, db, s, cliffguard.Options{Gamma: 0.002})
-//	design, err := guard.Design(w)            // w: *cliffguard.Workload
+//	design, err := guard.Design(ctx, w)       // w: *cliffguard.Workload
 //
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // full system inventory and experiment index.
 package cliffguard
 
 import (
+	"context"
+
 	"cliffguard/internal/aqesim"
 	"cliffguard/internal/core"
 	"cliffguard/internal/datagen"
@@ -229,9 +231,12 @@ func S2Workload(s *Schema, seed int64) (*WorkloadSet, error) {
 func NewWorkload(queries ...*Query) *Workload { return workload.New(queries...) }
 
 // WorkloadCost returns f(W, D): the weighted total latency of the workload
-// under the design.
-func WorkloadCost(cm CostModel, w *Workload, d *Design) (float64, error) {
-	return designer.WorkloadCost(cm, w, d)
+// under the design. A nil ctx is treated as context.Background().
+func WorkloadCost(ctx context.Context, cm CostModel, w *Workload, d *Design) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return designer.WorkloadCost(ctx, cm, w, d)
 }
 
 // WorkloadStats summarizes a workload: volumes, template structure and
@@ -249,13 +254,14 @@ type CandidateProvider interface {
 // factor. The paper's evaluation keeps only such queries — 515 of R1's 15.5K
 // parseable queries at factor 3 (Section 6.4).
 func FilterDesignable(cm CostModel, provider CandidateProvider, w *Workload, factor float64) *Workload {
+	ctx := context.Background()
 	out := &Workload{}
 	cache := make(map[string]bool)
 	for _, it := range w.Items {
 		key := it.Q.TemplateKey(workload.MaskSWGO)
 		ok, seen := cache[key]
 		if !seen {
-			ok = isDesignable(cm, provider, it.Q, factor)
+			ok = isDesignable(ctx, cm, provider, it.Q, factor)
 			cache[key] = ok
 		}
 		if ok {
@@ -265,8 +271,8 @@ func FilterDesignable(cm CostModel, provider CandidateProvider, w *Workload, fac
 	return out
 }
 
-func isDesignable(cm CostModel, provider CandidateProvider, q *Query, factor float64) bool {
-	base, err := cm.Cost(q, nil)
+func isDesignable(ctx context.Context, cm CostModel, provider CandidateProvider, q *Query, factor float64) bool {
+	base, err := cm.Cost(ctx, q, nil)
 	if err != nil {
 		return false
 	}
@@ -275,11 +281,11 @@ func isDesignable(cm CostModel, provider CandidateProvider, q *Query, factor flo
 	if len(cands) == 0 {
 		return false
 	}
-	ideal, err := designer.GreedySelect(cm, single, cands, 1<<62)
+	ideal, err := designer.GreedySelect(ctx, cm, single, cands, 1<<62)
 	if err != nil {
 		return false
 	}
-	best, err := cm.Cost(q, ideal)
+	best, err := cm.Cost(ctx, q, ideal)
 	if err != nil || best <= 0 {
 		return false
 	}

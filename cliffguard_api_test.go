@@ -1,6 +1,7 @@
 package cliffguard_test
 
 import (
+	"context"
 	"testing"
 
 	"cliffguard"
@@ -38,15 +39,15 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	// Columnar engine path.
 	vdb := cliffguard.NewVertica(s)
 	nominal := cliffguard.NewVerticaDesigner(vdb, 64<<20)
-	nd, err := nominal.Design(w)
+	nd, err := nominal.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	before, err := cliffguard.WorkloadCost(vdb, w, nil)
+	before, err := cliffguard.WorkloadCost(context.Background(), vdb, w, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	after, err := cliffguard.WorkloadCost(vdb, w, nd)
+	after, err := cliffguard.WorkloadCost(context.Background(), vdb, w, nd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	guard := cliffguard.New(nominal, vdb, s, cliffguard.Options{
 		Gamma: 0.01, Samples: 8, Iterations: 3, Seed: 1,
 	})
-	rd, traces, err := guard.DesignWithTrace(w)
+	rd, traces, err := guard.DesignWithTrace(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,12 +72,12 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	// Row-store engine path.
 	rdb := cliffguard.NewRowStore(s)
 	rnominal := cliffguard.NewRowStoreDesigner(rdb, 32<<20)
-	rrd, err := rnominal.Design(w)
+	rrd, err := rnominal.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rBefore, _ := cliffguard.WorkloadCost(rdb, w, nil)
-	rAfter, _ := cliffguard.WorkloadCost(rdb, w, rrd)
+	rBefore, _ := cliffguard.WorkloadCost(context.Background(), rdb, w, nil)
+	rAfter, _ := cliffguard.WorkloadCost(context.Background(), rdb, w, rrd)
 	if rAfter >= rBefore {
 		t.Fatalf("row-store design did not help: %g -> %g", rBefore, rAfter)
 	}
@@ -168,7 +169,7 @@ func TestApproxEngineAPI(t *testing.T) {
 
 	db := cliffguard.NewApproxEngine(s)
 	nominal := cliffguard.NewSampleDesigner(db, 256<<20)
-	d, err := nominal.Design(w)
+	d, err := nominal.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,14 +179,14 @@ func TestApproxEngineAPI(t *testing.T) {
 	if _, ok := d.Structures[0].(*cliffguard.Sample); !ok {
 		t.Fatalf("structure type %T, want *Sample", d.Structures[0])
 	}
-	before, _ := cliffguard.WorkloadCost(db, w, nil)
-	after, _ := cliffguard.WorkloadCost(db, w, d)
+	before, _ := cliffguard.WorkloadCost(context.Background(), db, w, nil)
+	after, _ := cliffguard.WorkloadCost(context.Background(), db, w, d)
 	if after >= before {
 		t.Fatalf("sample design did not help: %g -> %g", before, after)
 	}
 
 	guard := cliffguard.New(nominal, db, s, cliffguard.Options{Gamma: 0.004, Samples: 8, Iterations: 3, Seed: 2})
-	if _, err := guard.Design(w); err != nil {
+	if _, err := guard.Design(context.Background(), w); err != nil {
 		t.Fatal(err)
 	}
 }

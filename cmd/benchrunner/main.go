@@ -5,6 +5,7 @@
 //
 //	benchrunner -experiment all
 //	benchrunner -experiment F7a,F8 -seed 42
+//	benchrunner -experiment F8 -parallelism 4
 //
 // Experiment IDs: T1, F5, F6, F7a, F7b, F7c, F8, F9, F10, F11, F12, F13,
 // F14, F15a, F15b, F16, plus ABL (this reproduction's CliffGuard loop
@@ -33,6 +34,7 @@ type runner struct {
 	seed   int64
 	gammaV float64 // Vertica-scenario Gamma
 	gammaX float64 // DBMS-X-scenario Gamma
+	par    int     // CliffGuard neighborhood-evaluation workers
 
 	csvDir string
 
@@ -95,6 +97,7 @@ func (r *runner) scenario(engine, wl string) *bench.Scenario {
 	default:
 		log.Fatalf("unknown engine %q", engine)
 	}
+	sc.Parallelism = r.par
 	r.scenarios[key] = sc
 	return sc
 }
@@ -109,6 +112,7 @@ func main() {
 		gammaV = flag.Float64("gamma", 0.002, "CliffGuard Gamma for Vertica scenarios")
 		gammaX = flag.Float64("gamma-dbmsx", 0.0008, "CliffGuard Gamma for DBMS-X scenarios")
 		csvDir = flag.String("csv", "", "also write per-experiment CSV files into this directory")
+		par    = flag.Int("parallelism", 0, "CliffGuard neighborhood-evaluation workers (0 = NumCPU); any value produces identical results for a fixed seed")
 	)
 	flag.Parse()
 
@@ -117,6 +121,7 @@ func main() {
 		seed:      *seed,
 		gammaV:    *gammaV,
 		gammaX:    *gammaX,
+		par:       *par,
 		csvDir:    *csvDir,
 		sets:      make(map[string]*wlgen.Set),
 		scenarios: make(map[string]*bench.Scenario),

@@ -14,11 +14,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -38,6 +40,7 @@ func main() {
 		seed    = flag.Int64("seed", 7, "sampling seed")
 		samples = flag.Int("samples", 40, "Gamma-neighborhood sample count")
 		iters   = flag.Int("iterations", 12, "robust-move iterations")
+		par     = flag.Int("parallelism", 0, "neighborhood-evaluation workers (0 = NumCPU)")
 		verbose = flag.Bool("v", false, "print the per-iteration trace")
 		outJSON = flag.String("out", "", "also write the design as JSON to this file")
 	)
@@ -71,16 +74,22 @@ func main() {
 		log.Fatalf("unknown engine %q (want vertica or rowstore)", *engine)
 	}
 
+	// Ctrl-C cancels the design loop: the context threads down through the
+	// designers and cost models, so the run aborts promptly mid-iteration.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
 	var design *cliffguard.Design
 	if *gamma == 0 {
-		design, err = nominal.Design(w)
+		design, err = nominal.Design(ctx, w)
 	} else {
 		guard := cliffguard.New(nominal, db, s, cliffguard.Options{
 			Gamma: *gamma, Samples: *samples, Iterations: *iters, Seed: *seed,
+			Parallelism: *par,
 		})
 		var traces []cliffguard.Trace
-		design, traces, err = guard.DesignWithTrace(w)
+		design, traces, err = guard.DesignWithTrace(ctx, w)
 		if *verbose {
 			for _, tr := range traces {
 				fmt.Printf("iter %2d: alpha=%.3f worst-case %.0f -> candidate %.0f improved=%v\n",
@@ -92,8 +101,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	before, _ := cliffguard.WorkloadCost(db, w, nil)
-	after, _ := cliffguard.WorkloadCost(db, w, design)
+	before, _ := cliffguard.WorkloadCost(ctx, db, w, nil)
+	after, _ := cliffguard.WorkloadCost(ctx, db, w, design)
 	fmt.Printf("design found in %s: %d structures, %d MiB\n",
 		time.Since(start).Round(time.Millisecond), design.Len(), design.SizeBytes()>>20)
 	fmt.Printf("estimated workload cost: %.0f ms -> %.0f ms (%.1fx)\n", before, after, safeRatio(before, after))

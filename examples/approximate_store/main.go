@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	s := cliffguard.Warehouse(1)
 	parser := cliffguard.NewParser(s)
 	parse := func(sql string) *cliffguard.Query {
@@ -40,21 +42,21 @@ func main() {
 	budget := int64(128) << 20
 	nominal := cliffguard.NewSampleDesigner(db, budget)
 
-	nominalDesign, err := nominal.Design(past)
+	nominalDesign, err := nominal.Design(ctx, past)
 	if err != nil {
 		log.Fatal(err)
 	}
 	guard := cliffguard.New(nominal, db, s, cliffguard.Options{
 		Gamma: 0.004, Samples: 48, Iterations: 12, Seed: 5,
 	})
-	robustDesign, err := guard.Design(past)
+	robustDesign, err := guard.Design(ctx, past)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	report := func(name string, d *cliffguard.Design) {
-		p, _ := cliffguard.WorkloadCost(db, past, d)
-		f, _ := cliffguard.WorkloadCost(db, future, d)
+		p, _ := cliffguard.WorkloadCost(ctx, db, past, d)
+		f, _ := cliffguard.WorkloadCost(ctx, db, future, d)
 		fmt.Printf("%-22s %d samples, %4d MB | this month %6.0f ms | next month %6.0f ms\n",
 			name, d.Len(), d.SizeBytes()>>20, p, f)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	s := cliffguard.Warehouse(1)
 	fmt.Printf("warehouse: %d tables, %d columns\n", len(s.Tables()), s.NumColumns())
 
@@ -43,11 +45,11 @@ func main() {
 	var nomTotal, cgTotal float64
 	for i := 0; i+1 < len(months); i++ {
 		input, next := months[i], months[i+1]
-		nd, err := nominal.Design(input)
+		nd, err := nominal.Design(ctx, input)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cd, err := guard.Design(input)
+		cd, err := guard.Design(ctx, input)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +66,7 @@ func main() {
 
 // perQuery returns the mean per-query latency of the workload under the design.
 func perQuery(db *cliffguard.VerticaDB, w *cliffguard.Workload, d *cliffguard.Design) float64 {
-	total, err := cliffguard.WorkloadCost(db, w, d)
+	total, err := cliffguard.WorkloadCost(context.Background(), db, w, d)
 	if err != nil {
 		log.Fatal(err)
 	}

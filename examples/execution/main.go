@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	s := cliffguard.Warehouse(1)
 	// Physically materialize a scaled-down instance (the cost models keep
 	// reasoning about the full modeled row counts).
@@ -29,7 +31,7 @@ func main() {
 	// Columnar engine: design, then execute with and without it.
 	vdb := cliffguard.NewVerticaWithData(data)
 	vdes := cliffguard.NewVerticaDesigner(vdb, 512<<20)
-	vdesign, err := vdes.Design(w)
+	vdesign, err := vdes.Design(ctx, w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 	// Row-store engine: same story with indices/materialized views.
 	rdb := cliffguard.NewRowStoreWithData(data)
 	rdes := cliffguard.NewRowStoreDesigner(rdb, 256<<20)
-	rdesign, err := rdes.Design(w)
+	rdesign, err := rdes.Design(ctx, w)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A small warehouse: one fact table and the star around it.
 	s, err := cliffguard.NewSchema([]cliffguard.TableDef{
 		{
@@ -65,7 +67,7 @@ func main() {
 	budget := int64(96) << 20
 
 	nominal := cliffguard.NewVerticaDesigner(db, budget)
-	nominalDesign, err := nominal.Design(past)
+	nominalDesign, err := nominal.Design(ctx, past)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,14 +75,14 @@ func main() {
 	guard := cliffguard.New(nominal, db, s, cliffguard.Options{
 		Gamma: 0.004, Samples: 48, Iterations: 12, Seed: 1,
 	})
-	robustDesign, err := guard.Design(past)
+	robustDesign, err := guard.Design(ctx, past)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	report := func(name string, d *cliffguard.Design) {
-		pastMs, _ := cliffguard.WorkloadCost(db, past, d)
-		futureMs, _ := cliffguard.WorkloadCost(db, future, d)
+		pastMs, _ := cliffguard.WorkloadCost(ctx, db, past, d)
+		futureMs, _ := cliffguard.WorkloadCost(ctx, db, future, d)
 		fmt.Printf("%-22s %2d structures, %4d MB | this month %6.0f ms | next month %6.0f ms\n",
 			name, d.Len(), d.SizeBytes()>>20, pastMs, futureMs)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	s := cliffguard.Warehouse(1)
 	set, err := cliffguard.R1Workload(s, 42)
 	if err != nil {
@@ -30,12 +32,12 @@ func main() {
 		guard := cliffguard.New(nominal, db, s, cliffguard.Options{
 			Gamma: gamma, Samples: 40, Iterations: 12, Seed: 7,
 		})
-		design, err := guard.Design(current)
+		design, err := guard.Design(ctx, current)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cur, _ := cliffguard.WorkloadCost(db, current, design)
-		nxt, _ := cliffguard.WorkloadCost(db, next, design)
+		cur, _ := cliffguard.WorkloadCost(ctx, db, current, design)
+		nxt, _ := cliffguard.WorkloadCost(ctx, db, next, design)
 		fmt.Printf("%8.4f | %7.0f ms | %7.0f ms | %d\n",
 			gamma, cur/current.TotalWeight(), nxt/next.TotalWeight(), design.Len())
 	}

@@ -13,12 +13,13 @@
 package aqesim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
-	"sync"
 
+	"cliffguard/internal/costcache"
 	"cliffguard/internal/designer"
 	"cliffguard/internal/schema"
 	"cliffguard/internal/workload"
@@ -116,22 +117,28 @@ func (s *Sample) StrataSet() workload.ColSet {
 }
 
 // DB is the approximate engine's cost model. It implements
-// designer.CostModel.
+// designer.CostModel. The memo cache is sharded for CliffGuard's parallel
+// neighborhood evaluation.
 type DB struct {
 	Schema *schema.Schema
 
-	mu   sync.Mutex
-	memo map[*workload.Query]map[string]float64
+	memo *costcache.Cache // per-(query, path) cost
 }
 
 // Open returns a cost-model-only approximate engine over the schema.
 func Open(s *schema.Schema) *DB {
-	return &DB{Schema: s, memo: make(map[*workload.Query]map[string]float64)}
+	return &DB{Schema: s, memo: costcache.New()}
 }
 
 // Cost implements designer.CostModel: an aggregate query answerable from a
 // stratified sample scans only the sample; everything else scans the table.
-func (db *DB) Cost(q *workload.Query, d *designer.Design) (float64, error) {
+// A cancelled ctx aborts with ctx.Err() before any estimation work.
+func (db *DB) Cost(ctx context.Context, q *workload.Query, d *designer.Design) (float64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	if err := db.check(q); err != nil {
 		return 0, err
 	}
@@ -193,26 +200,9 @@ func (db *DB) pathCost(q *workload.Query, sm *Sample) float64 {
 	if sm != nil {
 		pathKey = sm.Key()
 	}
-	db.mu.Lock()
-	if m, ok := db.memo[q]; ok {
-		if c, ok := m[pathKey]; ok {
-			db.mu.Unlock()
-			return c
-		}
-	}
-	db.mu.Unlock()
-
-	c := db.computePathCost(q, sm)
-
-	db.mu.Lock()
-	m, ok := db.memo[q]
-	if !ok {
-		m = make(map[string]float64, 2)
-		db.memo[q] = m
-	}
-	m[pathKey] = c
-	db.mu.Unlock()
-	return c
+	return db.memo.GetOrCompute(q, pathKey, func() float64 {
+		return db.computePathCost(q, sm)
+	})
 }
 
 func (db *DB) computePathCost(q *workload.Query, sm *Sample) float64 {
@@ -249,7 +239,7 @@ func (db *DB) computePathCost(q *workload.Query, sm *Sample) float64 {
 func (db *DB) BaselineCost(w *workload.Workload) float64 {
 	var total float64
 	for _, it := range w.Items {
-		c, err := db.Cost(it.Q, nil)
+		c, err := db.Cost(context.Background(), it.Q, nil)
 		if err != nil {
 			continue
 		}

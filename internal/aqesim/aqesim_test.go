@@ -1,6 +1,7 @@
 package aqesim
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -91,27 +92,27 @@ func TestCostModelSamplePaths(t *testing.T) {
 	db := Open(s)
 	query := aggQuery(0, 2) // group by a, filter on c
 
-	base, err := db.Cost(query, nil)
+	base, err := db.Cost(context.Background(), query, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A sample stratified on {a, c} answers the query cheaply.
 	good, _ := NewSample(s, "f", []int{0, 2}, 0.01)
-	fast, _ := db.Cost(query, designer.NewDesign(good))
+	fast, _ := db.Cost(context.Background(), query, designer.NewDesign(good))
 	if fast >= base/5 {
 		t.Fatalf("sample cost %g, want far below %g", fast, base)
 	}
 	// A sample missing the filter column is not answerable.
 	bad, _ := NewSample(s, "f", []int{0}, 0.01)
-	same, _ := db.Cost(query, designer.NewDesign(bad))
+	same, _ := db.Cost(context.Background(), query, designer.NewDesign(bad))
 	if same != base {
 		t.Fatalf("non-covering sample changed cost: %g vs %g", same, base)
 	}
 	// Detail (non-aggregate) queries never use samples.
 	detail := q(&workload.Spec{Table: "f", SelectCols: []int{3},
 		Preds: []workload.Pred{{Col: 2, Op: workload.Eq, Lo: 1, Hi: 1, Sel: 0.1}}})
-	cDetail, _ := db.Cost(detail, designer.NewDesign(good))
-	cDetailBase, _ := db.Cost(detail, nil)
+	cDetail, _ := db.Cost(context.Background(), detail, designer.NewDesign(good))
+	cDetailBase, _ := db.Cost(context.Background(), detail, nil)
 	if cDetail != cDetailBase {
 		t.Fatal("detail query must not run on a sample")
 	}
@@ -119,10 +120,10 @@ func TestCostModelSamplePaths(t *testing.T) {
 
 func TestCostUnsupported(t *testing.T) {
 	db := Open(testSchema())
-	if _, err := db.Cost(&workload.Query{}, nil); !errors.Is(err, designer.ErrUnsupported) {
+	if _, err := db.Cost(context.Background(), &workload.Query{}, nil); !errors.Is(err, designer.ErrUnsupported) {
 		t.Error("spec-less query")
 	}
-	if _, err := db.Cost(q(&workload.Spec{Table: "zzz"}), nil); !errors.Is(err, designer.ErrUnsupported) {
+	if _, err := db.Cost(context.Background(), q(&workload.Spec{Table: "zzz"}), nil); !errors.Is(err, designer.ErrUnsupported) {
 		t.Error("unknown table")
 	}
 }
@@ -135,7 +136,7 @@ func TestDesignerSelectsWithinBudget(t *testing.T) {
 	)
 	budget := int64(64) << 20
 	d := NewDesigner(db, budget)
-	design, err := d.Design(w)
+	design, err := d.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,8 +146,8 @@ func TestDesignerSelectsWithinBudget(t *testing.T) {
 	if design.SizeBytes() > budget {
 		t.Fatalf("budget exceeded: %d > %d", design.SizeBytes(), budget)
 	}
-	before, _ := designer.WorkloadCost(db, w, nil)
-	after, _ := designer.WorkloadCost(db, w, design)
+	before, _ := designer.WorkloadCost(context.Background(), db, w, nil)
+	after, _ := designer.WorkloadCost(context.Background(), db, w, design)
 	if after >= before {
 		t.Fatalf("design did not help: %g -> %g", before, after)
 	}
@@ -171,7 +172,7 @@ func TestCliffGuardOverSampleSelection(t *testing.T) {
 	}
 	w := workload.New(queries...)
 
-	design, traces, err := guard.DesignWithTrace(w)
+	design, traces, err := guard.DesignWithTrace(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}

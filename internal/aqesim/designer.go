@@ -1,6 +1,7 @@
 package aqesim
 
 import (
+	"context"
 	"sort"
 
 	"cliffguard/internal/designer"
@@ -32,9 +33,9 @@ func NewDesigner(db *DB, budget int64) *Designer {
 func (d *Designer) Name() string { return "AQE-SampleSelector" }
 
 // Design implements designer.Designer.
-func (d *Designer) Design(w *workload.Workload) (*designer.Design, error) {
+func (d *Designer) Design(ctx context.Context, w *workload.Workload) (*designer.Design, error) {
 	cw := designer.CompressByTemplate(w)
-	return designer.GreedySelect(d.DB, cw, d.Candidates(cw), d.Budget)
+	return designer.GreedySelect(ctx, d.DB, cw, d.Candidates(cw), d.Budget)
 }
 
 // Candidates implements the CandidateProvider contract used by the

@@ -11,6 +11,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -31,7 +32,7 @@ type NoDesign struct{}
 func (NoDesign) Name() string { return "NoDesign" }
 
 // Design implements designer.Designer.
-func (NoDesign) Design(*workload.Workload) (*designer.Design, error) {
+func (NoDesign) Design(context.Context, *workload.Workload) (*designer.Design, error) {
 	return designer.NewDesign(), nil
 }
 
@@ -47,8 +48,8 @@ func (f *FutureKnowing) Name() string { return "FutureKnowing" }
 
 // Design implements designer.Designer (the harness supplies the future
 // workload as w).
-func (f *FutureKnowing) Design(w *workload.Workload) (*designer.Design, error) {
-	return f.Inner.Design(w)
+func (f *FutureKnowing) Design(ctx context.Context, w *workload.Workload) (*designer.Design, error) {
+	return f.Inner.Design(ctx, w)
 }
 
 // MajorityVote is the sensitivity-analysis baseline: design each sampled
@@ -68,7 +69,10 @@ type MajorityVote struct {
 func (m *MajorityVote) Name() string { return "MajorityVote" }
 
 // Design implements designer.Designer.
-func (m *MajorityVote) Design(w *workload.Workload) (*designer.Design, error) {
+func (m *MajorityVote) Design(ctx context.Context, w *workload.Workload) (*designer.Design, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if w == nil || w.Len() == 0 {
 		return nil, errors.New("baselines: empty workload")
 	}
@@ -87,7 +91,7 @@ func (m *MajorityVote) Design(w *workload.Workload) (*designer.Design, error) {
 	instances := make(map[string]designer.Structure)
 	var order []string
 	for _, wn := range neighborhood {
-		d, err := m.Nominal.Design(wn)
+		d, err := m.Nominal.Design(ctx, wn)
 		if err != nil {
 			return nil, fmt.Errorf("baselines: majority-vote nominal design: %w", err)
 		}
@@ -144,7 +148,10 @@ type OptimalLocalSearch struct {
 func (o *OptimalLocalSearch) Name() string { return "OptimalLocalSearch" }
 
 // Design implements designer.Designer.
-func (o *OptimalLocalSearch) Design(w *workload.Workload) (*designer.Design, error) {
+func (o *OptimalLocalSearch) Design(ctx context.Context, w *workload.Workload) (*designer.Design, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if w == nil || w.Len() == 0 {
 		return nil, errors.New("baselines: empty workload")
 	}
@@ -183,7 +190,7 @@ func (o *OptimalLocalSearch) Design(w *workload.Workload) (*designer.Design, err
 	var queries []*workload.Query
 	var weights []float64
 	for _, it := range union.Items {
-		if _, err := o.Cost.Cost(it.Q, nil); err != nil {
+		if _, err := o.Cost.Cost(ctx, it.Q, nil); err != nil {
 			continue // skip unsupported queries
 		}
 		queries = append(queries, it.Q)
@@ -200,14 +207,17 @@ func (o *OptimalLocalSearch) Design(w *workload.Workload) (*designer.Design, err
 		prob.Size[s] = cand.SizeBytes()
 	}
 	for qi, q := range queries {
-		base, err := o.Cost.Cost(q, nil)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		base, err := o.Cost.Cost(ctx, q, nil)
 		if err != nil {
 			return nil, err
 		}
 		prob.Base[qi] = base
 		row := make([]float64, len(candidates))
 		for si, cand := range candidates {
-			c, err := o.Cost.Cost(q, designer.NewDesign(cand))
+			c, err := o.Cost.Cost(ctx, q, designer.NewDesign(cand))
 			if err != nil {
 				row[si] = math.Inf(1)
 				continue

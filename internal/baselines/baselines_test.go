@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -66,7 +67,7 @@ func newFixture() *fixture {
 }
 
 func TestNoDesign(t *testing.T) {
-	d, err := NoDesign{}.Design(testWorkload(testSchema(), 1, 5))
+	d, err := NoDesign{}.Design(context.Background(), testWorkload(testSchema(), 1, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +83,11 @@ func TestFutureKnowingDelegates(t *testing.T) {
 	f := newFixture()
 	w := testWorkload(f.schema, 2, 8)
 	fk := &FutureKnowing{Inner: f.nominal}
-	dFK, err := fk.Design(w)
+	dFK, err := fk.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dN, _ := f.nominal.Design(w)
+	dN, _ := f.nominal.Design(context.Background(), w)
 	if dFK.Len() != dN.Len() {
 		t.Fatal("FutureKnowing must delegate to the inner designer")
 	}
@@ -102,7 +103,7 @@ func TestMajorityVote(t *testing.T) {
 		Nominal: f.nominal, Sampler: f.sampler,
 		Budget: f.budget, Gamma: 0.004, Samples: 6, Seed: 3,
 	}
-	d, err := mv.Design(w)
+	d, err := mv.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestMajorityVote(t *testing.T) {
 		t.Fatalf("budget exceeded: %d > %d", d.SizeBytes(), f.budget)
 	}
 	// Deterministic given the seed.
-	d2, err := mv.Design(w)
+	d2, err := mv.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestMajorityVote(t *testing.T) {
 			t.Fatal("MajorityVote non-deterministic structures")
 		}
 	}
-	if _, err := mv.Design(&workload.Workload{}); err == nil {
+	if _, err := mv.Design(context.Background(), &workload.Workload{}); err == nil {
 		t.Fatal("empty workload should fail")
 	}
 }
@@ -138,7 +139,7 @@ func TestOptimalLocalSearch(t *testing.T) {
 		Nominal: f.nominal, Cost: f.db, Sampler: f.sampler,
 		Budget: f.budget, Gamma: 0.004, Samples: 6, Seed: 4,
 	}
-	d, err := ols.Design(w)
+	d, err := ols.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,15 +150,15 @@ func TestOptimalLocalSearch(t *testing.T) {
 		t.Fatalf("budget exceeded: %d > %d", d.SizeBytes(), f.budget)
 	}
 	// The design must help the union workload it optimized.
-	before, _ := designer.WorkloadCost(f.db, w, nil)
-	after, _ := designer.WorkloadCost(f.db, w, d)
+	before, _ := designer.WorkloadCost(context.Background(), f.db, w, nil)
+	after, _ := designer.WorkloadCost(context.Background(), f.db, w, d)
 	if after >= before {
 		t.Fatalf("ILP design did not help: %g -> %g", before, after)
 	}
 	if ols.Name() != "OptimalLocalSearch" {
 		t.Fatal("name")
 	}
-	if _, err := ols.Design(&workload.Workload{}); err == nil {
+	if _, err := ols.Design(context.Background(), &workload.Workload{}); err == nil {
 		t.Fatal("empty workload should fail")
 	}
 }
@@ -171,7 +172,7 @@ func TestOptimalLocalSearchRequiresProvider(t *testing.T) {
 		Nominal: &noCandidates{f.nominal}, Cost: f.db, Sampler: f.sampler,
 		Budget: f.budget, Gamma: 0.004, Samples: 4, Seed: 5,
 	}
-	if _, err := ols.Design(testWorkload(f.schema, 5, 5)); err == nil {
+	if _, err := ols.Design(context.Background(), testWorkload(f.schema, 5, 5)); err == nil {
 		t.Fatal("designer without Candidates must be rejected")
 	}
 }
@@ -183,27 +184,27 @@ func TestGreedyLocalSearch(t *testing.T) {
 		Nominal: f.nominal, Cost: f.db, Sampler: f.sampler,
 		Budget: f.budget, Gamma: 0.004, Samples: 6, Seed: 6,
 	}
-	d, err := gls.Design(w)
+	d, err := gls.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d.Len() == 0 || d.SizeBytes() > f.budget {
 		t.Fatalf("design: %d structures, %d bytes", d.Len(), d.SizeBytes())
 	}
-	before, _ := designer.WorkloadCost(f.db, w, nil)
-	after, _ := designer.WorkloadCost(f.db, w, d)
+	before, _ := designer.WorkloadCost(context.Background(), f.db, w, nil)
+	after, _ := designer.WorkloadCost(context.Background(), f.db, w, d)
 	if after >= before {
 		t.Fatalf("greedy local search did not help: %g -> %g", before, after)
 	}
 	if gls.Name() != "GreedyLocalSearch" {
 		t.Fatal("name")
 	}
-	if _, err := gls.Design(nil); err == nil {
+	if _, err := gls.Design(context.Background(), nil); err == nil {
 		t.Fatal("nil workload should fail")
 	}
 	bad := &GreedyLocalSearch{Nominal: &noCandidates{f.nominal}, Cost: f.db,
 		Sampler: f.sampler, Budget: f.budget, Gamma: 0.004, Samples: 4}
-	if _, err := bad.Design(w); err == nil {
+	if _, err := bad.Design(context.Background(), w); err == nil {
 		t.Fatal("missing candidate provider should fail")
 	}
 }

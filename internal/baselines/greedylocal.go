@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -29,7 +30,10 @@ type GreedyLocalSearch struct {
 func (g *GreedyLocalSearch) Name() string { return "GreedyLocalSearch" }
 
 // Design implements designer.Designer.
-func (g *GreedyLocalSearch) Design(w *workload.Workload) (*designer.Design, error) {
+func (g *GreedyLocalSearch) Design(ctx context.Context, w *workload.Workload) (*designer.Design, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if w == nil || w.Len() == 0 {
 		return nil, errors.New("baselines: empty workload")
 	}
@@ -61,9 +65,9 @@ func (g *GreedyLocalSearch) Design(w *workload.Workload) (*designer.Design, erro
 	// produces in-schema queries).
 	filtered := &workload.Workload{}
 	for _, it := range union.Items {
-		if _, err := g.Cost.Cost(it.Q, nil); err == nil {
+		if _, err := g.Cost.Cost(ctx, it.Q, nil); err == nil {
 			filtered.Add(it.Q, it.Weight)
 		}
 	}
-	return designer.GreedySelect(g.Cost, filtered, provider.Candidates(filtered), g.Budget)
+	return designer.GreedySelect(ctx, g.Cost, filtered, provider.Candidates(filtered), g.Budget)
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -55,7 +56,7 @@ func (sc *Scenario) CompareDesigners(names []string) ([]DesignerResult, error) {
 				input = inputs[i+1]
 			}
 			start := time.Now()
-			design, err := d.Design(input)
+			design, err := d.Design(context.Background(), input)
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s on window %d: %w", name, i, err)
 			}
@@ -84,7 +85,7 @@ func (sc *Scenario) EvaluateWindow(w *workload.Workload, design *designer.Design
 		if !sc.Designable(it.Q) {
 			continue
 		}
-		c, err := sc.Cost.Cost(it.Q, design)
+		c, err := sc.Cost.Cost(context.Background(), it.Q, design)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -98,7 +99,7 @@ func (sc *Scenario) Figure6(maxBases int) (*SoundnessResult, error) {
 	res := &SoundnessResult{}
 	for b := 0; b < maxBases; b++ {
 		base := windows[b]
-		design, err := sc.Nominal.Design(sc.DesignableQueries(base))
+		design, err := sc.Nominal.Design(context.Background(), sc.DesignableQueries(base))
 		if err != nil {
 			return nil, fmt.Errorf("bench: figure 6 design on window %d: %w", b, err)
 		}
@@ -150,7 +151,7 @@ func (sc *Scenario) Figure16(omegas []float64, maxBases int) ([]LatencyMetricRes
 		res := LatencyMetricResult{Omega: omega}
 		for b := 0; b < maxBases; b++ {
 			base := windows[b]
-			design, err := sc.Nominal.Design(sc.DesignableQueries(base))
+			design, err := sc.Nominal.Design(context.Background(), sc.DesignableQueries(base))
 			if err != nil {
 				return nil, err
 			}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"cliffguard/internal/baselines"
@@ -43,6 +44,10 @@ type Scenario struct {
 
 	Metric  distance.Metric
 	Sampler *sample.Sampler
+
+	// Parallelism is CliffGuard's neighborhood-evaluation worker count
+	// (0 = runtime.NumCPU()); see core.Options.Parallelism.
+	Parallelism int
 
 	// MinSpeedup is the designable-query filter: only queries for which some
 	// ideal design improves on the base access path by at least this factor
@@ -127,10 +132,11 @@ func DBMSX(set *wlgen.Set, gamma float64, seed int64) *Scenario {
 // overriding options (used by the sweep experiments).
 func (sc *Scenario) CliffGuard(override func(*core.Options)) *core.CliffGuard {
 	opts := core.Options{
-		Gamma:      sc.Gamma,
-		Samples:    sc.Samples,
-		Iterations: sc.Iterations,
-		Seed:       sc.Seed,
+		Gamma:       sc.Gamma,
+		Samples:     sc.Samples,
+		Iterations:  sc.Iterations,
+		Seed:        sc.Seed,
+		Parallelism: sc.Parallelism,
 	}
 	if override != nil {
 		override(&opts)
@@ -203,7 +209,8 @@ func (sc *Scenario) Designable(q *workload.Query) bool {
 }
 
 func (sc *Scenario) isDesignable(q *workload.Query) bool {
-	base, err := sc.Cost.Cost(q, nil)
+	ctx := context.Background()
+	base, err := sc.Cost.Cost(ctx, q, nil)
 	if err != nil {
 		return false
 	}
@@ -212,11 +219,11 @@ func (sc *Scenario) isDesignable(q *workload.Query) bool {
 	if len(cands) == 0 {
 		return false
 	}
-	ideal, err := designer.GreedySelect(sc.Cost, single, cands, 1<<62)
+	ideal, err := designer.GreedySelect(ctx, sc.Cost, single, cands, 1<<62)
 	if err != nil {
 		return false
 	}
-	best, err := sc.Cost.Cost(q, ideal)
+	best, err := sc.Cost.Cost(ctx, q, ideal)
 	if err != nil || best <= 0 {
 		return false
 	}

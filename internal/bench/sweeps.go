@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -33,7 +34,7 @@ func (sc *Scenario) runCliffGuardVariant(override func(*core.Options), sampler *
 		if sampler != nil {
 			cg.Sampler = sampler
 		}
-		design, err := cg.Design(sc.DesignableQueries(windows[i]))
+		design, err := cg.Design(context.Background(), sc.DesignableQueries(windows[i]))
 		if err != nil {
 			return 0, 0, fmt.Errorf("bench: cliffguard on window %d: %w", i, err)
 		}

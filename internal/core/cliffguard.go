@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -52,6 +53,12 @@ type Options struct {
 	LambdaFailure float64
 	// Seed makes sampling deterministic.
 	Seed int64
+	// Parallelism bounds the worker pool used to evaluate the sampled
+	// neighborhood (worst-case scans and worst-neighbor ranking). Zero or
+	// negative means runtime.NumCPU(). Any value yields bit-identical designs
+	// and traces for a fixed Seed: evaluation results are merged by
+	// neighborhood index, never by completion order.
+	Parallelism int
 	// DisableAccumulation reverts to the paper's literal formulation where
 	// each robust move sees only the current iteration's worst neighbors
 	// (ablation knob; see the package comment for why accumulation is the
@@ -111,13 +118,18 @@ type Trace struct {
 }
 
 // Design implements designer.Designer (Algorithm 2).
-func (cg *CliffGuard) Design(w0 *workload.Workload) (*designer.Design, error) {
-	d, _, err := cg.DesignWithTrace(w0)
+func (cg *CliffGuard) Design(ctx context.Context, w0 *workload.Workload) (*designer.Design, error) {
+	d, _, err := cg.DesignWithTrace(ctx, w0)
 	return d, err
 }
 
-// DesignWithTrace runs Algorithm 2 and returns the per-iteration trace.
-func (cg *CliffGuard) DesignWithTrace(w0 *workload.Workload) (*designer.Design, []Trace, error) {
+// DesignWithTrace runs Algorithm 2 and returns the per-iteration trace. A
+// cancelled ctx aborts the loop promptly (between and inside neighborhood
+// evaluations) with ctx.Err().
+func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload) (*designer.Design, []Trace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if w0 == nil || w0.Len() == 0 {
 		return nil, nil, errors.New("core: empty target workload")
 	}
@@ -125,7 +137,7 @@ func (cg *CliffGuard) DesignWithTrace(w0 *workload.Workload) (*designer.Design, 
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	// Line 1: nominal design for W0.
-	d, err := cg.Nominal.Design(w0)
+	d, err := cg.Nominal.Design(ctx, w0)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: initial nominal design: %w", err)
 	}
@@ -142,7 +154,10 @@ func (cg *CliffGuard) DesignWithTrace(w0 *workload.Workload) (*designer.Design, 
 	neighborhood = append(neighborhood, w0)
 
 	alpha := opts.InitialAlpha
-	worst := cg.worstCase(neighborhood, d)
+	worst, err := cg.worstCase(ctx, neighborhood, d)
+	if err != nil {
+		return nil, nil, err
+	}
 	var traces []Trace
 	sinceImprove := 0
 
@@ -156,7 +171,10 @@ func (cg *CliffGuard) DesignWithTrace(w0 *workload.Workload) (*designer.Design, 
 
 	for iter := 0; iter < opts.Iterations; iter++ {
 		// Neighborhood exploration: worst neighbors under the current design.
-		worstNeighbors := cg.worstNeighbors(neighborhood, d, opts.TopFraction)
+		worstNeighbors, err := cg.worstNeighbors(ctx, neighborhood, d, opts.TopFraction)
+		if err != nil {
+			return nil, nil, err
+		}
 		accumulated = append(accumulated, worstNeighbors...)
 		moveTargets := accumulated
 		if opts.DisableAccumulation {
@@ -164,12 +182,15 @@ func (cg *CliffGuard) DesignWithTrace(w0 *workload.Workload) (*designer.Design, 
 		}
 
 		// Robust local move: merge and re-design.
-		moved := cg.MoveWorkload(w0, moveTargets, d, alpha)
-		cand, err := cg.Nominal.Design(moved)
+		moved := cg.MoveWorkload(ctx, w0, moveTargets, d, alpha)
+		cand, err := cg.Nominal.Design(ctx, moved)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: nominal design on moved workload: %w", err)
 		}
-		candWorst := cg.worstCase(neighborhood, cand)
+		candWorst, err := cg.worstCase(ctx, neighborhood, cand)
+		if err != nil {
+			return nil, nil, err
+		}
 
 		tr := Trace{Iteration: iter, Alpha: alpha, WorstCase: worst, CandidateCost: candWorst}
 		if candWorst < worst {
@@ -189,31 +210,57 @@ func (cg *CliffGuard) DesignWithTrace(w0 *workload.Workload) (*designer.Design, 
 	return d, traces, nil
 }
 
-// worstCase returns max over the sampled neighborhood of f(W, D).
-// Queries a cost model cannot handle are skipped (the sampler's mutator only
-// produces in-schema queries, so this is defensive).
-func (cg *CliffGuard) worstCase(neighborhood []*workload.Workload, d *designer.Design) float64 {
+// worstCase returns max over the sampled neighborhood of f(W, D), evaluating
+// the workloads on the parallel engine. Workloads the cost model cannot handle
+// at all are skipped (the sampler's mutator only produces in-schema queries,
+// so this is defensive); if every workload is uncostable the result is
+// ErrUncostableNeighborhood rather than a degenerate -Inf worst case. The max
+// reduction walks results in neighborhood-index order, and a hard error from
+// the lowest index wins, so the outcome is independent of worker scheduling.
+func (cg *CliffGuard) worstCase(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design) (float64, error) {
+	results := cg.evalNeighborhood(ctx, neighborhood, d)
 	worst := math.Inf(-1)
-	for _, w := range neighborhood {
-		if c, ok := cg.cost(w, d); ok && c > worst {
-			worst = c
+	costable := false
+	for _, r := range results {
+		if r.err != nil {
+			if errors.Is(r.err, errWorkloadUncostable) {
+				continue
+			}
+			return 0, r.err
+		}
+		costable = true
+		if r.cost > worst {
+			worst = r.cost
 		}
 	}
-	return worst
+	if !costable {
+		return 0, ErrUncostableNeighborhood
+	}
+	return worst, nil
 }
 
 // worstNeighbors returns the top fraction of the neighborhood by cost under
-// design d, most expensive first.
-func (cg *CliffGuard) worstNeighbors(neighborhood []*workload.Workload, d *designer.Design, frac float64) []*workload.Workload {
+// design d, most expensive first, evaluating on the parallel engine. The
+// stable sort runs over the index-ordered result slice, so ties between
+// equal-cost neighbors break by neighborhood index regardless of worker count.
+func (cg *CliffGuard) worstNeighbors(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design, frac float64) ([]*workload.Workload, error) {
+	results := cg.evalNeighborhood(ctx, neighborhood, d)
 	type scored struct {
 		w *workload.Workload
 		c float64
 	}
 	var all []scored
-	for _, w := range neighborhood {
-		if c, ok := cg.cost(w, d); ok {
-			all = append(all, scored{w, c})
+	for i, r := range results {
+		if r.err != nil {
+			if errors.Is(r.err, errWorkloadUncostable) {
+				continue
+			}
+			return nil, r.err
 		}
+		all = append(all, scored{neighborhood[i], r.cost})
+	}
+	if len(all) == 0 {
+		return nil, ErrUncostableNeighborhood
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].c > all[j].c })
 	k := int(math.Ceil(frac * float64(len(all))))
@@ -227,29 +274,7 @@ func (cg *CliffGuard) worstNeighbors(neighborhood []*workload.Workload, d *desig
 	for i := 0; i < k; i++ {
 		out[i] = all[i].w
 	}
-	return out
-}
-
-// cost evaluates f(W, D), normalized by total weight so that workloads with
-// different total weights (the sampler adds mass) are comparable. Unsupported
-// queries are skipped.
-func (cg *CliffGuard) cost(w *workload.Workload, d *designer.Design) (float64, bool) {
-	var total, weight float64
-	for _, it := range w.Items {
-		c, err := cg.Cost.Cost(it.Q, d)
-		if err != nil {
-			if errors.Is(err, designer.ErrUnsupported) {
-				continue
-			}
-			return 0, false
-		}
-		total += it.Weight * c
-		weight += it.Weight
-	}
-	if weight == 0 {
-		return 0, false
-	}
-	return total / weight, true
+	return out, nil
 }
 
 // MoveWorkload implements Algorithm 3: build a merged workload closer to the
@@ -268,7 +293,10 @@ func (cg *CliffGuard) cost(w *workload.Workload, d *designer.Design) (float64, b
 // mass-ratio normalization preserves its role in the backtracking line
 // search while keeping the designer's objective balanced between W0 and the
 // perturbation directions.)
-func (cg *CliffGuard) MoveWorkload(w0 *workload.Workload, worstNeighbors []*workload.Workload, d *designer.Design, alpha float64) *workload.Workload {
+func (cg *CliffGuard) MoveWorkload(ctx context.Context, w0 *workload.Workload, worstNeighbors []*workload.Workload, d *designer.Design, alpha float64) *workload.Workload {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// weight(q, W) aggregated by query identity.
 	w0Weight := make(map[*workload.Query]float64)
 	for _, it := range w0.Items {
@@ -299,11 +327,18 @@ func (cg *CliffGuard) MoveWorkload(w0 *workload.Workload, worstNeighbors []*work
 		}
 	}
 
-	// Raw movement pressure: latency x frequency per neighbor query.
+	// Raw movement pressure: latency x frequency per neighbor query. Iterate
+	// the deterministic order slice, not the neighborWeight map: rawTotal is a
+	// float sum, and map iteration order would make its rounding — and hence
+	// the moved workload's weights — vary from run to run.
 	raw := make(map[*workload.Query]float64, len(neighborWeight))
 	var rawTotal float64
-	for q, nw := range neighborWeight {
-		fq, err := cg.Cost.Cost(q, d)
+	for _, q := range order {
+		nw, ok := neighborWeight[q]
+		if !ok {
+			continue
+		}
+		fq, err := cg.Cost.Cost(ctx, q, d)
 		if err != nil || fq <= 0 {
 			continue
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -59,14 +60,14 @@ func TestGammaZeroEqualsNominal(t *testing.T) {
 	w := testWorkload(s, rng, 10)
 	cg, db := newGuard(s, Options{Gamma: 0, Seed: 1})
 
-	robust, traces, err := cg.DesignWithTrace(w)
+	robust, traces, err := cg.DesignWithTrace(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(traces) != 0 {
 		t.Error("Gamma=0 should not iterate")
 	}
-	nominal, err := cg.Nominal.Design(w)
+	nominal, err := cg.Nominal.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestDesignImprovesWorstCase(t *testing.T) {
 	w := testWorkload(s, rng, 12)
 	cg, _ := newGuard(s, Options{Gamma: 0.004, Samples: 12, Iterations: 6, Seed: 2})
 
-	_, traces, err := cg.DesignWithTrace(w)
+	_, traces, err := cg.DesignWithTrace(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,15 +124,15 @@ func TestRobustNotWorseThanNominalOnNeighborhood(t *testing.T) {
 	w := testWorkload(s, rng, 10)
 	cg, db := newGuard(s, Options{Gamma: 0.003, Samples: 10, Iterations: 5, Seed: 3})
 
-	robust, traces, err := cg.DesignWithTrace(w)
+	robust, traces, err := cg.DesignWithTrace(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nominal, _ := cg.Nominal.Design(w)
+	nominal, _ := cg.Nominal.Design(context.Background(), w)
 	// On W0 itself the robust design can be costlier (the robustness price),
 	// but not catastrophically so: the merged workload always contains W0.
-	cn, _ := designer.WorkloadCost(db, w, nominal)
-	crob, _ := designer.WorkloadCost(db, w, robust)
+	cn, _ := designer.WorkloadCost(context.Background(), db, w, nominal)
+	crob, _ := designer.WorkloadCost(context.Background(), db, w, robust)
 	if crob > cn*3 {
 		t.Fatalf("robust design is %gx worse on W0", crob/cn)
 	}
@@ -147,10 +148,10 @@ func TestRobustNotWorseThanNominalOnNeighborhood(t *testing.T) {
 func TestDesignEmptyWorkload(t *testing.T) {
 	s := testSchema()
 	cg, _ := newGuard(s, Options{Gamma: 0.01})
-	if _, err := cg.Design(&workload.Workload{}); err == nil {
+	if _, err := cg.Design(context.Background(), &workload.Workload{}); err == nil {
 		t.Fatal("empty workload should fail")
 	}
-	if _, err := cg.Design(nil); err == nil {
+	if _, err := cg.Design(context.Background(), nil); err == nil {
 		t.Fatal("nil workload should fail")
 	}
 }
@@ -161,7 +162,7 @@ func TestMoveWorkloadInvariants(t *testing.T) {
 	w0 := testWorkload(s, rng, 8)
 	cg, _ := newGuard(s, Options{Gamma: 0.003, Samples: 8, Seed: 4})
 
-	d, err := cg.Nominal.Design(w0)
+	d, err := cg.Nominal.Design(context.Background(), w0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestMoveWorkloadInvariants(t *testing.T) {
 	}
 
 	for _, alpha := range []float64{0.25, 1, 4} {
-		moved := cg.MoveWorkload(w0, neighbors, d, alpha)
+		moved := cg.MoveWorkload(context.Background(), w0, neighbors, d, alpha)
 
 		// Every W0 query keeps at least its original weight.
 		w0Weight := make(map[*workload.Query]float64)
@@ -205,9 +206,9 @@ func TestMoveWorkloadNoNeighbors(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	w0 := testWorkload(s, rng, 5)
 	cg, _ := newGuard(s, Options{Gamma: 0.002})
-	d, _ := cg.Nominal.Design(w0)
+	d, _ := cg.Nominal.Design(context.Background(), w0)
 
-	moved := cg.MoveWorkload(w0, nil, d, 1)
+	moved := cg.MoveWorkload(context.Background(), w0, nil, d, 1)
 	if math.Abs(moved.TotalWeight()-w0.TotalWeight()) > 1e-9 {
 		t.Fatal("no neighbors: moved workload should equal W0")
 	}
@@ -235,7 +236,7 @@ func TestDeterminism(t *testing.T) {
 
 	run := func() map[string]bool {
 		cg, _ := newGuard(s, Options{Gamma: 0.003, Samples: 8, Iterations: 4, Seed: 99})
-		d, err := cg.Design(w)
+		d, err := cg.Design(context.Background(), w)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+
+	"cliffguard/internal/designer"
+	"cliffguard/internal/workload"
+)
+
+// The parallel neighborhood evaluation engine. Every iteration of Algorithm 2
+// scores the whole sampled Gamma-neighborhood twice (worst-case scan and
+// worst-neighbor ranking); those n+1 workload evaluations are independent, so
+// they fan out to a bounded worker pool. Determinism is preserved by
+// construction: each workload's cost is accumulated sequentially inside one
+// goroutine (fixed float summation order), results land in an index-aligned
+// slice, and every reduction — max, stable sort, error selection — walks that
+// slice in index order. A fixed seed therefore yields bit-identical designs
+// and traces for any worker count.
+
+// errWorkloadUncostable marks a single workload in which every query is
+// outside the cost model's supported subset. It is internal: per-workload
+// uncostability is tolerated (the workload is skipped), and only when the
+// whole neighborhood is uncostable does it surface as
+// ErrUncostableNeighborhood.
+var errWorkloadUncostable = errors.New("core: workload has no costable queries")
+
+// ErrUncostableNeighborhood is returned by Design/DesignWithTrace when no
+// workload in the sampled Gamma-neighborhood has a single costable query.
+// Earlier versions silently returned the initial design in this situation
+// (the worst-case cost degenerated to -Inf and every candidate was rejected);
+// an explicit error lets the caller distinguish "robustly designed" from
+// "could not evaluate robustness at all".
+var ErrUncostableNeighborhood = errors.New("core: no workload in the sampled neighborhood is costable under the cost model")
+
+// evalResult is one workload's evaluation outcome: a cost, or an error
+// (errWorkloadUncostable, ctx.Err(), or a hard cost-model failure).
+type evalResult struct {
+	cost float64
+	err  error
+}
+
+// workers resolves Options.Parallelism to a pool size for n tasks:
+// non-positive means runtime.NumCPU(), and the pool never exceeds the task
+// count.
+func (cg *CliffGuard) workers(n int) int {
+	p := cg.Opts.Parallelism
+	if p <= 0 {
+		p = runtime.NumCPU()
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// evalNeighborhood evaluates f(W, D) for every workload under design d,
+// fanning out to the worker pool. The returned slice is index-aligned with
+// the input regardless of completion order.
+func (cg *CliffGuard) evalNeighborhood(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design) []evalResult {
+	res := make([]evalResult, len(neighborhood))
+	workers := cg.workers(len(neighborhood))
+	if workers == 1 {
+		for i, w := range neighborhood {
+			res[i] = cg.evalOne(ctx, w, d)
+		}
+		return res
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res[i] = cg.evalOne(ctx, neighborhood[i], d)
+			}
+		}()
+	}
+	for i := range neighborhood {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return res
+}
+
+func (cg *CliffGuard) evalOne(ctx context.Context, w *workload.Workload, d *designer.Design) evalResult {
+	if err := ctx.Err(); err != nil {
+		return evalResult{err: err}
+	}
+	c, err := cg.workloadCost(ctx, w, d)
+	return evalResult{cost: c, err: err}
+}
+
+// workloadCost evaluates f(W, D), normalized by total weight so that
+// workloads with different total weights (the sampler adds mass) are
+// comparable. Queries outside the cost model's supported subset are skipped;
+// any other cost-model error (including ctx cancellation) aborts the
+// evaluation.
+func (cg *CliffGuard) workloadCost(ctx context.Context, w *workload.Workload, d *designer.Design) (float64, error) {
+	var total, weight float64
+	for _, it := range w.Items {
+		c, err := cg.Cost.Cost(ctx, it.Q, d)
+		if err != nil {
+			if errors.Is(err, designer.ErrUnsupported) {
+				continue
+			}
+			return 0, err
+		}
+		total += it.Weight * c
+		weight += it.Weight
+	}
+	if weight == 0 {
+		return 0, errWorkloadUncostable
+	}
+	return total / weight, nil
+}
+
+// NeighborhoodCosts evaluates f(W, D) for every workload in parallel and
+// returns the index-aligned costs; workloads with no costable queries yield
+// NaN. It exposes the evaluation engine that worstCase/worstNeighbors are
+// built on (and is what BenchmarkNeighborhoodEval measures).
+func (cg *CliffGuard) NeighborhoodCosts(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := cg.evalNeighborhood(ctx, neighborhood, d)
+	out := make([]float64, len(results))
+	for i, r := range results {
+		if r.err != nil {
+			if errors.Is(r.err, errWorkloadUncostable) {
+				out[i] = math.NaN()
+				continue
+			}
+			return nil, r.err
+		}
+		out[i] = r.cost
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+// Package costcache provides a sharded (lock-striped) memoization cache for
+// per-(query, access-path) what-if cost estimates. All three engine
+// simulators memoize path costs through it; the striping exists so that
+// CliffGuard's parallel neighborhood evaluation — many goroutines costing
+// overlapping query sets — does not serialize on a single cache mutex.
+//
+// Shards are selected by hashing the query ID together with the access-path
+// key, so concurrent evaluations of different (query, path) pairs almost
+// always take different locks. Values are pure functions of their key, which
+// is why GetOrCompute tolerates duplicate computation under a miss race:
+// both writers store the same number.
+package costcache
+
+import (
+	"sync"
+
+	"cliffguard/internal/workload"
+)
+
+// numShards is the stripe count. Must be a power of two. 64 stripes keep the
+// collision probability negligible for the worker counts CliffGuard runs
+// (bounded by runtime.NumCPU()).
+const numShards = 64
+
+type cacheKey struct {
+	q    *workload.Query
+	path string
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[cacheKey]float64
+}
+
+// Cache memoizes float64 costs per (query, path) pair. The zero value is not
+// usable; call New.
+type Cache struct {
+	shards [numShards]shard
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]float64)
+	}
+	return c
+}
+
+// shardFor picks the stripe for a (query, path) pair: an FNV-style mix of
+// the query ID and the path bytes.
+func (c *Cache) shardFor(q *workload.Query, path string) *shard {
+	h := uint64(q.ID)*0x9e3779b97f4a7c15 + 0xcbf29ce484222325
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint64(path[i])) * 0x100000001b3
+	}
+	h ^= h >> 33
+	return &c.shards[h&(numShards-1)]
+}
+
+// Lookup returns the memoized cost for the pair, if present.
+func (c *Cache) Lookup(q *workload.Query, path string) (float64, bool) {
+	s := c.shardFor(q, path)
+	s.mu.RLock()
+	v, ok := s.m[cacheKey{q, path}]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Store memoizes the cost for the pair.
+func (c *Cache) Store(q *workload.Query, path string, cost float64) {
+	s := c.shardFor(q, path)
+	s.mu.Lock()
+	s.m[cacheKey{q, path}] = cost
+	s.mu.Unlock()
+}
+
+// GetOrCompute returns the memoized cost for the pair, invoking compute and
+// storing its result on a miss. compute runs outside any lock: concurrent
+// misses on the same pair may compute redundantly, but the cost models are
+// pure, so every writer stores the same value.
+func (c *Cache) GetOrCompute(q *workload.Query, path string, compute func() float64) float64 {
+	if v, ok := c.Lookup(q, path); ok {
+		return v
+	}
+	v := compute()
+	c.Store(q, path, v)
+	return v
+}
+
+// Len returns the total number of memoized pairs (diagnostics and tests).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -7,6 +7,7 @@
 package designer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -111,16 +112,20 @@ var ErrUnsupported = errors.New("designer: query not supported by this engine")
 // actual execution or by consulting the query optimizer's cost estimates"
 // (Section 4.2) — the simulators provide both, and the experiments use the
 // estimates.
+//
+// Cost observes ctx: implementations return ctx.Err() once the context is
+// cancelled, which is how CliffGuard's parallel neighborhood evaluation
+// aborts a slow what-if pass promptly.
 type CostModel interface {
-	Cost(q *workload.Query, d *Design) (float64, error)
+	Cost(ctx context.Context, q *workload.Query, d *Design) (float64, error)
 }
 
 // WorkloadCost returns f(W, D): the weighted sum of per-query latencies.
 // Queries the engine cannot cost propagate their error.
-func WorkloadCost(cm CostModel, w *workload.Workload, d *Design) (float64, error) {
+func WorkloadCost(ctx context.Context, cm CostModel, w *workload.Workload, d *Design) (float64, error) {
 	var total float64
 	for _, it := range w.Items {
-		c, err := cm.Cost(it.Q, d)
+		c, err := cm.Cost(ctx, it.Q, d)
 		if err != nil {
 			return 0, fmt.Errorf("costing %s: %w", it.Q, err)
 		}
@@ -131,10 +136,12 @@ func WorkloadCost(cm CostModel, w *workload.Workload, d *Design) (float64, error
 
 // Designer finds a design for a workload within its (construction-time)
 // storage budget. Implementations are the paper's "existing designers";
-// CliffGuard wraps one.
+// CliffGuard wraps one. Design observes ctx cancellation: a cancelled
+// context aborts the (potentially long) candidate-selection loop with
+// ctx.Err().
 type Designer interface {
 	Name() string
-	Design(w *workload.Workload) (*Design, error)
+	Design(ctx context.Context, w *workload.Workload) (*Design, error)
 }
 
 // CompressByTemplate merges queries sharing a SWGO template into a single
@@ -179,7 +186,10 @@ func CompressByTemplate(w *workload.Workload) *workload.Workload {
 // query under a design is the minimum of its per-structure access-path costs
 // — to evaluate candidates incrementally: each (query, structure) pair is
 // costed once, and a pick only lowers the per-query running minimum.
-func GreedySelect(cm CostModel, w *workload.Workload, candidates []Structure, budget int64) (*Design, error) {
+func GreedySelect(ctx context.Context, cm CostModel, w *workload.Workload, candidates []Structure, budget int64) (*Design, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	design := NewDesign()
 	if len(candidates) == 0 {
 		return design, nil
@@ -197,7 +207,7 @@ func GreedySelect(cm CostModel, w *workload.Workload, candidates []Structure, bu
 	nq := len(w.Items)
 	cur := make([]float64, nq)
 	for i, it := range w.Items {
-		c, err := cm.Cost(it.Q, nil)
+		c, err := cm.Cost(ctx, it.Q, nil)
 		if err != nil {
 			return nil, fmt.Errorf("costing %s: %w", it.Q, err)
 		}
@@ -206,10 +216,13 @@ func GreedySelect(cm CostModel, w *workload.Workload, candidates []Structure, bu
 	// pair[s][q]: cost of query q with structure s alone.
 	pair := make([][]float64, len(structures))
 	for si, s := range structures {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := make([]float64, nq)
 		d := NewDesign(s)
 		for qi, it := range w.Items {
-			c, err := cm.Cost(it.Q, d)
+			c, err := cm.Cost(ctx, it.Q, d)
 			if err != nil {
 				return nil, fmt.Errorf("costing %s: %w", it.Q, err)
 			}
@@ -221,6 +234,9 @@ func GreedySelect(cm CostModel, w *workload.Workload, candidates []Structure, bu
 	taken := make([]bool, len(structures))
 	used := int64(0)
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestIdx := -1
 		bestScore := 0.0
 		for si, s := range structures {

@@ -1,6 +1,7 @@
 package designer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -29,7 +30,7 @@ type tableCost struct {
 	fail   bool
 }
 
-func (tc *tableCost) Cost(q *workload.Query, d *Design) (float64, error) {
+func (tc *tableCost) Cost(_ context.Context, q *workload.Query, d *Design) (float64, error) {
 	if tc.fail {
 		return 0, errors.New("boom")
 	}
@@ -84,16 +85,16 @@ func TestWorkloadCost(t *testing.T) {
 	tc := &tableCost{base: 10, serves: map[string]map[int64]float64{
 		"a": {1: 1},
 	}}
-	got, err := WorkloadCost(tc, w, nil)
+	got, err := WorkloadCost(context.Background(), tc, w, nil)
 	if err != nil || got != 50 {
 		t.Fatalf("WorkloadCost = %g, %v; want 50", got, err)
 	}
-	got, err = WorkloadCost(tc, w, NewDesign(&fakeStructure{"a", 1}))
+	got, err = WorkloadCost(context.Background(), tc, w, NewDesign(&fakeStructure{"a", 1}))
 	if err != nil || got != 32 { // 2*1 + 3*10
 		t.Fatalf("WorkloadCost with design = %g, %v; want 32", got, err)
 	}
 	tc.fail = true
-	if _, err := WorkloadCost(tc, w, nil); err == nil {
+	if _, err := WorkloadCost(context.Background(), tc, w, nil); err == nil {
 		t.Fatal("cost errors must propagate")
 	}
 }
@@ -146,7 +147,7 @@ func TestGreedySelect(t *testing.T) {
 	}
 
 	// Ample budget: picks everything useful, skips useless.
-	d, err := GreedySelect(tc, w, cands, 1000)
+	d, err := GreedySelect(context.Background(), tc, w, cands, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestGreedySelect(t *testing.T) {
 	}
 
 	// Tight budget: the best ratio wins first.
-	d, err = GreedySelect(tc, w, cands, 10)
+	d, err = GreedySelect(context.Background(), tc, w, cands, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +169,11 @@ func TestGreedySelect(t *testing.T) {
 	}
 
 	// Zero budget or no candidates: empty design.
-	d, _ = GreedySelect(tc, w, cands, 0)
+	d, _ = GreedySelect(context.Background(), tc, w, cands, 0)
 	if d.Len() != 0 {
 		t.Error("zero budget should yield empty design")
 	}
-	d, _ = GreedySelect(tc, w, nil, 1000)
+	d, _ = GreedySelect(context.Background(), tc, w, nil, 1000)
 	if d.Len() != 0 {
 		t.Error("no candidates should yield empty design")
 	}
@@ -203,13 +204,13 @@ func TestGreedySelectMatchesExhaustive(t *testing.T) {
 		}
 		budget := int64(20 + trial%30)
 
-		fast, err := GreedySelect(tc, w, cands, budget)
+		fast, err := GreedySelect(context.Background(), tc, w, cands, budget)
 		if err != nil {
 			t.Fatal(err)
 		}
 		slow := bruteGreedy(tc, w, cands, budget)
-		fastCost, _ := WorkloadCost(tc, w, fast)
-		slowCost, _ := WorkloadCost(tc, w, slow)
+		fastCost, _ := WorkloadCost(context.Background(), tc, w, fast)
+		slowCost, _ := WorkloadCost(context.Background(), tc, w, slow)
 		if math.Abs(fastCost-slowCost) > 1e-9 {
 			t.Fatalf("trial %d: incremental greedy %.3f != reference greedy %.3f",
 				trial, fastCost, slowCost)
@@ -224,7 +225,7 @@ func TestGreedySelectMatchesExhaustive(t *testing.T) {
 func bruteGreedy(cm CostModel, w *workload.Workload, cands []Structure, budget int64) *Design {
 	design := NewDesign()
 	remaining := append([]Structure(nil), cands...)
-	cur, _ := WorkloadCost(cm, w, design)
+	cur, _ := WorkloadCost(context.Background(), cm, w, design)
 	used := int64(0)
 	for len(remaining) > 0 {
 		bestIdx, bestScore, bestCost := -1, 0.0, 0.0
@@ -232,7 +233,7 @@ func bruteGreedy(cm CostModel, w *workload.Workload, cands []Structure, budget i
 			if used+cand.SizeBytes() > budget {
 				continue
 			}
-			c, _ := WorkloadCost(cm, w, design.With(cand))
+			c, _ := WorkloadCost(context.Background(), cm, w, design.With(cand))
 			if benefit := cur - c; benefit > 0 {
 				score := benefit / float64(cand.SizeBytes())
 				if bestIdx < 0 || score > bestScore {
@@ -254,7 +255,7 @@ func bruteGreedy(cm CostModel, w *workload.Workload, cands []Structure, budget i
 func TestGreedySelectPropagatesErrors(t *testing.T) {
 	tc := &tableCost{base: 10, fail: true}
 	w := workload.New(mkQuery(1, 0))
-	if _, err := GreedySelect(tc, w, []Structure{&fakeStructure{"a", 1}}, 100); err == nil {
+	if _, err := GreedySelect(context.Background(), tc, w, []Structure{&fakeStructure{"a", 1}}, 100); err == nil {
 		t.Fatal("cost errors must propagate")
 	}
 }

@@ -12,6 +12,7 @@ package distance
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"cliffguard/internal/workload"
 )
@@ -68,12 +69,16 @@ func (e *Euclidean) Distance(w1, w2 *workload.Workload) float64 {
 }
 
 // diffVector merges two sparse frequency vectors into the element-wise
-// absolute difference, paired with each key's column set.
+// absolute difference, paired with each key's column set. Keys are visited in
+// sorted order: quadraticForm sums floats in slice order, so map-iteration
+// order here would make the distance vary in its last bits from call to call
+// — and a workload distance that wobbles per call breaks the bit-exact
+// determinism CliffGuard's sampler and trace guarantees depend on.
 func diffVector(f1, f2 map[string]float64, s1, s2 map[string]workload.ColSet) ([]float64, []workload.ColSet) {
 	diffs := make([]float64, 0, len(f1)+len(f2))
 	sets := make([]workload.ColSet, 0, len(f1)+len(f2))
-	for k, v1 := range f1 {
-		d := v1 - f2[k]
+	for _, k := range sortedKeys(f1) {
+		d := f1[k] - f2[k]
 		if d < 0 {
 			d = -d
 		}
@@ -82,16 +87,25 @@ func diffVector(f1, f2 map[string]float64, s1, s2 map[string]workload.ColSet) ([
 			sets = append(sets, s1[k])
 		}
 	}
-	for k, v2 := range f2 {
+	for _, k := range sortedKeys(f2) {
 		if _, seen := f1[k]; seen {
 			continue
 		}
-		if v2 > 0 {
+		if v2 := f2[k]; v2 > 0 {
 			diffs = append(diffs, v2)
 			sets = append(sets, s2[k])
 		}
 	}
 	return diffs, sets
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // quadraticForm evaluates sum_ij d_i d_j Hamming(set_i, set_j) / norm.
@@ -132,9 +146,11 @@ func (s *Separate) Distance(w1, w2 *workload.Workload) float64 {
 		diff float64
 		sets [4]workload.ColSet
 	}
+	// Sorted key order for the same reason as diffVector: the quadratic sum
+	// below must add terms in a reproducible order.
 	var entries []entry
-	for k, v1 := range f1 {
-		d := v1 - f2[k]
+	for _, k := range sortedKeys(f1) {
+		d := f1[k] - f2[k]
 		if d < 0 {
 			d = -d
 		}
@@ -142,11 +158,11 @@ func (s *Separate) Distance(w1, w2 *workload.Workload) float64 {
 			entries = append(entries, entry{d, t1[k]})
 		}
 	}
-	for k, v2 := range f2 {
+	for _, k := range sortedKeys(f2) {
 		if _, seen := f1[k]; seen {
 			continue
 		}
-		if v2 > 0 {
+		if v2 := f2[k]; v2 > 0 {
 			entries = append(entries, entry{v2, t2[k]})
 		}
 	}

@@ -1,10 +1,12 @@
 package rowsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
+	"cliffguard/internal/costcache"
 	"cliffguard/internal/datagen"
 	"cliffguard/internal/designer"
 	"cliffguard/internal/schema"
@@ -26,14 +28,15 @@ const (
 )
 
 // DB is a simulated row-store instance. It implements designer.CostModel.
+// The what-if memo cache is sharded for CliffGuard's parallel neighborhood
+// evaluation.
 type DB struct {
 	Schema *schema.Schema
 	Data   *datagen.Dataset
 	// RowFraction scales the schema's modeled row counts (default 1.0).
 	RowFraction float64
 
-	mu   sync.Mutex
-	memo map[*workload.Query]map[string]float64
+	memo *costcache.Cache // per-(query, path) cost
 
 	auxMu  sync.Mutex
 	perms  map[string][]int32 // index key -> sorted row permutation
@@ -45,7 +48,7 @@ func Open(s *schema.Schema) *DB {
 	return &DB{
 		Schema:      s,
 		RowFraction: 1.0,
-		memo:        make(map[*workload.Query]map[string]float64),
+		memo:        costcache.New(),
 		perms:       make(map[string][]int32),
 		mviews:      make(map[string]*mvData),
 	}
@@ -67,8 +70,14 @@ func (db *DB) rows(t *schema.Table) float64 {
 	return math.Max(float64(t.Rows)*f, 1)
 }
 
-// Cost implements designer.CostModel.
-func (db *DB) Cost(q *workload.Query, d *designer.Design) (float64, error) {
+// Cost implements designer.CostModel. A cancelled ctx aborts with ctx.Err()
+// before any estimation work.
+func (db *DB) Cost(ctx context.Context, q *workload.Query, d *designer.Design) (float64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	if err := db.check(q); err != nil {
 		return 0, err
 	}
@@ -143,24 +152,7 @@ func (db *DB) check(q *workload.Query) error {
 }
 
 func (db *DB) pathCost(q *workload.Query, pathKey string, compute func() float64) float64 {
-	db.mu.Lock()
-	if m, ok := db.memo[q]; ok {
-		if c, ok := m[pathKey]; ok {
-			db.mu.Unlock()
-			return c
-		}
-	}
-	db.mu.Unlock()
-	c := compute()
-	db.mu.Lock()
-	m, ok := db.memo[q]
-	if !ok {
-		m = make(map[string]float64, 2)
-		db.memo[q] = m
-	}
-	m[pathKey] = c
-	db.mu.Unlock()
-	return c
+	return db.memo.GetOrCompute(q, pathKey, compute)
 }
 
 // scanCost is a full-table scan: the row store reads entire rows.
@@ -363,7 +355,7 @@ func maxI64(a, b int64) int64 {
 func (db *DB) BaselineCost(w *workload.Workload) float64 {
 	var total float64
 	for _, it := range w.Items {
-		c, err := db.Cost(it.Q, nil)
+		c, err := db.Cost(context.Background(), it.Q, nil)
 		if err != nil {
 			continue
 		}

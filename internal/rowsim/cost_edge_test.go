@@ -1,6 +1,7 @@
 package rowsim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -27,7 +28,7 @@ func TestIndexPrefixSemantics(t *testing.T) {
 
 	cost := func(preds []workload.Pred, idx *Index) float64 {
 		q := edgeQ(&workload.Spec{Table: "f", SelectCols: []int{3}, Preds: preds})
-		c, err := db.Cost(q, designer.NewDesign(idx))
+		c, err := db.Cost(context.Background(), q, designer.NewDesign(idx))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,8 +54,8 @@ func TestIndexPrefixSemantics(t *testing.T) {
 	q2 := edgeQ(&workload.Spec{Table: "f", SelectCols: []int{3},
 		Preds: []workload.Pred{rangeA, eqB}})
 	idxA, _ := NewIndex(s, "f", []int{0}, nil)
-	cLong, _ := db.Cost(q1, designer.NewDesign(idxAB))
-	cShort, _ := db.Cost(q2, designer.NewDesign(idxA))
+	cLong, _ := db.Cost(context.Background(), q1, designer.NewDesign(idxAB))
+	cShort, _ := db.Cost(context.Background(), q2, designer.NewDesign(idxA))
 	if cLong != cShort {
 		t.Errorf("range-terminated prefix: %g vs %g", cLong, cShort)
 	}
@@ -62,8 +63,8 @@ func TestIndexPrefixSemantics(t *testing.T) {
 	// No predicate on the leading key: index inapplicable.
 	qNoLead := edgeQ(&workload.Spec{Table: "f", SelectCols: []int{3},
 		Preds: []workload.Pred{eqB}})
-	base, _ := db.Cost(qNoLead, nil)
-	withIdx, _ := db.Cost(qNoLead, designer.NewDesign(idxAB))
+	base, _ := db.Cost(context.Background(), qNoLead, nil)
+	withIdx, _ := db.Cost(context.Background(), qNoLead, designer.NewDesign(idxAB))
 	if withIdx != base {
 		t.Errorf("leading-key miss should be inapplicable: %g vs %g", withIdx, base)
 	}

@@ -1,6 +1,7 @@
 package rowsim
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -43,10 +44,10 @@ func NewDesigner(db *DB, budget int64) *Designer {
 func (d *Designer) Name() string { return "DBMS-X-Advisor" }
 
 // Design implements designer.Designer.
-func (d *Designer) Design(w *workload.Workload) (*designer.Design, error) {
+func (d *Designer) Design(ctx context.Context, w *workload.Workload) (*designer.Design, error) {
 	cw := d.Compress(w)
 	cands := d.Candidates(cw)
-	return designer.GreedySelect(d.DB, cw, cands, d.Budget)
+	return designer.GreedySelect(ctx, d.DB, cw, cands, d.Budget)
 }
 
 // Compress applies the workload-compression heuristics: template collapse,

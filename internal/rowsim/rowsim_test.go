@@ -1,6 +1,7 @@
 package rowsim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -106,28 +107,28 @@ func TestCostModelAccessPaths(t *testing.T) {
 		SelectCols: []int{0, 3},
 		Preds:      []workload.Pred{{Col: 0, Op: workload.Eq, Lo: 7, Hi: 7, Sel: 0.001}},
 	})
-	base, err := db.Cost(query, nil)
+	base, err := db.Cost(context.Background(), query, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Plain index: helps, but pays random access.
 	plain, _ := NewIndex(s, "f", []int{0}, nil)
-	cPlain, _ := db.Cost(query, designer.NewDesign(plain))
+	cPlain, _ := db.Cost(context.Background(), query, designer.NewDesign(plain))
 	if cPlain >= base {
 		t.Fatalf("plain index did not help: %g vs %g", cPlain, base)
 	}
 
 	// Covering index: index-only scan, much cheaper than plain.
 	covering, _ := NewIndex(s, "f", []int{0}, []int{3})
-	cCover, _ := db.Cost(query, designer.NewDesign(covering))
+	cCover, _ := db.Cost(context.Background(), query, designer.NewDesign(covering))
 	if cCover >= cPlain {
 		t.Fatalf("covering index %g should beat plain %g", cCover, cPlain)
 	}
 
 	// Index without a matching prefix predicate is inapplicable.
 	wrong, _ := NewIndex(s, "f", []int{1}, nil)
-	cWrong, _ := db.Cost(query, designer.NewDesign(wrong))
+	cWrong, _ := db.Cost(context.Background(), query, designer.NewDesign(wrong))
 	if cWrong != base {
 		t.Fatalf("non-matching index changed cost: %g vs %g", cWrong, base)
 	}
@@ -142,11 +143,11 @@ func TestCostModelMatView(t *testing.T) {
 		GroupBy:    []int{2},
 		Aggs:       []workload.Agg{{Fn: workload.Count, Col: -1}, {Fn: workload.Sum, Col: 3}},
 	})
-	base, _ := db.Cost(query, nil)
+	base, _ := db.Cost(context.Background(), query, nil)
 
 	mv, _ := NewMatView(s, "f", []int{2}, []workload.Agg{
 		{Fn: workload.Count, Col: -1}, {Fn: workload.Sum, Col: 3}})
-	fast, _ := db.Cost(query, designer.NewDesign(mv))
+	fast, _ := db.Cost(context.Background(), query, designer.NewDesign(mv))
 	if fast >= base/10 || fast >= 2*fixedOverheadMs {
 		t.Fatalf("matview cost %g, want overhead-dominated and far below %g", fast, base)
 	}
@@ -155,7 +156,7 @@ func TestCostModelMatView(t *testing.T) {
 	// finer view.
 	fine, _ := NewMatView(s, "f", []int{2, 1}, []workload.Agg{
 		{Fn: workload.Count, Col: -1}, {Fn: workload.Sum, Col: 3}})
-	rolled, _ := db.Cost(query, designer.NewDesign(fine))
+	rolled, _ := db.Cost(context.Background(), query, designer.NewDesign(fine))
 	if rolled >= base {
 		t.Fatal("roll-up from finer view should help")
 	}
@@ -167,8 +168,8 @@ func TestCostModelMatView(t *testing.T) {
 		Aggs:    []workload.Agg{{Fn: workload.Count, Col: -1}},
 		Preds:   []workload.Pred{{Col: 0, Op: workload.Eq, Lo: 1, Hi: 1, Sel: 0.001}},
 	})
-	cf, _ := db.Cost(filtered, designer.NewDesign(mv))
-	baseF, _ := db.Cost(filtered, nil)
+	cf, _ := db.Cost(context.Background(), filtered, designer.NewDesign(mv))
+	baseF, _ := db.Cost(context.Background(), filtered, nil)
 	if cf != baseF {
 		t.Fatal("view should be inapplicable with an out-of-view predicate")
 	}
@@ -180,8 +181,8 @@ func TestRowFractionScalesCosts(t *testing.T) {
 	frac := Open(s)
 	frac.RowFraction = 0.1
 	query := q(&workload.Spec{Table: "f", SelectCols: []int{0}})
-	cFull, _ := full.Cost(query, nil)
-	cFrac, _ := frac.Cost(query, nil)
+	cFull, _ := full.Cost(context.Background(), query, nil)
+	cFrac, _ := frac.Cost(context.Background(), query, nil)
 	if cFrac >= cFull {
 		t.Fatalf("RowFraction did not scale cost: %g vs %g", cFrac, cFull)
 	}
@@ -198,10 +199,10 @@ func TestRowFractionScalesCosts(t *testing.T) {
 
 func TestCostUnsupported(t *testing.T) {
 	db := Open(testSchema())
-	if _, err := db.Cost(&workload.Query{ID: 1}, nil); !errors.Is(err, designer.ErrUnsupported) {
+	if _, err := db.Cost(context.Background(), &workload.Query{ID: 1}, nil); !errors.Is(err, designer.ErrUnsupported) {
 		t.Error("spec-less query should be unsupported")
 	}
-	if _, err := db.Cost(q(&workload.Spec{Table: "zzz"}), nil); !errors.Is(err, designer.ErrUnsupported) {
+	if _, err := db.Cost(context.Background(), q(&workload.Spec{Table: "zzz"}), nil); !errors.Is(err, designer.ErrUnsupported) {
 		t.Error("unknown table should be unsupported")
 	}
 }
@@ -398,15 +399,15 @@ func TestRowDesignerBudgetAndBenefit(t *testing.T) {
 
 	budget := int64(24) << 20
 	d := NewDesigner(db, budget)
-	design, err := d.Design(w)
+	design, err := d.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if design.SizeBytes() > budget {
 		t.Fatalf("design %d bytes exceeds budget %d", design.SizeBytes(), budget)
 	}
-	before, _ := designer.WorkloadCost(db, w, nil)
-	after, _ := designer.WorkloadCost(db, w, design)
+	before, _ := designer.WorkloadCost(context.Background(), db, w, nil)
+	after, _ := designer.WorkloadCost(context.Background(), db, w, design)
 	if after >= before {
 		t.Fatalf("design did not help: %g -> %g", before, after)
 	}

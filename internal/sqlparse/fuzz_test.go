@@ -3,6 +3,7 @@ package sqlparse
 import (
 	"testing"
 
+	"cliffguard/internal/datagen"
 	"cliffguard/internal/schema"
 )
 
@@ -28,37 +29,42 @@ func FuzzParse(f *testing.F) {
 		"SELECT \x00 FROM sales",
 		"SELECT a FROM b WHERE c = -9999999999999999999999",
 	}
-	sch := fuzzSchema()
+	// Two schemas: the small hand-built one, and the warehouse schema the
+	// wlgen presets target — the checked-in corpus under testdata/fuzz is
+	// rendered preset SQL, which only resolves against the latter.
+	schemas := []*schema.Schema{fuzzSchema(), datagen.Warehouse(1)}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, sql string) {
-		p := NewParser(sch)
-		q, err := p.Parse(sql)
-		if err != nil {
-			return // rejecting is fine; crashing is not
-		}
-		// Accepted queries must be structurally valid.
-		if q.Spec == nil || q.Spec.Table == "" {
-			t.Fatalf("accepted query without a table: %q", sql)
-		}
-		for _, c := range q.Spec.ReferencedCols() {
-			if !sch.ValidID(c) {
-				t.Fatalf("accepted query with invalid column %d: %q", c, sql)
+		for _, sch := range schemas {
+			p := NewParser(sch)
+			q, err := p.Parse(sql)
+			if err != nil {
+				continue // rejecting is fine; crashing is not
 			}
-		}
-		for _, pr := range q.Spec.Preds {
-			if pr.Sel < 0 || pr.Sel > 1 {
-				t.Fatalf("selectivity %g out of range: %q", pr.Sel, sql)
+			// Accepted queries must be structurally valid.
+			if q.Spec == nil || q.Spec.Table == "" {
+				t.Fatalf("accepted query without a table: %q", sql)
 			}
-		}
-		// Accepted specs must render back to parseable SQL.
-		rendered, err := Render(sch, q.Spec)
-		if err != nil {
-			t.Fatalf("accepted query failed to render: %q: %v", sql, err)
-		}
-		if _, err := p.Parse(rendered); err != nil {
-			t.Fatalf("rendered SQL failed to re-parse: %q -> %q: %v", sql, rendered, err)
+			for _, c := range q.Spec.ReferencedCols() {
+				if !sch.ValidID(c) {
+					t.Fatalf("accepted query with invalid column %d: %q", c, sql)
+				}
+			}
+			for _, pr := range q.Spec.Preds {
+				if pr.Sel < 0 || pr.Sel > 1 {
+					t.Fatalf("selectivity %g out of range: %q", pr.Sel, sql)
+				}
+			}
+			// Accepted specs must render back to parseable SQL.
+			rendered, err := Render(sch, q.Spec)
+			if err != nil {
+				t.Fatalf("accepted query failed to render: %q: %v", sql, err)
+			}
+			if _, err := p.Parse(rendered); err != nil {
+				t.Fatalf("rendered SQL failed to re-parse: %q -> %q: %v", sql, rendered, err)
+			}
 		}
 	})
 }

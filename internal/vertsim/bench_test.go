@@ -1,6 +1,7 @@
 package vertsim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -65,7 +66,7 @@ func BenchmarkWhatIfCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// A fresh query per iteration defeats the memo, measuring the model.
 		q := benchQuery()
-		if _, err := db.Cost(q, d); err != nil {
+		if _, err := db.Cost(context.Background(), q, d); err != nil {
 			b.Fatal(err)
 		}
 	}

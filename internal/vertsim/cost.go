@@ -1,10 +1,12 @@
 package vertsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
+	"cliffguard/internal/costcache"
 	"cliffguard/internal/datagen"
 	"cliffguard/internal/designer"
 	"cliffguard/internal/schema"
@@ -32,13 +34,14 @@ const (
 
 // DB is a simulated columnar database instance: a schema, an optional
 // physical dataset (for the executor), and a memoizing what-if cost model.
-// DB implements designer.CostModel.
+// DB implements designer.CostModel. The memo cache is sharded, so the cost
+// model is safe (and scalable) under CliffGuard's parallel neighborhood
+// evaluation.
 type DB struct {
 	Schema *schema.Schema
 	Data   *datagen.Dataset // nil means cost-model only
 
-	mu   sync.Mutex
-	memo map[*workload.Query]map[string]float64 // per-query per-path cost
+	memo *costcache.Cache // per-(query, path) cost
 
 	sortedMu sync.Mutex
 	sorted   map[string][]int32 // projection key -> row permutation (executor)
@@ -48,7 +51,7 @@ type DB struct {
 func Open(s *schema.Schema) *DB {
 	return &DB{
 		Schema: s,
-		memo:   make(map[*workload.Query]map[string]float64),
+		memo:   costcache.New(),
 		sorted: make(map[string][]int32),
 	}
 }
@@ -62,8 +65,14 @@ func OpenWithData(data *datagen.Dataset) *DB {
 
 // Cost implements designer.CostModel: the estimated latency (ms) of q under
 // design d, using the cheapest applicable access path (a covering projection
-// or the super-projection).
-func (db *DB) Cost(q *workload.Query, d *designer.Design) (float64, error) {
+// or the super-projection). A cancelled ctx aborts with ctx.Err() before any
+// estimation work.
+func (db *DB) Cost(ctx context.Context, q *workload.Query, d *designer.Design) (float64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	if err := db.check(q); err != nil {
 		return 0, err
 	}
@@ -139,32 +148,15 @@ func refCols(q *workload.Query) workload.ColSet {
 }
 
 // pathCost estimates latency of q via projection p (nil = super-projection),
-// memoized per (query, path) pair.
+// memoized per (query, path) pair in the sharded cache.
 func (db *DB) pathCost(q *workload.Query, p *Projection) float64 {
 	pathKey := ""
 	if p != nil {
 		pathKey = p.Key()
 	}
-	db.mu.Lock()
-	if m, ok := db.memo[q]; ok {
-		if c, ok := m[pathKey]; ok {
-			db.mu.Unlock()
-			return c
-		}
-	}
-	db.mu.Unlock()
-
-	c := db.computePathCost(q, p)
-
-	db.mu.Lock()
-	m, ok := db.memo[q]
-	if !ok {
-		m = make(map[string]float64, 2)
-		db.memo[q] = m
-	}
-	m[pathKey] = c
-	db.mu.Unlock()
-	return c
+	return db.memo.GetOrCompute(q, pathKey, func() float64 {
+		return db.computePathCost(q, p)
+	})
 }
 
 // computePathCost is the actual cost model.
@@ -305,7 +297,7 @@ func clampSel(s float64) float64 {
 func (db *DB) BaselineCost(w *workload.Workload) float64 {
 	var total float64
 	for _, it := range w.Items {
-		c, err := db.Cost(it.Q, nil)
+		c, err := db.Cost(context.Background(), it.Q, nil)
 		if err != nil {
 			continue
 		}

@@ -1,6 +1,7 @@
 package vertsim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -40,7 +41,7 @@ func TestPrefixSelectivitySemantics(t *testing.T) {
 	}
 
 	cost := func(q *workload.Query, p *Projection) float64 {
-		c, err := db.Cost(q, designer.NewDesign(p))
+		c, err := db.Cost(context.Background(), q, designer.NewDesign(p))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,8 +92,8 @@ func TestGroupEstimateCapsOutRows(t *testing.T) {
 		Aggs:    []workload.Agg{{Fn: workload.Count, Col: -1}},
 		OrderBy: []workload.OrderCol{{Col: 0}},
 	})
-	cLow, _ := db.Cost(lowCard, nil)
-	cHigh, _ := db.Cost(highCard, nil)
+	cLow, _ := db.Cost(context.Background(), lowCard, nil)
+	cHigh, _ := db.Cost(context.Background(), highCard, nil)
 	if cLow >= cHigh {
 		t.Errorf("10-group sort %g should be cheaper than 1000-group sort %g", cLow, cHigh)
 	}

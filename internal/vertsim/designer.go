@@ -1,6 +1,7 @@
 package vertsim
 
 import (
+	"context"
 	"sort"
 
 	"cliffguard/internal/designer"
@@ -35,10 +36,10 @@ func (d *Designer) Name() string { return "VerticaDBD" }
 
 // Design implements designer.Designer: compress the workload to templates,
 // generate per-template and merged candidates, then greedy-select.
-func (d *Designer) Design(w *workload.Workload) (*designer.Design, error) {
+func (d *Designer) Design(ctx context.Context, w *workload.Workload) (*designer.Design, error) {
 	cw := designer.CompressByTemplate(w)
 	cands := d.Candidates(cw)
-	return designer.GreedySelect(d.DB, cw, cands, d.Budget)
+	return designer.GreedySelect(ctx, d.DB, cw, cands, d.Budget)
 }
 
 // weightedQuery pairs a representative query with its template weight.

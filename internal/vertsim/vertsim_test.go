@@ -1,6 +1,7 @@
 package vertsim
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -101,7 +102,7 @@ func TestCostModelBasics(t *testing.T) {
 		SelectCols: []int{0, 3},
 		Preds:      []workload.Pred{{Col: 1, Op: workload.Eq, Lo: 5, Hi: 5, Sel: 0.01}},
 	})
-	base, err := db.Cost(query, nil)
+	base, err := db.Cost(context.Background(), query, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestCostModelBasics(t *testing.T) {
 
 	// A covering projection sorted by the predicate column is much cheaper.
 	proj, _ := NewProjection(s, "f", []int{0, 1, 3}, []workload.OrderCol{{Col: 1}})
-	fast, err := db.Cost(query, designer.NewDesign(proj))
+	fast, err := db.Cost(context.Background(), query, designer.NewDesign(proj))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestCostModelBasics(t *testing.T) {
 
 	// A non-covering projection does not help.
 	narrow, _ := NewProjection(s, "f", []int{0, 1}, []workload.OrderCol{{Col: 1}})
-	same, err := db.Cost(query, designer.NewDesign(narrow))
+	same, err := db.Cost(context.Background(), query, designer.NewDesign(narrow))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestCostModelBasics(t *testing.T) {
 	// A covering projection with an unrelated sort order gives only the
 	// compression advantage.
 	unrelated, _ := NewProjection(s, "f", []int{0, 1, 3}, []workload.OrderCol{{Col: 0}})
-	mid, err := db.Cost(query, designer.NewDesign(unrelated))
+	mid, err := db.Cost(context.Background(), query, designer.NewDesign(unrelated))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestCostModelMonotoneInDesign(t *testing.T) {
 			Col: r.Intn(6), Op: workload.Eq, Lo: 1, Hi: 1, Sel: 0.01})
 		query := q(spec)
 
-		base, err := db.Cost(query, nil)
+		base, err := db.Cost(context.Background(), query, nil)
 		if err != nil {
 			return false
 		}
@@ -165,7 +166,7 @@ func TestCostModelMonotoneInDesign(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		withProj, err := db.Cost(query, designer.NewDesign(proj))
+		withProj, err := db.Cost(context.Background(), query, designer.NewDesign(proj))
 		if err != nil {
 			return false
 		}
@@ -185,7 +186,7 @@ func TestCostUnsupportedQueries(t *testing.T) {
 		q(&workload.Spec{Table: "f", SelectCols: []int{6}}), // column of dim
 	}
 	for i, query := range cases {
-		if _, err := db.Cost(query, nil); !errors.Is(err, designer.ErrUnsupported) {
+		if _, err := db.Cost(context.Background(), query, nil); !errors.Is(err, designer.ErrUnsupported) {
 			t.Errorf("case %d: err = %v, want ErrUnsupported", i, err)
 		}
 	}
@@ -197,15 +198,15 @@ func TestGroupByAndOrderCostEffects(t *testing.T) {
 	plain := q(&workload.Spec{Table: "f", SelectCols: []int{0}})
 	grouped := q(&workload.Spec{Table: "f", SelectCols: []int{2}, GroupBy: []int{2},
 		Aggs: []workload.Agg{{Fn: workload.Count, Col: -1}}})
-	cPlain, _ := db.Cost(plain, nil)
-	cGrouped, _ := db.Cost(grouped, nil)
+	cPlain, _ := db.Cost(context.Background(), plain, nil)
+	cGrouped, _ := db.Cost(context.Background(), grouped, nil)
 	if cGrouped <= cPlain-1 { // grouping adds aggregation cost over same scan width? widths differ; just check both positive
 		t.Logf("plain=%g grouped=%g", cPlain, cGrouped)
 	}
 
 	// Streaming aggregation discount: group-by matching the sort prefix.
 	proj, _ := NewProjection(s, "f", []int{2}, []workload.OrderCol{{Col: 2}})
-	cStream, _ := db.Cost(grouped, designer.NewDesign(proj))
+	cStream, _ := db.Cost(context.Background(), grouped, designer.NewDesign(proj))
 	if cStream >= cGrouped {
 		t.Errorf("sort-streamed group-by %g should beat hash aggregation %g", cStream, cGrouped)
 	}
@@ -213,13 +214,13 @@ func TestGroupByAndOrderCostEffects(t *testing.T) {
 	// Explicit sort cost appears when ORDER BY is unsatisfied.
 	sorted := q(&workload.Spec{Table: "f", SelectCols: []int{0},
 		OrderBy: []workload.OrderCol{{Col: 0}}})
-	cSorted, _ := db.Cost(sorted, nil)
+	cSorted, _ := db.Cost(context.Background(), sorted, nil)
 	if cSorted <= cPlain {
 		t.Errorf("unsatisfied ORDER BY should cost extra: %g vs %g", cSorted, cPlain)
 	}
 	// ...and disappears when the projection delivers the order.
 	op, _ := NewProjection(s, "f", []int{0}, []workload.OrderCol{{Col: 0}})
-	cDelivered, _ := db.Cost(sorted, designer.NewDesign(op))
+	cDelivered, _ := db.Cost(context.Background(), sorted, designer.NewDesign(op))
 	if cDelivered >= cSorted {
 		t.Errorf("order-satisfying projection should avoid the sort: %g vs %g", cDelivered, cSorted)
 	}
@@ -465,7 +466,7 @@ func TestDesignerRespectsbudget(t *testing.T) {
 
 	budget := int64(20) << 20
 	d := NewDesigner(db, budget)
-	design, err := d.Design(w)
+	design, err := d.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,8 +474,8 @@ func TestDesignerRespectsbudget(t *testing.T) {
 		t.Fatalf("design size %d exceeds budget %d", design.SizeBytes(), budget)
 	}
 	// The design must actually help the workload.
-	before, _ := designer.WorkloadCost(db, w, nil)
-	after, _ := designer.WorkloadCost(db, w, design)
+	before, _ := designer.WorkloadCost(context.Background(), db, w, nil)
+	after, _ := designer.WorkloadCost(context.Background(), db, w, design)
 	if after >= before {
 		t.Fatalf("design did not improve workload: %g -> %g", before, after)
 	}
@@ -485,7 +486,7 @@ func TestDesignerZeroBudget(t *testing.T) {
 	db := Open(s)
 	w := workload.New(q(&workload.Spec{Table: "f", SelectCols: []int{0}}))
 	d := NewDesigner(db, 0)
-	design, err := d.Design(w)
+	design, err := d.Design(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -562,17 +563,19 @@ func TestCostConcurrentAccess(t *testing.T) {
 			Preds: []workload.Pred{{Col: (i + 1) % 6, Op: workload.Eq, Lo: 1, Hi: 1, Sel: 0.01}}})
 	}
 	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
+	for g := 0; g < 16; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				if _, err := db.Cost(queries[i%len(queries)], design); err != nil {
+				// Offset per goroutine so different goroutines race on the
+				// same (query, path) pairs from different starting points.
+				if _, err := db.Cost(context.Background(), queries[(i+g)%len(queries)], design); err != nil {
 					t.Error(err)
 					return
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 }
@@ -618,7 +621,7 @@ func TestDeploy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bc, _ := bdb.Cost(bq, designer.NewDesign(bp))
+	bc, _ := bdb.Cost(context.Background(), bq, designer.NewDesign(bp))
 	if bms <= 10*bc {
 		t.Fatalf("deployment %g should dwarf a fast query %g", bms, bc)
 	}
