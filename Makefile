@@ -1,9 +1,21 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench
+.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline
 
 # The full local gate: what should pass before every commit.
-ci: vet build race fuzz-smoke
+ci: vet build race fuzz-smoke apidiff
+
+# Fail on incompatible changes to the public cliffguard package (removed or
+# altered exported declarations vs api/cliffguard.api). Intentional breaks:
+# update the baseline with 'make api-baseline' and call the break out in the
+# PR description, or skip one run with APIDIFF=off.
+apidiff:
+	APIDIFF=$${APIDIFF:-on} sh tools/apidiff.sh
+
+# Accept the current exported surface as the new baseline.
+api-baseline:
+	LC_ALL=C $(GO) run ./tools/apicheck . > api/cliffguard.api
+	@echo "api/cliffguard.api refreshed; commit it together with the API change"
 
 vet:
 	$(GO) vet ./...

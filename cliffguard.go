@@ -28,8 +28,13 @@
 //	s := cliffguard.Warehouse(1)              // a star-schema warehouse
 //	db := cliffguard.NewVertica(s)            // columnar engine simulator
 //	nominal := cliffguard.NewVerticaDesigner(db, 512<<20)
-//	guard := cliffguard.New(nominal, db, s, cliffguard.Options{Gamma: 0.002})
+//	guard, err := cliffguard.New(nominal, db, s, cliffguard.Options{Gamma: 0.002})
 //	design, err := guard.Design(ctx, w)       // w: *cliffguard.Workload
+//
+// The loop is observable: attach an Observer (a JSONL event sink, a terminal
+// ProgressReporter, or your own) and a Metrics registry through Options, and
+// expose the registry over HTTP with ServeMetrics. See the "Observability"
+// section of DESIGN.md for the event taxonomy and metric names.
 //
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // full system inventory and experiment index.
@@ -37,12 +42,14 @@ package cliffguard
 
 import (
 	"context"
+	"io"
 
 	"cliffguard/internal/aqesim"
 	"cliffguard/internal/core"
 	"cliffguard/internal/datagen"
 	"cliffguard/internal/designer"
 	"cliffguard/internal/distance"
+	"cliffguard/internal/obs"
 	"cliffguard/internal/rowsim"
 	"cliffguard/internal/sample"
 	"cliffguard/internal/schema"
@@ -78,10 +85,15 @@ type (
 	CostModel = designer.CostModel
 
 	// Options configure the CliffGuard loop; Gamma is the robustness knob.
+	// Use Options.WithObserver / Options.WithMetrics to attach
+	// instrumentation, Options.Validate to reject nonsensical values, and
+	// Options.Normalized to clamp them to defaults instead.
 	Options = core.Options
 	// Guard is the CliffGuard robust designer (Algorithm 2 of the paper).
 	Guard = core.CliffGuard
-	// Trace records one iteration of the robust loop.
+	// Trace records one iteration of the robust loop. Traces are derived
+	// from the same event stream observers receive: a Trace is exactly an
+	// EventIterationEnd.
 	Trace = core.Trace
 
 	// Metric measures workload dissimilarity.
@@ -118,6 +130,70 @@ type (
 	// RowStoreResult is the row-store executor's output.
 	RowStoreResult = rowsim.Result
 )
+
+// Observability types, re-exported from internal/obs. Observers receive the
+// loop's typed events; a Metrics registry aggregates atomic counters and
+// latency histograms. Events carry no wall-clock time, so observation never
+// perturbs the determinism of designs or traces.
+type (
+	// Observer receives the robust loop's events. OnEvent must be safe for
+	// concurrent calls when Options.Parallelism != 1.
+	Observer = obs.Observer
+	// Event is the common interface of all loop events.
+	Event = obs.Event
+	// EventKind names an event type (the "type" field of JSONL records).
+	EventKind = obs.Kind
+
+	// EventIterationStart opens one robust-loop iteration.
+	EventIterationStart = obs.IterationStart
+	// EventIterationEnd closes one iteration; its fields are exactly Trace's.
+	EventIterationEnd = obs.IterationEnd
+	// EventNeighborhoodSampled reports the Gamma-neighborhood draw.
+	EventNeighborhoodSampled = obs.NeighborhoodSampled
+	// EventNeighborEvaluated reports one workload evaluation (emitted from
+	// worker goroutines; ordered per iteration, unordered within a pass).
+	EventNeighborEvaluated = obs.NeighborEvaluated
+	// EventMoveAccepted reports an improving robust local move.
+	EventMoveAccepted = obs.MoveAccepted
+	// EventMoveRejected reports a non-improving robust local move.
+	EventMoveRejected = obs.MoveRejected
+	// EventDesignerInvoked reports one black-box nominal designer call.
+	EventDesignerInvoked = obs.DesignerInvoked
+
+	// Metrics is the atomic counter/gauge/histogram registry.
+	Metrics = obs.Metrics
+	// MetricsServer is a running /metrics + /vars HTTP endpoint.
+	MetricsServer = obs.MetricsServer
+	// JSONLSink is an Observer writing one JSON object per event.
+	JSONLSink = obs.JSONLSink
+	// ProgressReporter is an Observer rendering live terminal progress.
+	ProgressReporter = obs.ProgressReporter
+	// EventRecorder is an Observer buffering events in memory (tests,
+	// post-run analysis).
+	EventRecorder = obs.Recorder
+)
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewJSONLSink returns an observer writing one JSON line per event to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// DecodeEvents parses a JSONL event stream written by a JSONLSink back into
+// typed events.
+func DecodeEvents(r io.Reader) ([]obs.DecodedEvent, error) { return obs.DecodeJSONL(r) }
+
+// NewProgressReporter returns an observer printing live progress to w
+// (typically os.Stderr).
+func NewProgressReporter(w io.Writer) *ProgressReporter { return obs.NewProgressReporter(w) }
+
+// MultiObserver fans events out to several observers (nils are dropped).
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// ServeMetrics starts an HTTP server on addr exposing the registry at
+// /metrics (Prometheus text format) and /vars (expvar-style JSON). addr may
+// be ":0"; the returned server's Addr field holds the bound address.
+func ServeMetrics(addr string, m *Metrics) (*MetricsServer, error) { return obs.Serve(addr, m) }
 
 // Column type constants.
 const (
@@ -195,17 +271,24 @@ func NewLatencyMetric(s *Schema, omega float64, baseline func(*Workload) float64
 // New builds a CliffGuard robust designer around a nominal designer and its
 // engine's cost model. The Gamma-neighborhood is sampled under
 // delta_euclidean with the default template mutator over the schema.
-func New(nominal Designer, cost CostModel, s *Schema, opts Options) *Guard {
-	metric := distance.NewEuclidean(s.NumColumns())
-	sampler := sample.New(metric, sample.NewMutator(s))
-	return core.New(nominal, cost, sampler, opts)
+//
+// Nonsensical option values (negative Gamma, TopFraction above 1,
+// LambdaSuccess at or below 1, ...) are rejected with an error; zero values
+// still mean "use the paper defaults". Callers that want the historical
+// silent clamping can pass opts.Normalized().
+func New(nominal Designer, cost CostModel, s *Schema, opts Options) (*Guard, error) {
+	return NewWithMetric(nominal, cost, s, distance.NewEuclidean(s.NumColumns()), opts)
 }
 
 // NewWithMetric is New with a caller-supplied distance metric (used by the
 // Figure 11 distance-function ablation).
-func NewWithMetric(nominal Designer, cost CostModel, s *Schema, m Metric, opts Options) *Guard {
+func NewWithMetric(nominal Designer, cost CostModel, s *Schema, m Metric, opts Options) (*Guard, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	sampler := sample.New(m, sample.NewMutator(s))
-	return core.New(nominal, cost, sampler, opts)
+	sampler.Metrics = opts.Metrics
+	return core.New(nominal, cost, sampler, opts), nil
 }
 
 // WorkloadSet is a generated multi-month workload (query stream + windows).
@@ -252,9 +335,13 @@ type CandidateProvider interface {
 // FilterDesignable returns the sub-workload of queries that some ideal
 // (budget-unconstrained, single-query tailored) design speeds up by at least
 // factor. The paper's evaluation keeps only such queries — 515 of R1's 15.5K
-// parseable queries at factor 3 (Section 6.4).
-func FilterDesignable(cm CostModel, provider CandidateProvider, w *Workload, factor float64) *Workload {
-	ctx := context.Background()
+// parseable queries at factor 3 (Section 6.4). A nil ctx is treated as
+// context.Background(); cancellation makes the remaining queries filter as
+// non-designable, truncating rather than erroring.
+func FilterDesignable(ctx context.Context, cm CostModel, provider CandidateProvider, w *Workload, factor float64) *Workload {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := &Workload{}
 	cache := make(map[string]bool)
 	for _, it := range w.Items {

@@ -55,9 +55,12 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		t.Fatalf("nominal design did not help: %g -> %g", before, after)
 	}
 
-	guard := cliffguard.New(nominal, vdb, s, cliffguard.Options{
+	guard, err := cliffguard.New(nominal, vdb, s, cliffguard.Options{
 		Gamma: 0.01, Samples: 8, Iterations: 3, Seed: 1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rd, traces, err := guard.DesignWithTrace(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
@@ -87,7 +90,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if !ok {
 		t.Fatal("nominal designer must expose candidates")
 	}
-	d := cliffguard.FilterDesignable(vdb, provider, w, 3)
+	d := cliffguard.FilterDesignable(context.Background(), vdb, provider, w, 3)
 	if d.Len() == 0 {
 		t.Fatal("both queries should be designable at 3x")
 	}
@@ -185,7 +188,10 @@ func TestApproxEngineAPI(t *testing.T) {
 		t.Fatalf("sample design did not help: %g -> %g", before, after)
 	}
 
-	guard := cliffguard.New(nominal, db, s, cliffguard.Options{Gamma: 0.004, Samples: 8, Iterations: 3, Seed: 2})
+	guard, err := cliffguard.New(nominal, db, s, cliffguard.Options{Gamma: 0.004, Samples: 8, Iterations: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := guard.Design(context.Background(), w); err != nil {
 		t.Fatal(err)
 	}

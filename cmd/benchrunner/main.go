@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 
 	"cliffguard/internal/bench"
 	"cliffguard/internal/datagen"
+	"cliffguard/internal/obs"
 	"cliffguard/internal/schema"
 	"cliffguard/internal/wlgen"
 )
@@ -37,6 +39,9 @@ type runner struct {
 	par    int     // CliffGuard neighborhood-evaluation workers
 
 	csvDir string
+
+	observer obs.Observer // nil unless -events / -progress
+	metrics  *obs.Metrics // nil unless -metrics-addr
 
 	sets      map[string]*wlgen.Set
 	scenarios map[string]*bench.Scenario
@@ -98,6 +103,10 @@ func (r *runner) scenario(engine, wl string) *bench.Scenario {
 		log.Fatalf("unknown engine %q", engine)
 	}
 	sc.Parallelism = r.par
+	sc.Observer = r.observer
+	if r.metrics != nil {
+		sc.Instrument(r.metrics)
+	}
 	r.scenarios[key] = sc
 	return sc
 }
@@ -113,6 +122,10 @@ func main() {
 		gammaX = flag.Float64("gamma-dbmsx", 0.0008, "CliffGuard Gamma for DBMS-X scenarios")
 		csvDir = flag.String("csv", "", "also write per-experiment CSV files into this directory")
 		par    = flag.Int("parallelism", 0, "CliffGuard neighborhood-evaluation workers (0 = NumCPU); any value produces identical results for a fixed seed")
+
+		events   = flag.String("events", "", "write every CliffGuard run's event stream as JSONL to this file")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /vars (expvar) on this address for the duration of the run")
+		progress = flag.Bool("progress", false, "print live CliffGuard progress to stderr")
 	)
 	flag.Parse()
 
@@ -126,6 +139,37 @@ func main() {
 		sets:      make(map[string]*wlgen.Set),
 		scenarios: make(map[string]*bench.Scenario),
 	}
+	if *metrics != "" {
+		r.metrics = obs.NewMetrics()
+		srv, err := obs.Serve(*metrics, r.metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics at http://%s/metrics (expvar at /vars)\n", srv.Addr)
+	}
+	var sink *obs.JSONLSink
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		sink = obs.NewJSONLSink(bw)
+		r.observer = obs.Multi(r.observer, sink)
+	}
+	if *progress {
+		r.observer = obs.Multi(r.observer, obs.NewProgressReporter(os.Stderr))
+	}
+	defer func() {
+		if sink != nil {
+			if err := sink.Err(); err != nil {
+				log.Fatalf("writing %s: %v", *events, err)
+			}
+		}
+	}()
 	if r.csvDir != "" {
 		if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
 			log.Fatal(err)

@@ -43,6 +43,10 @@ func main() {
 		par     = flag.Int("parallelism", 0, "neighborhood-evaluation workers (0 = NumCPU)")
 		verbose = flag.Bool("v", false, "print the per-iteration trace")
 		outJSON = flag.String("out", "", "also write the design as JSON to this file")
+
+		events   = flag.String("events", "", "write the loop's event stream as JSONL to this file")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /vars (expvar) on this address, e.g. :8080 or :0")
+		progress = flag.Bool("progress", false, "print live per-iteration progress to stderr")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -79,15 +83,53 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// Instrumentation: a metrics registry whenever any consumer wants it, an
+	// optional JSONL event sink, and an optional terminal progress reporter.
+	var reg *cliffguard.Metrics
+	if *metrics != "" {
+		reg = cliffguard.NewMetrics()
+		srv, err := cliffguard.ServeMetrics(*metrics, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics at http://%s/metrics (expvar at /vars)\n", srv.Addr)
+	}
+	var observer cliffguard.Observer
+	var sink *cliffguard.JSONLSink
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		sink = cliffguard.NewJSONLSink(bw)
+		observer = cliffguard.MultiObserver(observer, sink)
+	}
+	if *progress {
+		observer = cliffguard.MultiObserver(observer, cliffguard.NewProgressReporter(os.Stderr))
+	}
+	if reg != nil {
+		if ins, ok := db.(interface{ Instrument(*cliffguard.Metrics) }); ok {
+			ins.Instrument(reg)
+		}
+	}
+
 	start := time.Now()
 	var design *cliffguard.Design
 	if *gamma == 0 {
 		design, err = nominal.Design(ctx, w)
 	} else {
-		guard := cliffguard.New(nominal, db, s, cliffguard.Options{
+		opts := cliffguard.Options{
 			Gamma: *gamma, Samples: *samples, Iterations: *iters, Seed: *seed,
 			Parallelism: *par,
-		})
+		}.WithObserver(observer).WithMetrics(reg)
+		guard, gerr := cliffguard.New(nominal, db, s, opts)
+		if gerr != nil {
+			log.Fatal(gerr)
+		}
 		var traces []cliffguard.Trace
 		design, traces, err = guard.DesignWithTrace(ctx, w)
 		if *verbose {
@@ -99,6 +141,11 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if sink != nil {
+		if serr := sink.Err(); serr != nil {
+			log.Fatalf("writing %s: %v", *events, serr)
+		}
 	}
 
 	before, _ := cliffguard.WorkloadCost(ctx, db, w, nil)

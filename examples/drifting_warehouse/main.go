@@ -29,16 +29,19 @@ func main() {
 	db := cliffguard.NewVertica(s)
 	budget := int64(2560) << 20
 	nominal := cliffguard.NewVerticaDesigner(db, budget)
-	guard := cliffguard.New(nominal, db, s, cliffguard.Options{
+	guard, err := cliffguard.New(nominal, db, s, cliffguard.Options{
 		Gamma: 0.002, Samples: 40, Iterations: 12, Seed: 7,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The paper evaluates only "designable" queries: those some ideal design
 	// speeds up by at least 3x (515 of R1's 15.5K parseable queries).
 	provider := nominal.(cliffguard.CandidateProvider)
 	months := make([]*cliffguard.Workload, len(set.Months))
 	for i, m := range set.Months {
-		months[i] = cliffguard.FilterDesignable(db, provider, m, 3)
+		months[i] = cliffguard.FilterDesignable(ctx, db, provider, m, 3)
 	}
 
 	fmt.Println("month | nominal avg | cliffguard avg | (designing on month i, measuring on month i+1)")

@@ -72,9 +72,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	guard := cliffguard.New(nominal, db, s, cliffguard.Options{
+	guard, err := cliffguard.New(nominal, db, s, cliffguard.Options{
 		Gamma: 0.004, Samples: 48, Iterations: 12, Seed: 1,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	robustDesign, err := guard.Design(ctx, past)
 	if err != nil {
 		log.Fatal(err)

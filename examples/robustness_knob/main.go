@@ -29,9 +29,12 @@ func main() {
 	fmt.Println("Gamma    | this month | next month | structures")
 	fmt.Println("---------+------------+------------+-----------")
 	for _, gamma := range []float64{0, 0.0005, 0.001, 0.002, 0.004, 0.008} {
-		guard := cliffguard.New(nominal, db, s, cliffguard.Options{
+		guard, err := cliffguard.New(nominal, db, s, cliffguard.Options{
 			Gamma: gamma, Samples: 40, Iterations: 12, Seed: 7,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		design, err := guard.Design(ctx, current)
 		if err != nil {
 			log.Fatal(err)

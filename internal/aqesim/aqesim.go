@@ -21,6 +21,7 @@ import (
 
 	"cliffguard/internal/costcache"
 	"cliffguard/internal/designer"
+	"cliffguard/internal/obs"
 	"cliffguard/internal/schema"
 	"cliffguard/internal/workload"
 )
@@ -123,11 +124,19 @@ type DB struct {
 	Schema *schema.Schema
 
 	memo *costcache.Cache // per-(query, path) cost
+	met  *obs.Metrics     // nil disables instrumentation
 }
 
 // Open returns a cost-model-only approximate engine over the schema.
 func Open(s *schema.Schema) *DB {
 	return &DB{Schema: s, memo: costcache.New()}
+}
+
+// Instrument attaches a metrics registry: Cost invocations are counted and
+// the memo cache's hit/miss stats are registered under "aqesim".
+func (db *DB) Instrument(m *obs.Metrics) {
+	db.met = m
+	m.RegisterCache("aqesim", db.memo.Stats)
 }
 
 // Cost implements designer.CostModel: an aggregate query answerable from a
@@ -138,6 +147,9 @@ func (db *DB) Cost(ctx context.Context, q *workload.Query, d *designer.Design) (
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
+	}
+	if db.met != nil {
+		db.met.CostModelCalls.Inc()
 	}
 	if err := db.check(q); err != nil {
 		return 0, err

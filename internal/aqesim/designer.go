@@ -35,7 +35,11 @@ func (d *Designer) Name() string { return "AQE-SampleSelector" }
 // Design implements designer.Designer.
 func (d *Designer) Design(ctx context.Context, w *workload.Workload) (*designer.Design, error) {
 	cw := designer.CompressByTemplate(w)
-	return designer.GreedySelect(ctx, d.DB, cw, d.Candidates(cw), d.Budget)
+	cands := d.Candidates(cw)
+	if d.DB.met != nil {
+		d.DB.met.CandidatesGenerated.Add(uint64(len(cands)))
+	}
+	return designer.GreedySelect(ctx, d.DB, cw, cands, d.Budget)
 }
 
 // Candidates implements the CandidateProvider contract used by the

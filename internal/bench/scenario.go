@@ -14,6 +14,7 @@ import (
 	"cliffguard/internal/core"
 	"cliffguard/internal/designer"
 	"cliffguard/internal/distance"
+	"cliffguard/internal/obs"
 	"cliffguard/internal/rowsim"
 	"cliffguard/internal/sample"
 	"cliffguard/internal/schema"
@@ -48,6 +49,12 @@ type Scenario struct {
 	// Parallelism is CliffGuard's neighborhood-evaluation worker count
 	// (0 = runtime.NumCPU()); see core.Options.Parallelism.
 	Parallelism int
+
+	// Observer and Metrics instrument every CliffGuard instance the scenario
+	// builds (see internal/obs); either may be nil. Use Instrument to also
+	// wire the engine's cost model and the sampler into the registry.
+	Observer obs.Observer
+	Metrics  *obs.Metrics
 
 	// MinSpeedup is the designable-query filter: only queries for which some
 	// ideal design improves on the base access path by at least this factor
@@ -137,11 +144,27 @@ func (sc *Scenario) CliffGuard(override func(*core.Options)) *core.CliffGuard {
 		Iterations:  sc.Iterations,
 		Seed:        sc.Seed,
 		Parallelism: sc.Parallelism,
+		Observer:    sc.Observer,
+		Metrics:     sc.Metrics,
 	}
 	if override != nil {
 		override(&opts)
 	}
 	return core.New(sc.Nominal, sc.Cost, sc.Sampler, opts)
+}
+
+// Instrument attaches a metrics registry to everything the scenario owns:
+// the CliffGuard loop (through CliffGuard's options), the sampler, and the
+// engine's cost model with its memo cache.
+func (sc *Scenario) Instrument(m *obs.Metrics) {
+	sc.Metrics = m
+	sc.Sampler.Metrics = m
+	switch db := sc.Cost.(type) {
+	case *vertsim.DB:
+		db.Instrument(m)
+	case *rowsim.DB:
+		db.Instrument(m)
+	}
 }
 
 // DesignerByName instantiates one of the paper's six designers.

@@ -12,6 +12,14 @@
 // improves the worst-case cost over the sampled neighborhood. Alpha is
 // adapted by backtracking line search (lambda_success > 1 on improvement,
 // 0 < lambda_failure < 1 on failure), mirroring BNT's step-size control.
+//
+// The loop is instrumented through internal/obs: every phase emits typed
+// events to Options.Observer and updates Options.Metrics. The per-iteration
+// []Trace returned by DesignWithTrace is itself derived from that event
+// stream (a trace-building observer collecting obs.IterationEnd), so the
+// JSONL event log and the trace slice can never disagree — one source of
+// truth. With a nil observer and nil metrics every emission point reduces to
+// a nil check.
 package core
 
 import (
@@ -21,75 +29,13 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"cliffguard/internal/designer"
+	"cliffguard/internal/obs"
 	"cliffguard/internal/sample"
 	"cliffguard/internal/workload"
 )
-
-// Options configure the CliffGuard loop. The defaults follow Section 6.1 of
-// the paper: n=20 samples, 5 iterations, lambda_success=5, lambda_failure=0.5.
-type Options struct {
-	// Gamma is the robustness knob: the radius of the workload-distance
-	// neighborhood the design must be robust within. Gamma = 0 degenerates
-	// to the nominal designer.
-	Gamma float64
-	// Samples is the neighborhood sample count n (default 20).
-	Samples int
-	// Iterations bounds the robust-move loop (default 5).
-	Iterations int
-	// Patience stops the loop after this many consecutive non-improving
-	// iterations (default: Iterations, i.e. disabled).
-	Patience int
-	// TopFraction selects the worst-neighbor set: the top fraction of
-	// sampled neighbors by cost (default 0.2, per Section 4.3's "top-K or
-	// top 20%" bias mitigation). At least one neighbor is always selected.
-	TopFraction float64
-	// InitialAlpha is the starting step-size exponent (default 1).
-	InitialAlpha float64
-	// LambdaSuccess multiplies alpha after an improving move (default 5).
-	LambdaSuccess float64
-	// LambdaFailure multiplies alpha after a failed move (default 0.5).
-	LambdaFailure float64
-	// Seed makes sampling deterministic.
-	Seed int64
-	// Parallelism bounds the worker pool used to evaluate the sampled
-	// neighborhood (worst-case scans and worst-neighbor ranking). Zero or
-	// negative means runtime.NumCPU(). Any value yields bit-identical designs
-	// and traces for a fixed Seed: evaluation results are merged by
-	// neighborhood index, never by completion order.
-	Parallelism int
-	// DisableAccumulation reverts to the paper's literal formulation where
-	// each robust move sees only the current iteration's worst neighbors
-	// (ablation knob; see the package comment for why accumulation is the
-	// default).
-	DisableAccumulation bool
-}
-
-func (o Options) withDefaults() Options {
-	if o.Samples <= 0 {
-		o.Samples = 20
-	}
-	if o.Iterations <= 0 {
-		o.Iterations = 5
-	}
-	if o.Patience <= 0 {
-		o.Patience = o.Iterations
-	}
-	if o.TopFraction <= 0 || o.TopFraction > 1 {
-		o.TopFraction = 0.2
-	}
-	if o.InitialAlpha <= 0 {
-		o.InitialAlpha = 1
-	}
-	if o.LambdaSuccess <= 1 {
-		o.LambdaSuccess = 5
-	}
-	if o.LambdaFailure <= 0 || o.LambdaFailure >= 1 {
-		o.LambdaFailure = 0.5
-	}
-	return o
-}
 
 // CliffGuard wraps a nominal designer in the robust-optimization loop.
 type CliffGuard struct {
@@ -108,13 +54,35 @@ func New(nominal designer.Designer, cost designer.CostModel, sampler *sample.Sam
 func (cg *CliffGuard) Name() string { return "CliffGuard" }
 
 // Trace records one iteration of the loop, for diagnostics and the
-// convergence experiments (Figures 12-13).
+// convergence experiments (Figures 12-13). Its fields mirror
+// obs.IterationEnd exactly: traces are built from the emitted event stream.
 type Trace struct {
 	Iteration     int
 	Alpha         float64
 	WorstCase     float64 // worst-case cost of the incumbent design
 	CandidateCost float64 // worst-case cost of the candidate design
 	Improved      bool
+}
+
+// traceBuilder derives the []Trace from the event stream: it is always
+// attached as the first observer, so DesignWithTrace's return value and any
+// user-visible event sink are views of the same emissions. Only the loop
+// goroutine emits IterationEnd; concurrent NeighborEvaluated events fall
+// through the type switch without touching the slice.
+type traceBuilder struct {
+	traces []Trace
+}
+
+func (tb *traceBuilder) OnEvent(ev obs.Event) {
+	if e, ok := ev.(obs.IterationEnd); ok {
+		tb.traces = append(tb.traces, Trace{
+			Iteration:     e.Iteration,
+			Alpha:         e.Alpha,
+			WorstCase:     e.WorstCase,
+			CandidateCost: e.CandidateCost,
+			Improved:      e.Improved,
+		})
+	}
 }
 
 // Design implements designer.Designer (Algorithm 2).
@@ -133,11 +101,14 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 	if w0 == nil || w0.Len() == 0 {
 		return nil, nil, errors.New("core: empty target workload")
 	}
-	opts := cg.Opts.withDefaults()
+	opts := cg.Opts.Normalized()
 	rng := rand.New(rand.NewSource(opts.Seed))
 
+	tb := &traceBuilder{}
+	em := emitter{obs: obs.Multi(tb, opts.Observer), met: opts.Metrics}
+
 	// Line 1: nominal design for W0.
-	d, err := cg.Nominal.Design(ctx, w0)
+	d, err := cg.invokeNominal(ctx, em, -1, w0)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: initial nominal design: %w", err)
 	}
@@ -146,19 +117,27 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 	}
 
 	// Line 2: sample the Gamma-neighborhood.
+	sampleStart := em.clock()
 	neighborhood, err := cg.Sampler.Neighborhood(rng, w0, opts.Gamma, opts.Samples)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: sampling Gamma-neighborhood: %w", err)
 	}
 	// The target workload itself is part of the uncertainty set (distance 0).
 	neighborhood = append(neighborhood, w0)
+	if em.met != nil {
+		em.met.SampleLatency.Observe(time.Since(sampleStart))
+	}
+	em.emit(obs.NeighborhoodSampled{
+		Gamma:     opts.Gamma,
+		Requested: opts.Samples,
+		Produced:  len(neighborhood),
+	})
 
 	alpha := opts.InitialAlpha
-	worst, err := cg.worstCase(ctx, neighborhood, d)
+	worst, err := cg.worstCase(ctx, neighborhood, d, em, -1, obs.PhaseInitial)
 	if err != nil {
 		return nil, nil, err
 	}
-	var traces []Trace
 	sinceImprove := 0
 
 	// Worst neighbors accumulate across iterations: each robust move must
@@ -170,8 +149,11 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 	var accumulated []*workload.Workload
 
 	for iter := 0; iter < opts.Iterations; iter++ {
+		iterStart := em.clock()
+		em.emit(obs.IterationStart{Iteration: iter, Alpha: alpha, WorstCase: worst})
+
 		// Neighborhood exploration: worst neighbors under the current design.
-		worstNeighbors, err := cg.worstNeighbors(ctx, neighborhood, d, opts.TopFraction)
+		worstNeighbors, err := cg.worstNeighbors(ctx, neighborhood, d, opts.TopFraction, em, iter)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -183,31 +165,68 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 
 		// Robust local move: merge and re-design.
 		moved := cg.MoveWorkload(ctx, w0, moveTargets, d, alpha)
-		cand, err := cg.Nominal.Design(ctx, moved)
+		cand, err := cg.invokeNominal(ctx, em, iter, moved)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: nominal design on moved workload: %w", err)
 		}
-		candWorst, err := cg.worstCase(ctx, neighborhood, cand)
+		candWorst, err := cg.worstCase(ctx, neighborhood, cand, em, iter, obs.PhaseCandidate)
 		if err != nil {
 			return nil, nil, err
 		}
 
-		tr := Trace{Iteration: iter, Alpha: alpha, WorstCase: worst, CandidateCost: candWorst}
+		end := obs.IterationEnd{Iteration: iter, Alpha: alpha, WorstCase: worst, CandidateCost: candWorst}
 		if candWorst < worst {
+			em.emit(obs.MoveAccepted{Iteration: iter, Alpha: alpha, WorstCase: candWorst, Previous: worst})
+			if em.met != nil {
+				em.met.MovesAccepted.Inc()
+			}
 			d, worst = cand, candWorst
 			alpha = math.Min(alpha*opts.LambdaSuccess, 8)
-			tr.Improved = true
+			end.Improved = true
 			sinceImprove = 0
 		} else {
+			em.emit(obs.MoveRejected{Iteration: iter, Alpha: alpha, CandidateCost: candWorst, WorstCase: worst})
+			if em.met != nil {
+				em.met.MovesRejected.Inc()
+			}
 			alpha = math.Max(alpha*opts.LambdaFailure, 1.0/32)
 			sinceImprove++
 		}
-		traces = append(traces, tr)
+		em.emit(end)
+		if em.met != nil {
+			em.met.IterationsCompleted.Inc()
+			em.met.IterationLatency.Observe(time.Since(iterStart))
+		}
 		if sinceImprove >= opts.Patience {
 			break
 		}
 	}
-	return d, traces, nil
+	return d, tb.traces, nil
+}
+
+// invokeNominal calls the black-box nominal designer with instrumentation:
+// a DesignerInvoked event on success plus invocation count and latency in
+// the metrics registry. iter is -1 for the initial design.
+func (cg *CliffGuard) invokeNominal(ctx context.Context, em emitter, iter int, w *workload.Workload) (*designer.Design, error) {
+	start := em.clock()
+	d, err := cg.Nominal.Design(ctx, w)
+	if em.met != nil {
+		em.met.DesignerInvocations.Inc()
+		em.met.DesignLatency.Observe(time.Since(start))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if em.obs != nil {
+		em.obs.OnEvent(obs.DesignerInvoked{
+			Iteration:  iter,
+			Designer:   cg.Nominal.Name(),
+			Queries:    w.Len(),
+			Structures: d.Len(),
+			SizeBytes:  d.SizeBytes(),
+		})
+	}
+	return d, nil
 }
 
 // worstCase returns max over the sampled neighborhood of f(W, D), evaluating
@@ -217,8 +236,8 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 // ErrUncostableNeighborhood rather than a degenerate -Inf worst case. The max
 // reduction walks results in neighborhood-index order, and a hard error from
 // the lowest index wins, so the outcome is independent of worker scheduling.
-func (cg *CliffGuard) worstCase(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design) (float64, error) {
-	results := cg.evalNeighborhood(ctx, neighborhood, d)
+func (cg *CliffGuard) worstCase(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design, em emitter, iter int, phase string) (float64, error) {
+	results := cg.evalNeighborhood(ctx, neighborhood, d, em, iter, phase)
 	worst := math.Inf(-1)
 	costable := false
 	for _, r := range results {
@@ -243,8 +262,8 @@ func (cg *CliffGuard) worstCase(ctx context.Context, neighborhood []*workload.Wo
 // design d, most expensive first, evaluating on the parallel engine. The
 // stable sort runs over the index-ordered result slice, so ties between
 // equal-cost neighbors break by neighborhood index regardless of worker count.
-func (cg *CliffGuard) worstNeighbors(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design, frac float64) ([]*workload.Workload, error) {
-	results := cg.evalNeighborhood(ctx, neighborhood, d)
+func (cg *CliffGuard) worstNeighbors(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design, frac float64, em emitter, iter int) ([]*workload.Workload, error) {
+	results := cg.evalNeighborhood(ctx, neighborhood, d, em, iter, obs.PhaseRank)
 	type scored struct {
 		w *workload.Workload
 		c float64

@@ -215,7 +215,7 @@ func TestMoveWorkloadNoNeighbors(t *testing.T) {
 }
 
 func TestOptionsDefaults(t *testing.T) {
-	o := Options{}.withDefaults()
+	o := Options{}.Normalized()
 	if o.Samples != 20 || o.Iterations != 5 || o.TopFraction != 0.2 {
 		t.Errorf("defaults = %+v", o)
 	}
@@ -223,9 +223,41 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Errorf("lambda defaults = %+v", o)
 	}
 	// Invalid values fall back.
-	o = Options{TopFraction: 2, LambdaSuccess: 0.5, LambdaFailure: 3}.withDefaults()
+	o = Options{TopFraction: 2, LambdaSuccess: 0.5, LambdaFailure: 3}.Normalized()
 	if o.TopFraction != 0.2 || o.LambdaSuccess != 5 || o.LambdaFailure != 0.5 {
 		t.Errorf("sanitized = %+v", o)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	valid := []Options{
+		{}, // zero options are all-default, always valid
+		{Gamma: 0.002, Samples: 40, Iterations: 10, Patience: 3},
+		{TopFraction: 0.5, InitialAlpha: 2, LambdaSuccess: 5, LambdaFailure: 0.5},
+		{Parallelism: -1}, // <= 0 means NumCPU
+	}
+	for i, o := range valid {
+		if err := o.Validate(); err != nil {
+			t.Errorf("valid options %d rejected: %v", i, err)
+		}
+	}
+	invalid := []Options{
+		{Gamma: -0.1},
+		{Samples: -1},
+		{Iterations: -2},
+		{Patience: -1},
+		{TopFraction: 1.5},
+		{TopFraction: -0.2},
+		{InitialAlpha: -1},
+		{LambdaSuccess: 0.5}, // must grow alpha
+		{LambdaSuccess: 1},
+		{LambdaFailure: 3}, // must shrink alpha
+		{LambdaFailure: -0.5},
+	}
+	for i, o := range invalid {
+		if err := o.Validate(); err == nil {
+			t.Errorf("invalid options %d (%+v) accepted", i, o)
+		}
 	}
 }
 

@@ -6,8 +6,10 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"cliffguard/internal/designer"
+	"cliffguard/internal/obs"
 	"cliffguard/internal/workload"
 )
 
@@ -20,6 +22,13 @@ import (
 // slice, and every reduction — max, stable sort, error selection — walks that
 // slice in index order. A fixed seed therefore yields bit-identical designs
 // and traces for any worker count.
+//
+// Instrumentation follows the same discipline: NeighborEvaluated events fire
+// from worker goroutines (observers must tolerate concurrency; the event
+// multiset per pass is deterministic even though arrival order is not), and
+// pool occupancy gauges are plain atomic adds. With a nil observer and nil
+// metrics the emitter fields are nil and every instrumentation site is a
+// single pointer check.
 
 // errWorkloadUncostable marks a single workload in which every query is
 // outside the cost model's supported subset. It is internal: per-workload
@@ -35,6 +44,30 @@ var errWorkloadUncostable = errors.New("core: workload has no costable queries")
 // an explicit error lets the caller distinguish "robustly designed" from
 // "could not evaluate robustness at all".
 var ErrUncostableNeighborhood = errors.New("core: no workload in the sampled neighborhood is costable under the cost model")
+
+// emitter bundles the run's observer and metrics registry. Either or both
+// may be nil; every method is nil-tolerant so call sites never branch. The
+// zero emitter disables all instrumentation (this is what NeighborhoodCosts
+// and the benchmarks use).
+type emitter struct {
+	obs obs.Observer
+	met *obs.Metrics
+}
+
+func (em emitter) emit(ev obs.Event) {
+	if em.obs != nil {
+		em.obs.OnEvent(ev)
+	}
+}
+
+// clock returns the current time iff a metrics registry will consume it;
+// otherwise the zero time. Keeps clock reads off the uninstrumented hot path.
+func (em emitter) clock() time.Time {
+	if em.met == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
 
 // evalResult is one workload's evaluation outcome: a cost, or an error
 // (errWorkloadUncostable, ctx.Err(), or a hard cost-model failure).
@@ -62,13 +95,14 @@ func (cg *CliffGuard) workers(n int) int {
 
 // evalNeighborhood evaluates f(W, D) for every workload under design d,
 // fanning out to the worker pool. The returned slice is index-aligned with
-// the input regardless of completion order.
-func (cg *CliffGuard) evalNeighborhood(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design) []evalResult {
+// the input regardless of completion order. iter and phase tag the emitted
+// NeighborEvaluated events (iter is -1 for the pre-loop initial scan).
+func (cg *CliffGuard) evalNeighborhood(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design, em emitter, iter int, phase string) []evalResult {
 	res := make([]evalResult, len(neighborhood))
 	workers := cg.workers(len(neighborhood))
 	if workers == 1 {
 		for i, w := range neighborhood {
-			res[i] = cg.evalOne(ctx, w, d)
+			res[i] = cg.evalOne(ctx, w, d, em, iter, phase, i)
 		}
 		return res
 	}
@@ -79,11 +113,21 @@ func (cg *CliffGuard) evalNeighborhood(ctx context.Context, neighborhood []*work
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res[i] = cg.evalOne(ctx, neighborhood[i], d)
+				if em.met != nil {
+					em.met.PoolQueueDepth.Add(-1)
+					em.met.PoolWorkersBusy.Add(1)
+				}
+				res[i] = cg.evalOne(ctx, neighborhood[i], d, em, iter, phase, i)
+				if em.met != nil {
+					em.met.PoolWorkersBusy.Add(-1)
+				}
 			}
 		}()
 	}
 	for i := range neighborhood {
+		if em.met != nil {
+			em.met.PoolQueueDepth.Add(1)
+		}
 		idx <- i
 	}
 	close(idx)
@@ -91,11 +135,26 @@ func (cg *CliffGuard) evalNeighborhood(ctx context.Context, neighborhood []*work
 	return res
 }
 
-func (cg *CliffGuard) evalOne(ctx context.Context, w *workload.Workload, d *designer.Design) evalResult {
+func (cg *CliffGuard) evalOne(ctx context.Context, w *workload.Workload, d *designer.Design, em emitter, iter int, phase string, index int) evalResult {
 	if err := ctx.Err(); err != nil {
 		return evalResult{err: err}
 	}
+	start := em.clock()
 	c, err := cg.workloadCost(ctx, w, d)
+	if em.met != nil {
+		em.met.NeighborsEvaluated.Inc()
+		em.met.EvalLatency.Observe(time.Since(start))
+	}
+	if em.obs != nil {
+		// Uncostable workloads are an observable outcome; hard errors
+		// (cancellation, cost-model failure) abort the run and are reported
+		// through the error path, not the event stream.
+		if err == nil {
+			em.obs.OnEvent(obs.NeighborEvaluated{Iteration: iter, Phase: phase, Index: index, Cost: c})
+		} else if errors.Is(err, errWorkloadUncostable) {
+			em.obs.OnEvent(obs.NeighborEvaluated{Iteration: iter, Phase: phase, Index: index, Uncostable: true})
+		}
+	}
 	return evalResult{cost: c, err: err}
 }
 
@@ -126,12 +185,14 @@ func (cg *CliffGuard) workloadCost(ctx context.Context, w *workload.Workload, d 
 // NeighborhoodCosts evaluates f(W, D) for every workload in parallel and
 // returns the index-aligned costs; workloads with no costable queries yield
 // NaN. It exposes the evaluation engine that worstCase/worstNeighbors are
-// built on (and is what BenchmarkNeighborhoodEval measures).
+// built on (and is what BenchmarkNeighborhoodEval measures). It runs with
+// instrumentation disabled: the zero emitter keeps this path at its
+// pre-instrumentation cost.
 func (cg *CliffGuard) NeighborhoodCosts(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design) ([]float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	results := cg.evalNeighborhood(ctx, neighborhood, d)
+	results := cg.evalNeighborhood(ctx, neighborhood, d, emitter{}, -1, obs.PhaseInitial)
 	out := make([]float64, len(results))
 	for i, r := range results {
 		if r.err != nil {

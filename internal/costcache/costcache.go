@@ -13,7 +13,9 @@ package costcache
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"cliffguard/internal/obs"
 	"cliffguard/internal/workload"
 )
 
@@ -30,6 +32,11 @@ type cacheKey struct {
 type shard struct {
 	mu sync.RWMutex
 	m  map[cacheKey]float64
+	// Hit/miss tallies live outside the map lock: Lookup under heavy
+	// parallel evaluation must not contend on anything but the stripe's
+	// RLock, so the counters are plain atomics.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // Cache memoizes float64 costs per (query, path) pair. The zero value is not
@@ -64,6 +71,11 @@ func (c *Cache) Lookup(q *workload.Query, path string) (float64, bool) {
 	s.mu.RLock()
 	v, ok := s.m[cacheKey{q, path}]
 	s.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
 	return v, ok
 }
 
@@ -98,4 +110,29 @@ func (c *Cache) Len() int {
 		s.mu.RUnlock()
 	}
 	return n
+}
+
+// Stats snapshots hit/miss tallies and entry counts, per shard and in
+// aggregate, in the shape obs.Metrics.RegisterCache consumes. The snapshot
+// is not atomic across shards (each stripe is read independently), which is
+// fine for monitoring.
+func (c *Cache) Stats() obs.CacheStats {
+	var out obs.CacheStats
+	out.Shards = make([]obs.CacheShardStats, numShards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		entries := len(s.m)
+		s.mu.RUnlock()
+		sh := obs.CacheShardStats{
+			Hits:    s.hits.Load(),
+			Misses:  s.misses.Load(),
+			Entries: entries,
+		}
+		out.Shards[i] = sh
+		out.Hits += sh.Hits
+		out.Misses += sh.Misses
+		out.Entries += sh.Entries
+	}
+	return out
 }

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (counters as *_total, gauges plain, latency histograms with
+// cumulative le buckets in seconds, cache stats with cache/shard labels).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	ew := &errWriter{w: w}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("cliffguard_sampler_draws_total", "Gamma-neighborhood sample draws.", m.SamplerDraws.Load())
+	counter("cliffguard_sampler_retries_total", "Perturbation-set retries beyond the first try.", m.SamplerRetries.Load())
+	counter("cliffguard_sampler_failures_total", "Sample draws that found no perturbation set.", m.SamplerFailures.Load())
+	counter("cliffguard_costmodel_calls_total", "What-if cost model invocations.", m.CostModelCalls.Load())
+	counter("cliffguard_designer_invocations_total", "Black-box nominal designer calls.", m.DesignerInvocations.Load())
+	counter("cliffguard_designer_candidates_total", "Candidate structures proposed by designers.", m.CandidatesGenerated.Load())
+	counter("cliffguard_neighbors_evaluated_total", "Per-workload neighborhood evaluations.", m.NeighborsEvaluated.Load())
+	counter("cliffguard_moves_accepted_total", "Improving robust local moves.", m.MovesAccepted.Load())
+	counter("cliffguard_moves_rejected_total", "Non-improving robust local moves.", m.MovesRejected.Load())
+	counter("cliffguard_iterations_completed_total", "Completed robust-loop iterations.", m.IterationsCompleted.Load())
+	gauge("cliffguard_pool_queue_depth", "Neighborhood tasks submitted but not yet picked up.", m.PoolQueueDepth.Load())
+	gauge("cliffguard_pool_workers_busy", "Workers currently evaluating a workload.", m.PoolWorkersBusy.Load())
+
+	hist := func(phase string, h *Histogram) {
+		s := h.Snapshot()
+		name := "cliffguard_phase_latency_seconds"
+		cum := uint64(0)
+		for i, b := range s.Buckets {
+			cum += b
+			if b == 0 && i != histBuckets-1 {
+				continue // sparse output; the +Inf bucket always prints
+			}
+			le := float64(BucketUpperUs(i)) / 1e6
+			fmt.Fprintf(ew, "%s_bucket{phase=%q,le=%q} %d\n", name, phase, trimFloat(le), cum)
+		}
+		fmt.Fprintf(ew, "%s_bucket{phase=%q,le=\"+Inf\"} %d\n", name, phase, s.Count)
+		fmt.Fprintf(ew, "%s_sum{phase=%q} %g\n", name, phase, float64(s.SumUs)/1e6)
+		fmt.Fprintf(ew, "%s_count{phase=%q} %d\n", name, phase, s.Count)
+	}
+	fmt.Fprintf(ew, "# HELP cliffguard_phase_latency_seconds Per-phase latency of the robust loop.\n")
+	fmt.Fprintf(ew, "# TYPE cliffguard_phase_latency_seconds histogram\n")
+	hist("sample", &m.SampleLatency)
+	hist("eval", &m.EvalLatency)
+	hist("design", &m.DesignLatency)
+	hist("iteration", &m.IterationLatency)
+
+	snaps := m.CacheSnapshots()
+	if len(snaps) > 0 {
+		fmt.Fprintf(ew, "# HELP cliffguard_costcache_hits_total Memo-cache hits per cache.\n# TYPE cliffguard_costcache_hits_total counter\n")
+		for _, name := range m.cacheNames() {
+			fmt.Fprintf(ew, "cliffguard_costcache_hits_total{cache=%q} %d\n", name, snaps[name].Hits)
+		}
+		fmt.Fprintf(ew, "# HELP cliffguard_costcache_misses_total Memo-cache misses per cache.\n# TYPE cliffguard_costcache_misses_total counter\n")
+		for _, name := range m.cacheNames() {
+			fmt.Fprintf(ew, "cliffguard_costcache_misses_total{cache=%q} %d\n", name, snaps[name].Misses)
+		}
+		fmt.Fprintf(ew, "# HELP cliffguard_costcache_entries Memoized pairs per cache.\n# TYPE cliffguard_costcache_entries gauge\n")
+		for _, name := range m.cacheNames() {
+			fmt.Fprintf(ew, "cliffguard_costcache_entries{cache=%q} %d\n", name, snaps[name].Entries)
+		}
+		fmt.Fprintf(ew, "# HELP cliffguard_costcache_shard_hits_total Memo-cache hits per stripe.\n# TYPE cliffguard_costcache_shard_hits_total counter\n")
+		for _, name := range m.cacheNames() {
+			for i, sh := range snaps[name].Shards {
+				if sh.Hits == 0 && sh.Misses == 0 {
+					continue
+				}
+				fmt.Fprintf(ew, "cliffguard_costcache_shard_hits_total{cache=%q,shard=\"%d\"} %d\n", name, i, sh.Hits)
+			}
+		}
+		fmt.Fprintf(ew, "# HELP cliffguard_costcache_shard_misses_total Memo-cache misses per stripe.\n# TYPE cliffguard_costcache_shard_misses_total counter\n")
+		for _, name := range m.cacheNames() {
+			for i, sh := range snaps[name].Shards {
+				if sh.Hits == 0 && sh.Misses == 0 {
+					continue
+				}
+				fmt.Fprintf(ew, "cliffguard_costcache_shard_misses_total{cache=%q,shard=\"%d\"} %d\n", name, i, sh.Misses)
+			}
+		}
+	}
+	return ew.err
+}
+
+// trimFloat renders a float without trailing zeros (Prometheus le labels).
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+// ExpvarFunc returns an expvar.Func that snapshots the registry as a JSON
+// object. Callers may expvar.Publish it under a name of their choosing; the
+// metrics HTTP server also serves it at /vars.
+func (m *Metrics) ExpvarFunc() expvar.Func {
+	return func() any {
+		if m == nil {
+			return nil
+		}
+		hist := func(h *Histogram) map[string]any {
+			return map[string]any{"count": h.Count(), "mean_ms": h.MeanMs()}
+		}
+		out := map[string]any{
+			"sampler_draws":        m.SamplerDraws.Load(),
+			"sampler_retries":      m.SamplerRetries.Load(),
+			"sampler_failures":     m.SamplerFailures.Load(),
+			"costmodel_calls":      m.CostModelCalls.Load(),
+			"designer_invocations": m.DesignerInvocations.Load(),
+			"designer_candidates":  m.CandidatesGenerated.Load(),
+			"neighbors_evaluated":  m.NeighborsEvaluated.Load(),
+			"moves_accepted":       m.MovesAccepted.Load(),
+			"moves_rejected":       m.MovesRejected.Load(),
+			"iterations_completed": m.IterationsCompleted.Load(),
+			"pool_queue_depth":     m.PoolQueueDepth.Load(),
+			"pool_workers_busy":    m.PoolWorkersBusy.Load(),
+			"latency": map[string]any{
+				"sample":    hist(&m.SampleLatency),
+				"eval":      hist(&m.EvalLatency),
+				"design":    hist(&m.DesignLatency),
+				"iteration": hist(&m.IterationLatency),
+			},
+		}
+		caches := map[string]any{}
+		for name, s := range m.CacheSnapshots() {
+			caches[name] = map[string]any{"hits": s.Hits, "misses": s.Misses, "entries": s.Entries}
+		}
+		out["costcache"] = caches
+		return out
+	}
+}
+
+// Handler returns an http.Handler serving the Prometheus text format.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WritePrometheus(w)
+	})
+}
+
+// MetricsServer is a running metrics HTTP endpoint; close it when done.
+type MetricsServer struct {
+	// Addr is the bound address (useful with ":0").
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve starts an HTTP server on addr exposing /metrics (Prometheus text)
+// and /vars (expvar JSON). It returns once the listener is bound, so
+// Addr is immediately valid; the server runs until Close.
+func Serve(addr string, m *Metrics) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m.Handler())
+	fn := m.ExpvarFunc()
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintln(w, fn.String())
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ms := &MetricsServer{Addr: ln.Addr().String(), ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Close shuts the server down.
+func (s *MetricsServer) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

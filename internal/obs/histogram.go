@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the bucket count of the latency histograms: power-of-two
+// microsecond buckets, so bucket i holds observations in (2^(i-1), 2^i] µs.
+// 32 buckets reach ~71 minutes, far beyond any single phase of the loop.
+const histBuckets = 32
+
+// Histogram is a lock-free latency histogram with exponential (power-of-two
+// microsecond) buckets. The zero value is ready to use. Observe is a single
+// atomic add per bucket plus two for count/sum, so it is safe on the
+// evaluator's hot path.
+type Histogram struct {
+	count   atomic.Uint64
+	sumUs   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := uint64(0)
+	if d > 0 {
+		us = uint64(d.Microseconds())
+	}
+	h.count.Add(1)
+	h.sumUs.Add(us)
+	h.buckets[bucketFor(us)].Add(1)
+}
+
+// bucketFor maps a microsecond value to its bucket index: 0 for 0-1µs, then
+// one bucket per power of two, clamped to the last bucket.
+func bucketFor(us uint64) int {
+	if us <= 1 {
+		return 0
+	}
+	b := bits.Len64(us - 1) // ceil(log2(us))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// BucketUpperUs returns bucket i's inclusive upper bound in microseconds.
+func BucketUpperUs(i int) uint64 { return uint64(1) << uint(i) }
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for export:
+// buckets are read individually, so a snapshot taken mid-Observe can be off
+// by the in-flight observation — fine for monitoring.
+type HistogramSnapshot struct {
+	Count   uint64
+	SumUs   uint64
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot copies the histogram's counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.SumUs = h.sumUs.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// MeanMs returns the mean observed latency in milliseconds (0 when empty).
+func (h *Histogram) MeanMs() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumUs.Load()) / float64(n) / 1e3
+}

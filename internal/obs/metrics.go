@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (e.g. a queue depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// CacheShardStats is one stripe's counters of a sharded memo cache.
+type CacheShardStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// CacheStats is a point-in-time snapshot of a sharded memo cache.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+	Shards  []CacheShardStats
+}
+
+// Metrics is the loop's atomic counter registry. All fields are safe for
+// concurrent use; a nil *Metrics is the universal "instrumentation off"
+// value — every emission point nil-checks before touching it. Use
+// NewMetrics; the struct contains atomics and must not be copied.
+type Metrics struct {
+	// Sampler throughput (internal/sample).
+	SamplerDraws    Counter // SampleAt invocations
+	SamplerRetries  Counter // perturbation-set retries beyond the first try
+	SamplerFailures Counter // draws that found no perturbation set
+
+	// Cost-model and designer activity (the three engine simulators).
+	CostModelCalls      Counter // what-if Cost() invocations
+	DesignerInvocations Counter // black-box nominal-designer calls
+	CandidatesGenerated Counter // candidate structures proposed by designers
+
+	// Robust-loop progress (internal/core).
+	NeighborsEvaluated  Counter // per-workload neighborhood evaluations
+	MovesAccepted       Counter
+	MovesRejected       Counter
+	IterationsCompleted Counter
+
+	// Worker-pool occupancy (instantaneous).
+	PoolQueueDepth  Gauge // neighborhood tasks submitted but not picked up
+	PoolWorkersBusy Gauge // workers currently evaluating a workload
+
+	// Per-phase latency histograms.
+	SampleLatency    Histogram // one Gamma-neighborhood draw
+	EvalLatency      Histogram // one workload's f(W, D) evaluation
+	DesignLatency    Histogram // one nominal-designer invocation
+	IterationLatency Histogram // one full robust-loop iteration
+
+	mu     sync.Mutex
+	caches map[string]func() CacheStats
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// RegisterCache registers a sharded memo cache's snapshot function under a
+// name (e.g. the engine name); the exporters pull per-shard hit/miss stats
+// through it. Re-registering a name replaces the previous function.
+func (m *Metrics) RegisterCache(name string, snapshot func() CacheStats) {
+	if m == nil || snapshot == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.caches == nil {
+		m.caches = make(map[string]func() CacheStats)
+	}
+	m.caches[name] = snapshot
+	m.mu.Unlock()
+}
+
+// CacheSnapshots returns the registered caches' stats, sorted by name.
+func (m *Metrics) CacheSnapshots() map[string]CacheStats {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	fns := make(map[string]func() CacheStats, len(m.caches))
+	for name, fn := range m.caches {
+		fns[name] = fn
+	}
+	m.mu.Unlock()
+	out := make(map[string]CacheStats, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}
+
+// cacheNames returns the registered cache names in sorted order (stable
+// export output).
+func (m *Metrics) cacheNames() []string {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.caches))
+	for name := range m.caches {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)                    // bucket 0
+	h.Observe(1 * time.Microsecond) // bucket 0
+	h.Observe(2 * time.Microsecond) // bucket 1
+	h.Observe(3 * time.Microsecond) // bucket 2 (2,4]
+	h.Observe(1 * time.Millisecond) // 1000µs -> bucket 10 (512,1024]
+	h.Observe(100 * time.Hour)      // clamped to last bucket
+
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[1] != 1 || s.Buckets[2] != 1 || s.Buckets[10] != 1 {
+		t.Fatalf("bucket layout wrong: %v", s.Buckets)
+	}
+	if s.Buckets[histBuckets-1] != 1 {
+		t.Fatalf("overflow observation not clamped to last bucket: %v", s.Buckets)
+	}
+	// Bucket invariant: bucketFor(us) holds us within (upper/2, upper].
+	for _, us := range []uint64{1, 2, 3, 4, 5, 1000, 1024, 1025, 1 << 20} {
+		b := bucketFor(us)
+		if us > BucketUpperUs(b) {
+			t.Fatalf("us=%d above its bucket %d upper %d", us, b, BucketUpperUs(b))
+		}
+		if b > 0 && us <= BucketUpperUs(b-1) {
+			t.Fatalf("us=%d fits in a lower bucket than %d", us, b)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of nothing must be nil")
+	}
+	var a, b Recorder
+	if got := Multi(&a, nil); got != &a {
+		t.Fatal("Multi of one observer must return it unchanged")
+	}
+	m := Multi(&a, Multi(&b, nil))
+	m.OnEvent(IterationStart{Iteration: 3})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatalf("fan-out failed: %d/%d", len(a.Events()), len(b.Events()))
+	}
+	if ev, ok := a.Events()[0].(IterationStart); !ok || ev.Iteration != 3 {
+		t.Fatalf("recorded event = %#v", a.Events()[0])
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sink.now = func() time.Time { return time.Unix(1700000000, 0).UTC() }
+
+	events := []Event{
+		NeighborhoodSampled{Gamma: 0.002, Requested: 40, Produced: 41},
+		DesignerInvoked{Iteration: -1, Designer: "VerticaDBD", Queries: 12, Structures: 5, SizeBytes: 1 << 28},
+		IterationStart{Iteration: 0, Alpha: 1, WorstCase: 900},
+		NeighborEvaluated{Iteration: 0, Phase: PhaseRank, Index: 7, Cost: 123.5},
+		NeighborEvaluated{Iteration: 0, Phase: PhaseRank, Index: 8, Uncostable: true},
+		MoveAccepted{Iteration: 0, Alpha: 1, WorstCase: 850, Previous: 900},
+		IterationEnd{Iteration: 0, Alpha: 1, WorstCase: 900, CandidateCost: 850, Improved: true},
+		MoveRejected{Iteration: 1, Alpha: 5, CandidateCost: 870, WorstCase: 850},
+	}
+	for _, ev := range events {
+		sink.OnEvent(ev)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(events) {
+		t.Fatalf("%d lines, want %d", got, len(events))
+	}
+
+	decoded, err := DecodeJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(decoded), len(events))
+	}
+	for i, d := range decoded {
+		if d.Seq != uint64(i+1) {
+			t.Fatalf("record %d: seq = %d", i, d.Seq)
+		}
+		if d.Event != events[i] {
+			t.Fatalf("record %d: %#v != %#v", i, d.Event, events[i])
+		}
+	}
+}
+
+func TestDecodeJSONLRejectsUnknownType(t *testing.T) {
+	line := `{"seq":1,"ts":"2024-01-01T00:00:00Z","type":"mystery","event":{}}`
+	if _, err := DecodeJSONL(strings.NewReader(line)); err == nil {
+		t.Fatal("unknown event type must fail decoding")
+	}
+}
+
+func TestProgressReporter(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressReporter(&buf)
+	p.OnEvent(NeighborhoodSampled{Gamma: 0.002, Requested: 10, Produced: 11})
+	p.OnEvent(DesignerInvoked{Iteration: -1, Designer: "VerticaDBD", Queries: 4, Structures: 2, SizeBytes: 64 << 20})
+	p.OnEvent(IterationStart{Iteration: 0, Alpha: 1, WorstCase: 500})
+	for i := 0; i < 11; i++ {
+		p.OnEvent(NeighborEvaluated{Iteration: 0, Phase: PhaseRank, Index: i, Cost: 1})
+	}
+	p.OnEvent(IterationEnd{Iteration: 0, Alpha: 1, WorstCase: 500, CandidateCost: 450, Improved: true})
+	out := buf.String()
+	for _, want := range []string{"neighborhood: 11 workloads", "designer VerticaDBD (initial)", "iter  0", "accepted", "11 evals"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsPrometheusAndExpvar(t *testing.T) {
+	m := NewMetrics()
+	m.SamplerDraws.Add(40)
+	m.CostModelCalls.Add(1234)
+	m.MovesAccepted.Inc()
+	m.PoolQueueDepth.Set(3)
+	m.EvalLatency.Observe(2 * time.Millisecond)
+	m.RegisterCache("vertsim", func() CacheStats {
+		return CacheStats{Hits: 10, Misses: 4, Entries: 4,
+			Shards: []CacheShardStats{{Hits: 10, Misses: 4, Entries: 4}}}
+	})
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"cliffguard_sampler_draws_total 40",
+		"cliffguard_costmodel_calls_total 1234",
+		"cliffguard_moves_accepted_total 1",
+		"cliffguard_pool_queue_depth 3",
+		`cliffguard_phase_latency_seconds_count{phase="eval"} 1`,
+		`cliffguard_costcache_hits_total{cache="vertsim"} 10`,
+		`cliffguard_costcache_shard_misses_total{cache="vertsim",shard="0"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	jsonOut := m.ExpvarFunc().String()
+	for _, want := range []string{`"costmodel_calls":1234`, `"sampler_draws":40`, `"vertsim"`} {
+		if !strings.Contains(jsonOut, want) {
+			t.Fatalf("expvar output missing %q:\n%s", want, jsonOut)
+		}
+	}
+
+	// A nil registry must be inert everywhere.
+	var nilM *Metrics
+	if err := nilM.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	nilM.RegisterCache("x", func() CacheStats { return CacheStats{} })
+	if nilM.CacheSnapshots() != nil {
+		t.Fatal("nil metrics must have no caches")
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	m := NewMetrics()
+	m.IterationsCompleted.Add(7)
+	srv, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "cliffguard_iterations_completed_total 7") {
+		t.Fatalf("/metrics output wrong:\n%s", out)
+	}
+	if out := get("/vars"); !strings.Contains(out, `"iterations_completed":7`) {
+		t.Fatalf("/vars output wrong:\n%s", out)
+	}
+}

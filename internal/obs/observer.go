@@ -1,0 +1,67 @@
+package obs
+
+import "sync"
+
+// multi fans one event out to several observers, in order.
+type multi []Observer
+
+func (m multi) OnEvent(ev Event) {
+	for _, o := range m {
+		o.OnEvent(ev)
+	}
+}
+
+// Multi combines observers into one; nil entries are dropped. It returns nil
+// when nothing remains, so the result stays cheap to guard with a nil check.
+func Multi(observers ...Observer) Observer {
+	var out multi
+	for _, o := range observers {
+		if o == nil {
+			continue
+		}
+		// Flatten nested multis so event dispatch stays one loop deep.
+		if inner, ok := o.(multi); ok {
+			out = append(out, inner...)
+			continue
+		}
+		out = append(out, o)
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// Recorder is an Observer that records every event it sees, in arrival
+// order. It is the reference observer for tests (event-sequence assertions)
+// and for callers that want to post-process a run's full event stream.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// OnEvent implements Observer.
+func (r *Recorder) OnEvent(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events returns a snapshot of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}

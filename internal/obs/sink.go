@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// jsonlRecord is the envelope of one JSONL line: a monotonic sequence
+// number and sink-side timestamp around the deterministic event payload.
+type jsonlRecord struct {
+	Seq  uint64    `json:"seq"`
+	TS   time.Time `json:"ts"`
+	Type Kind      `json:"type"`
+	Event any      `json:"event"`
+}
+
+// JSONLSink is an Observer that writes one JSON object per event to a
+// writer. Lines are written under a mutex, so concurrent emissions from the
+// parallel evaluator never interleave bytes. The event payload is the
+// deterministic part; seq and ts belong to the envelope (seq orders the
+// stream, ts is wall-clock at write time).
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	seq uint64
+	err error
+
+	// now is swappable for tests.
+	now func() time.Time
+}
+
+// NewJSONLSink returns a sink writing to w. Wrap w in a bufio.Writer for
+// high-rate streams and flush it after the run; the sink itself does not
+// buffer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w), now: time.Now}
+}
+
+// OnEvent implements Observer.
+func (s *JSONLSink) OnEvent(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return // a broken writer stays broken; do not spam it
+	}
+	s.seq++
+	s.err = s.enc.Encode(jsonlRecord{Seq: s.seq, TS: s.now(), Type: ev.Kind(), Event: ev})
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// DecodedEvent is one parsed JSONL line with its payload re-typed.
+type DecodedEvent struct {
+	Seq   uint64
+	TS    time.Time
+	Event Event
+}
+
+// DecodeJSONL parses a JSONL event stream back into typed events (the
+// inverse of JSONLSink). Unknown event types fail loudly — the stream is a
+// contract, not best-effort logging.
+func DecodeJSONL(r io.Reader) ([]DecodedEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []DecodedEvent
+	for dec.More() {
+		var raw struct {
+			Seq   uint64          `json:"seq"`
+			TS    time.Time       `json:"ts"`
+			Type  Kind            `json:"type"`
+			Event json.RawMessage `json:"event"`
+		}
+		if err := dec.Decode(&raw); err != nil {
+			return nil, fmt.Errorf("obs: decoding JSONL record %d: %w", len(out)+1, err)
+		}
+		var ev Event
+		var err error
+		switch raw.Type {
+		case KindIterationStart:
+			ev, err = decodeAs[IterationStart](raw.Event)
+		case KindIterationEnd:
+			ev, err = decodeAs[IterationEnd](raw.Event)
+		case KindNeighborhoodSampled:
+			ev, err = decodeAs[NeighborhoodSampled](raw.Event)
+		case KindNeighborEvaluated:
+			ev, err = decodeAs[NeighborEvaluated](raw.Event)
+		case KindMoveAccepted:
+			ev, err = decodeAs[MoveAccepted](raw.Event)
+		case KindMoveRejected:
+			ev, err = decodeAs[MoveRejected](raw.Event)
+		case KindDesignerInvoked:
+			ev, err = decodeAs[DesignerInvoked](raw.Event)
+		default:
+			return nil, fmt.Errorf("obs: unknown event type %q at record %d", raw.Type, len(out)+1)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: decoding %s payload: %w", raw.Type, err)
+		}
+		out = append(out, DecodedEvent{Seq: raw.Seq, TS: raw.TS, Event: ev})
+	}
+	return out, nil
+}
+
+func decodeAs[T Event](raw json.RawMessage) (Event, error) {
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// ProgressReporter is an Observer that renders live, human-readable
+// progress of a robust design run: the neighborhood draw, each designer
+// invocation, and a line per iteration with worst-case movement, evaluation
+// throughput, and wall time. It is intended for a terminal (stderr).
+type ProgressReporter struct {
+	mu        sync.Mutex
+	w         io.Writer
+	start     time.Time
+	iterStart time.Time
+	evals     uint64 // NeighborEvaluated seen since the last iteration line
+
+	now func() time.Time
+}
+
+// NewProgressReporter returns a reporter writing to w.
+func NewProgressReporter(w io.Writer) *ProgressReporter {
+	now := time.Now
+	return &ProgressReporter{w: w, start: now(), iterStart: now(), now: now}
+}
+
+// OnEvent implements Observer.
+func (p *ProgressReporter) OnEvent(ev Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e := ev.(type) {
+	case NeighborhoodSampled:
+		fmt.Fprintf(p.w, "[obs] neighborhood: %d workloads (requested %d) within gamma=%g in %s\n",
+			e.Produced, e.Requested, e.Gamma, p.sinceStart())
+	case DesignerInvoked:
+		which := fmt.Sprintf("iter %d", e.Iteration)
+		if e.Iteration < 0 {
+			which = "initial"
+		}
+		fmt.Fprintf(p.w, "[obs] designer %s (%s): %d queries -> %d structures, %d MiB\n",
+			e.Designer, which, e.Queries, e.Structures, e.SizeBytes>>20)
+	case NeighborEvaluated:
+		p.evals++
+	case IterationStart:
+		p.iterStart = p.now()
+	case IterationEnd:
+		verdict := "rejected"
+		if e.Improved {
+			verdict = "accepted"
+		}
+		elapsed := p.now().Sub(p.iterStart).Round(time.Millisecond)
+		fmt.Fprintf(p.w, "[obs] iter %2d: worst %.0f ms, candidate %.0f ms, %s  alpha=%.3g  (%d evals, %s)\n",
+			e.Iteration, e.WorstCase, e.CandidateCost, verdict, e.Alpha, p.evals, elapsed)
+		p.evals = 0
+	}
+}
+
+func (p *ProgressReporter) sinceStart() time.Duration {
+	return p.now().Sub(p.start).Round(time.Millisecond)
+}

@@ -9,6 +9,7 @@ import (
 	"cliffguard/internal/costcache"
 	"cliffguard/internal/datagen"
 	"cliffguard/internal/designer"
+	"cliffguard/internal/obs"
 	"cliffguard/internal/schema"
 	"cliffguard/internal/workload"
 )
@@ -37,10 +38,18 @@ type DB struct {
 	RowFraction float64
 
 	memo *costcache.Cache // per-(query, path) cost
+	met  *obs.Metrics     // nil disables instrumentation
 
 	auxMu  sync.Mutex
 	perms  map[string][]int32 // index key -> sorted row permutation
 	mviews map[string]*mvData // matview key -> materialized groups
+}
+
+// Instrument attaches a metrics registry: Cost invocations are counted and
+// the memo cache's hit/miss stats are registered under "rowsim".
+func (db *DB) Instrument(m *obs.Metrics) {
+	db.met = m
+	m.RegisterCache("rowsim", db.memo.Stats)
 }
 
 // Open returns a cost-model-only row-store DB.
@@ -77,6 +86,9 @@ func (db *DB) Cost(ctx context.Context, q *workload.Query, d *designer.Design) (
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
+	}
+	if db.met != nil {
+		db.met.CostModelCalls.Inc()
 	}
 	if err := db.check(q); err != nil {
 		return 0, err

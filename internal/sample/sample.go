@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"cliffguard/internal/distance"
+	"cliffguard/internal/obs"
 	"cliffguard/internal/workload"
 )
 
@@ -47,6 +48,9 @@ type Sampler struct {
 	// templates, so the perturbed mass models broad template churn rather
 	// than a few runaway queries.
 	PerturbationSize int
+	// Metrics, when non-nil, counts draws, perturbation-set retries, and
+	// failed draws (SamplerDraws/SamplerRetries/SamplerFailures).
+	Metrics *obs.Metrics
 }
 
 // New returns a sampler with the paper-informed defaults.
@@ -66,6 +70,9 @@ func (s *Sampler) SampleAt(rng *rand.Rand, w0 *workload.Workload, alpha float64)
 	}
 	if w0.Len() == 0 {
 		return nil, errors.New("sample: empty target workload")
+	}
+	if s.Metrics != nil {
+		s.Metrics.SamplerDraws.Inc()
 	}
 	if alpha == 0 {
 		return w0.Clone(), nil
@@ -90,6 +97,9 @@ func (s *Sampler) SampleAt(rng *rand.Rand, w0 *workload.Workload, alpha float64)
 		}
 	}
 	for try := 0; try < s.maxTries(); try++ {
+		if try > 0 && s.Metrics != nil {
+			s.Metrics.SamplerRetries.Inc()
+		}
 		cands := s.Source.Candidates(rng, w0, k)
 		var fresh []*workload.Query
 		for _, q := range cands {
@@ -109,6 +119,9 @@ func (s *Sampler) SampleAt(rng *rand.Rand, w0 *workload.Workload, alpha float64)
 		}
 	}
 	if qset == nil {
+		if s.Metrics != nil {
+			s.Metrics.SamplerFailures.Inc()
+		}
 		return nil, fmt.Errorf("%w (alpha=%g)", ErrNoPerturbation, alpha)
 	}
 

@@ -9,6 +9,7 @@ import (
 	"cliffguard/internal/costcache"
 	"cliffguard/internal/datagen"
 	"cliffguard/internal/designer"
+	"cliffguard/internal/obs"
 	"cliffguard/internal/schema"
 	"cliffguard/internal/workload"
 )
@@ -42,9 +43,18 @@ type DB struct {
 	Data   *datagen.Dataset // nil means cost-model only
 
 	memo *costcache.Cache // per-(query, path) cost
+	met  *obs.Metrics     // nil disables instrumentation
 
 	sortedMu sync.Mutex
 	sorted   map[string][]int32 // projection key -> row permutation (executor)
+}
+
+// Instrument attaches a metrics registry: Cost invocations are counted and
+// the memo cache's hit/miss stats are registered under "vertsim". Call it
+// before sharing the DB across goroutines.
+func (db *DB) Instrument(m *obs.Metrics) {
+	db.met = m
+	m.RegisterCache("vertsim", db.memo.Stats)
 }
 
 // Open returns a cost-model-only DB over the schema.
@@ -72,6 +82,9 @@ func (db *DB) Cost(ctx context.Context, q *workload.Query, d *designer.Design) (
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
+	}
+	if db.met != nil {
+		db.met.CostModelCalls.Inc()
 	}
 	if err := db.check(q); err != nil {
 		return 0, err

@@ -39,6 +39,9 @@ func (d *Designer) Name() string { return "VerticaDBD" }
 func (d *Designer) Design(ctx context.Context, w *workload.Workload) (*designer.Design, error) {
 	cw := designer.CompressByTemplate(w)
 	cands := d.Candidates(cw)
+	if d.DB.met != nil {
+		d.DB.met.CandidatesGenerated.Add(uint64(len(cands)))
+	}
 	return designer.GreedySelect(ctx, d.DB, cw, cands, d.Budget)
 }
 

@@ -1,0 +1,61 @@
+#!/bin/sh
+# apidiff.sh — gate incompatible changes to the public cliffguard package.
+#
+# Preferred tool: golang.org/x/exp/apidiff (run against the previous commit)
+# when an `apidiff` binary is on PATH. Offline fallback (the default in this
+# repo's hermetic build): dump the exported API surface with tools/apicheck
+# and diff it against the checked-in baseline api/cliffguard.api.
+#
+#   - A baseline line missing from the current dump  -> incompatible, FAIL.
+#   - A current line missing from the baseline       -> addition, allowed
+#     (printed as a reminder to refresh the baseline).
+#
+# Escape hatches for intentional breaks:
+#   APIDIFF=off make ci        # skip the gate for one run
+#   make api-baseline          # accept the current surface as the new baseline
+#
+# Both are meant to be used together with a PR description that calls out the
+# break (this is what the observability PR did for New/NewWithMetric growing
+# an error result and FilterDesignable gaining a ctx parameter).
+set -eu
+LC_ALL=C
+export LC_ALL # comm needs the same collation apicheck sorted with
+
+if [ "${APIDIFF:-on}" = "off" ]; then
+    echo "apidiff: skipped (APIDIFF=off)"
+    exit 0
+fi
+
+cd "$(dirname "$0")/.."
+baseline="api/cliffguard.api"
+current=$(mktemp)
+trap 'rm -f "$current"' EXIT
+
+go run ./tools/apicheck . > "$current"
+
+if [ ! -f "$baseline" ]; then
+    echo "apidiff: no baseline at api/cliffguard.api; run 'make api-baseline' to create it" >&2
+    exit 1
+fi
+
+# Sort defensively: a hand-edited baseline must still diff, not crash comm.
+base_sorted=$(mktemp)
+cur_sorted=$(mktemp)
+trap 'rm -f "$current" "$base_sorted" "$cur_sorted"' EXIT
+sort "$baseline" > "$base_sorted"
+sort "$current" > "$cur_sorted"
+
+removed=$(comm -23 "$base_sorted" "$cur_sorted")
+added=$(comm -13 "$base_sorted" "$cur_sorted")
+
+if [ -n "$added" ]; then
+    echo "apidiff: compatible additions (refresh with 'make api-baseline'):"
+    echo "$added" | sed 's/^/  + /'
+fi
+if [ -n "$removed" ]; then
+    echo "apidiff: INCOMPATIBLE changes (removed or altered declarations):" >&2
+    echo "$removed" | sed 's/^/  - /' >&2
+    echo "apidiff: if intentional, document the break and run 'make api-baseline' (or APIDIFF=off for one run)" >&2
+    exit 1
+fi
+echo "apidiff: ok ($(wc -l < "$baseline" | tr -d ' ') declarations)"
