@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline
+.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke
 
 # The full local gate: what should pass before every commit.
-ci: vet build race fuzz-smoke apidiff
+ci: vet build race fuzz-smoke apidiff report-check bench-smoke
 
 # Fail on incompatible changes to the public cliffguard package (removed or
 # altered exported declarations vs api/cliffguard.api). Intentional breaks:
@@ -32,10 +32,30 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz of the SQL parser on top of the checked-in corpus
-# (internal/sqlparse/testdata/fuzz/).
+# Short fuzz of the SQL parser and the JSONL stream decoders on top of the
+# checked-in corpora (go's -fuzz takes one target per invocation).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparse/
+	$(GO) test -fuzz=FuzzDecodeJSONL -fuzztime=5s ./internal/obs/
+	$(GO) test -fuzz=FuzzDecodeSpans -fuzztime=5s ./internal/obs/
+
+# Regression-lock the run-analysis math: the golden event stream must
+# summarize to exactly the checked-in expected summary. After an intentional
+# event-taxonomy or report change, regenerate with
+# 'go test ./internal/report/ -run TestGoldenFixture -update'.
+report-check:
+	$(GO) run ./cmd/cliffreport check \
+		-expect internal/report/testdata/expected_summary.json \
+		-spans internal/report/testdata/golden_spans.jsonl \
+		internal/report/testdata/golden_events.jsonl
+
+# Gate the benchmark trajectory: re-run the T1 drift-statistics experiment
+# and require its values to match the checked-in benchmarks/BENCH_T1.json
+# baseline (values are seed-deterministic; wall_ms is informational).
+bench-smoke:
+	@mkdir -p /tmp/cliffguard-bench-smoke
+	$(GO) run ./cmd/benchrunner -experiment T1 -bench-json /tmp/cliffguard-bench-smoke > /dev/null
+	$(GO) run ./cmd/cliffreport bench -against benchmarks /tmp/cliffguard-bench-smoke/BENCH_T1.json
 
 # Parallel neighborhood-evaluation benchmarks (cold and warm cache).
 bench:

@@ -171,6 +171,21 @@ type (
 	// EventRecorder is an Observer buffering events in memory (tests,
 	// post-run analysis).
 	EventRecorder = obs.Recorder
+
+	// SpanRecorder is an Observer deriving a wall-clock span side-channel
+	// (run/iteration/phase spans, designer marks, a final metrics snapshot)
+	// from the deterministic event stream. The spans go to their own JSONL
+	// stream so the canonical events stay timestamp-free.
+	SpanRecorder = obs.SpanRecorder
+	// SpanRecord is one record of the span side-channel.
+	SpanRecord = obs.SpanRecord
+	// MetricsSnapshot is a plain-data copy of a Metrics registry, written
+	// into the span stream by SpanRecorder.Finish.
+	MetricsSnapshot = obs.MetricsSnapshot
+	// LatencyStats summarizes one latency histogram inside a MetricsSnapshot.
+	LatencyStats = obs.LatencyStats
+	// Profiling is the live pprof state wired up by StartProfiling.
+	Profiling = obs.Profiling
 )
 
 // NewMetrics returns an empty metrics registry.
@@ -182,6 +197,21 @@ func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
 // DecodeEvents parses a JSONL event stream written by a JSONLSink back into
 // typed events.
 func DecodeEvents(r io.Reader) ([]obs.DecodedEvent, error) { return obs.DecodeJSONL(r) }
+
+// NewSpanRecorder returns an observer writing the wall-clock span
+// side-channel to w. Call Finish when the run ends to close open spans,
+// append the metrics snapshot, and flush.
+func NewSpanRecorder(w io.Writer) *SpanRecorder { return obs.NewSpanRecorder(w) }
+
+// DecodeSpans parses a span side-channel stream written by a SpanRecorder.
+func DecodeSpans(r io.Reader) ([]SpanRecord, error) { return obs.DecodeSpans(r) }
+
+// StartProfiling wires the standard Go profilers behind CLI flags: CPU/heap
+// profile files (either may be empty) and an optional net/http/pprof
+// listener. Call Stop on the returned Profiling at shutdown.
+func StartProfiling(cpuProfile, memProfile, pprofAddr string) (*Profiling, error) {
+	return obs.StartProfiling(cpuProfile, memProfile, pprofAddr)
+}
 
 // NewProgressReporter returns an observer printing live progress to w
 // (typically os.Stderr).

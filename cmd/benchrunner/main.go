@@ -13,7 +13,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +24,7 @@ import (
 	"cliffguard/internal/bench"
 	"cliffguard/internal/datagen"
 	"cliffguard/internal/obs"
+	"cliffguard/internal/report"
 	"cliffguard/internal/schema"
 	"cliffguard/internal/wlgen"
 )
@@ -124,8 +124,15 @@ func main() {
 		par    = flag.Int("parallelism", 0, "CliffGuard neighborhood-evaluation workers (0 = NumCPU); any value produces identical results for a fixed seed")
 
 		events   = flag.String("events", "", "write every CliffGuard run's event stream as JSONL to this file")
+		spans    = flag.String("spans", "", "write the wall-clock span side-channel as JSONL to this file")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /vars (expvar) on this address for the duration of the run")
 		progress = flag.Bool("progress", false, "print live CliffGuard progress to stderr")
+
+		benchJSON = flag.String("bench-json", "", "write per-experiment BENCH_<id>.json baselines into this directory (cliffreport bench)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address, e.g. :6060 or :0")
 	)
 	flag.Parse()
 
@@ -139,8 +146,23 @@ func main() {
 		sets:      make(map[string]*wlgen.Set),
 		scenarios: make(map[string]*bench.Scenario),
 	}
-	if *metrics != "" {
+	prof, err := obs.StartProfiling(*cpuProfile, *memProfile, *pprofAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			log.Printf("stopping profilers: %v", err)
+		}
+	}()
+	if prof.Addr != "" {
+		fmt.Printf("pprof at http://%s/debug/pprof/\n", prof.Addr)
+	}
+
+	if *metrics != "" || *spans != "" {
 		r.metrics = obs.NewMetrics()
+	}
+	if *metrics != "" {
 		srv, err := obs.Serve(*metrics, r.metrics)
 		if err != nil {
 			log.Fatal(err)
@@ -155,23 +177,41 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		bw := bufio.NewWriter(f)
-		defer bw.Flush()
-		sink = obs.NewJSONLSink(bw)
+		sink = obs.NewJSONLSink(f)
 		r.observer = obs.Multi(r.observer, sink)
+	}
+	var spanRec *obs.SpanRecorder
+	if *spans != "" {
+		f, err := os.Create(*spans)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		spanRec = obs.NewSpanRecorder(f)
+		r.observer = obs.Multi(r.observer, spanRec)
 	}
 	if *progress {
 		r.observer = obs.Multi(r.observer, obs.NewProgressReporter(os.Stderr))
 	}
 	defer func() {
 		if sink != nil {
-			if err := sink.Err(); err != nil {
+			if err := sink.Flush(); err != nil {
 				log.Fatalf("writing %s: %v", *events, err)
+			}
+		}
+		if spanRec != nil {
+			if err := spanRec.Finish(r.metrics); err != nil {
+				log.Fatalf("writing %s: %v", *spans, err)
 			}
 		}
 	}()
 	if r.csvDir != "" {
 		if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *benchJSON != "" {
+		if err := os.MkdirAll(*benchJSON, 0o755); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -195,33 +235,80 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Printf("==== %s ====\n", id)
-		r.run(id)
-		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		values := r.run(id)
+		elapsed := time.Since(start)
+		fmt.Printf("(%s in %s)\n\n", id, elapsed.Round(time.Millisecond))
+		if *benchJSON != "" {
+			b := &report.BenchResult{
+				Name: id, Seed: *seed, Parallelism: *par,
+				WallMs: float64(elapsed.Milliseconds()),
+				Values: values,
+			}
+			path := filepath.Join(*benchJSON, "BENCH_"+id+".json")
+			if err := b.WriteFile(path); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("baseline written to %s (%d values)\n\n", path, len(values))
+		}
 	}
 }
 
-func (r *runner) run(id string) {
+// run executes one experiment, printing its table/figure, and returns its
+// deterministic key values — the numbers a BENCH_<id>.json baseline gates on.
+// Wall-clock quantities (design/deploy time) are deliberately excluded; they
+// go into the baseline's informational wall_ms instead.
+func (r *runner) run(id string) map[string]float64 {
 	out := os.Stdout
+	vals := make(map[string]float64)
+	sweepVals := func(points []bench.SweepPoint) {
+		for _, p := range points {
+			key := fmt.Sprintf("x=%g", p.X)
+			vals[key+"/avg_ms"] = p.AvgMs
+			vals[key+"/max_ms"] = p.MaxMs
+		}
+	}
+	comparisonVals := func(res []bench.DesignerResult) {
+		for _, d := range res {
+			vals[d.Name+"/avg_ms"] = d.AvgMs
+			vals[d.Name+"/max_ms"] = d.MaxMs
+		}
+	}
 	switch id {
 	case "T1":
 		rows := bench.Table1([]*wlgen.Set{r.set("R1"), r.set("S1"), r.set("S2")})
 		bench.PrintTable1(out, rows)
 		r.csvOut(id, func(w *os.File) error { return bench.WriteTable1CSV(w, rows) })
+		for _, row := range rows {
+			vals[row.Workload+"/min"] = row.Min
+			vals[row.Workload+"/max"] = row.Max
+			vals[row.Workload+"/avg"] = row.Avg
+			vals[row.Workload+"/std"] = row.Std
+			vals[row.Workload+"/gaps"] = float64(row.Gaps)
+		}
 	case "F5":
 		series := bench.Figure5(r.set("R1"), []int{7, 14, 21, 28}, 12)
 		bench.PrintOverlap(out, series)
 		r.csvOut(id, func(w *os.File) error { return bench.WriteOverlapCSV(w, series) })
+		for _, s := range series {
+			for lag, overlap := range s.ByLag {
+				vals[fmt.Sprintf("w%d/lag%d", s.WindowDays, lag+1)] = overlap
+			}
+		}
 	case "F6":
 		res, err := r.scenario("vertica", "R1").Figure6(6)
 		fail(err)
 		bench.PrintSoundness(out, res, 8)
 		r.csvOut(id, func(w *os.File) error { return bench.WriteSoundnessCSV(w, res) })
+		vals["pearson"] = res.Pearson
+		vals["spearman"] = res.Spearman
+		vals["points"] = float64(len(res.Points))
 	case "F7a", "F7b", "F7c":
 		wl := map[string]string{"F7a": "R1", "F7b": "S1", "F7c": "S2"}[id]
 		res, err := r.scenario("vertica", wl).CompareDesigners(bench.AllDesigners)
 		fail(err)
 		bench.PrintComparison(out, wl+" on Vertica-sim", res)
 		r.csvOut(id, func(w *os.File) error { return bench.WriteComparisonCSV(w, res) })
+		comparisonVals(res)
 	case "F8", "F9":
 		wl := map[string]string{"F8": "R1", "F9": "S2"}[id]
 		gammas := []float64{0.0005, 0.001, 0.002, 0.0035}
@@ -233,37 +320,51 @@ func (r *runner) run(id string) {
 		fmt.Fprintf(out, "ExistingDesigner reference: avg %.0f ms, max %.0f ms\n", exAvg, exMax)
 		bench.PrintSweep(out, "Gamma", points)
 		r.csvOut(id, func(w *os.File) error { return bench.WriteSweepCSV(w, "gamma", points) })
+		sweepVals(points)
+		vals["existing/avg_ms"] = exAvg
+		vals["existing/max_ms"] = exMax
 	case "F10":
 		res, err := r.scenario("dbmsx", "R1").CompareDesigners(bench.AllDesigners)
 		fail(err)
 		bench.PrintComparison(out, "R1 on DBMS-X-sim", res)
 		r.csvOut(id, func(w *os.File) error { return bench.WriteComparisonCSV(w, res) })
+		comparisonVals(res)
 	case "F11":
 		res, err := r.scenario("vertica", "R1").DistanceAblation()
 		fail(err)
 		bench.PrintAblation(out, res)
 		r.csvOut(id, func(w *os.File) error { return bench.WriteAblationCSV(w, res) })
+		for _, a := range res {
+			vals[a.Metric+"/avg_ms"] = a.AvgMs
+			vals[a.Metric+"/max_ms"] = a.MaxMs
+		}
 	case "F12":
 		points, err := r.scenario("vertica", "R1").SampleSizeSweep([]int{1, 5, 10, 20, 40, 80})
 		fail(err)
 		bench.PrintSweep(out, "samples (n)", points)
 		r.csvOut(id, func(w *os.File) error { return bench.WriteSweepCSV(w, "samples", points) })
+		sweepVals(points)
 	case "F13":
 		points, err := r.scenario("vertica", "R1").IterationSweep([]int{1, 2, 3, 5, 8, 12, 18, 25})
 		fail(err)
 		bench.PrintSweep(out, "iterations", points)
 		r.csvOut(id, func(w *os.File) error { return bench.WriteSweepCSV(w, "iterations", points) })
+		sweepVals(points)
 	case "F14":
 		res, err := r.scenario("vertica", "R1").Figure14(bench.AllDesigners)
 		fail(err)
 		bench.PrintTiming(out, res)
 		r.csvOut(id, func(w *os.File) error { return bench.WriteTimingCSV(w, res) })
+		for _, t := range res {
+			vals[t.Name+"/nominal_calls"] = float64(t.NominalCalls)
+		}
 	case "F15a", "F15b":
 		wl := map[string]string{"F15a": "S1", "F15b": "S2"}[id]
 		res, err := r.scenario("dbmsx", wl).CompareDesigners(bench.AllDesigners)
 		fail(err)
 		bench.PrintComparison(out, wl+" on DBMS-X-sim", res)
 		r.csvOut(id, func(w *os.File) error { return bench.WriteComparisonCSV(w, res) })
+		comparisonVals(res)
 	case "F16":
 		res, err := r.scenario("vertica", "R1").Figure16([]float64{0.1, 0.2}, 6)
 		fail(err)
@@ -276,6 +377,9 @@ func (r *runner) run(id string) {
 			}
 			return nil
 		})
+		for _, lm := range res {
+			vals[fmt.Sprintf("omega=%g/spearman", lm.Omega)] = lm.Spearman
+		}
 	case "ABL":
 		variants, err := r.scenario("vertica", "R1").CliffGuardAblation()
 		fail(err)
@@ -289,9 +393,14 @@ func (r *runner) run(id string) {
 			}
 			return bench.WriteAblationCSV(w, rows)
 		})
+		for _, v := range variants {
+			vals[v.Name+"/avg_ms"] = v.AvgMs
+			vals[v.Name+"/max_ms"] = v.MaxMs
+		}
 	default:
 		log.Fatalf("unknown experiment %q", id)
 	}
+	return vals
 }
 
 func fail(err error) {

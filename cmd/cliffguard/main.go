@@ -45,8 +45,13 @@ func main() {
 		outJSON = flag.String("out", "", "also write the design as JSON to this file")
 
 		events   = flag.String("events", "", "write the loop's event stream as JSONL to this file")
+		spans    = flag.String("spans", "", "write the wall-clock span side-channel as JSONL to this file (cliffreport summarize -spans)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /vars (expvar) on this address, e.g. :8080 or :0")
 		progress = flag.Bool("progress", false, "print live per-iteration progress to stderr")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address, e.g. :6060 or :0")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -83,11 +88,28 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	// Instrumentation: a metrics registry whenever any consumer wants it, an
-	// optional JSONL event sink, and an optional terminal progress reporter.
+	// Profiling: CPU/heap profile files and the optional pprof listener.
+	prof, err := cliffguard.StartProfiling(*cpuProfile, *memProfile, *pprofAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			log.Printf("stopping profilers: %v", err)
+		}
+	}()
+	if prof.Addr != "" {
+		fmt.Printf("pprof at http://%s/debug/pprof/\n", prof.Addr)
+	}
+
+	// Instrumentation: a metrics registry whenever any consumer wants it (the
+	// span recorder snapshots it into its stream), an optional JSONL event
+	// sink, an optional span side-channel, and a terminal progress reporter.
 	var reg *cliffguard.Metrics
-	if *metrics != "" {
+	if *metrics != "" || *spans != "" {
 		reg = cliffguard.NewMetrics()
+	}
+	if *metrics != "" {
 		srv, err := cliffguard.ServeMetrics(*metrics, reg)
 		if err != nil {
 			log.Fatal(err)
@@ -103,10 +125,18 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		bw := bufio.NewWriter(f)
-		defer bw.Flush()
-		sink = cliffguard.NewJSONLSink(bw)
+		sink = cliffguard.NewJSONLSink(f)
 		observer = cliffguard.MultiObserver(observer, sink)
+	}
+	var spanRec *cliffguard.SpanRecorder
+	if *spans != "" {
+		f, err := os.Create(*spans)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		spanRec = cliffguard.NewSpanRecorder(f)
+		observer = cliffguard.MultiObserver(observer, spanRec)
 	}
 	if *progress {
 		observer = cliffguard.MultiObserver(observer, cliffguard.NewProgressReporter(os.Stderr))
@@ -143,8 +173,13 @@ func main() {
 		log.Fatal(err)
 	}
 	if sink != nil {
-		if serr := sink.Err(); serr != nil {
+		if serr := sink.Flush(); serr != nil {
 			log.Fatalf("writing %s: %v", *events, serr)
+		}
+	}
+	if spanRec != nil {
+		if serr := spanRec.Finish(reg); serr != nil {
+			log.Fatalf("writing %s: %v", *spans, serr)
 		}
 	}
 

@@ -161,7 +161,7 @@ func TestTracesMatchJSONL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sink.Err(); err != nil {
+	if err := sink.Flush(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -184,6 +184,82 @@ func TestTracesMatchJSONL(t *testing.T) {
 			t.Fatalf("JSONL trace %d differs: %+v vs %+v", i, got[i], traces[i])
 		}
 	}
+}
+
+// TestSpanRecorderDoesNotPerturbEvents pins the side-channel contract: with
+// a SpanRecorder fanned in next to the JSONL sink, the canonical event
+// stream is bit-identical to a run without it — wall-clock time stays in the
+// span stream, never in the events.
+func TestSpanRecorderDoesNotPerturbEvents(t *testing.T) {
+	run := func(withSpans bool) ([]obs.DecodedEvent, []obs.SpanRecord) {
+		s := testSchema()
+		rng := rand.New(rand.NewSource(4))
+		w := testWorkload(s, rng, 10)
+
+		var events, spanBuf bytes.Buffer
+		sink := obs.NewJSONLSink(&events)
+		observer := obs.Observer(sink)
+		var spans *obs.SpanRecorder
+		if withSpans {
+			spans = obs.NewSpanRecorder(&spanBuf)
+			observer = obs.Multi(sink, spans)
+		}
+		cg, _ := newGuard(s, Options{
+			Gamma: 0.004, Samples: 10, Iterations: 4, Seed: 12,
+			Parallelism: runtime.NumCPU(), Observer: observer,
+		})
+		if _, _, err := cg.DesignWithTrace(context.Background(), w); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := obs.DecodeJSONL(&events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []obs.SpanRecord
+		if withSpans {
+			if err := spans.Finish(nil); err != nil {
+				t.Fatal(err)
+			}
+			recs, err = obs.DecodeSpans(&spanBuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return decoded, recs
+	}
+
+	plain, _ := run(false)
+	observed, spans := run(true)
+	if len(plain) != len(observed) {
+		t.Fatalf("event counts differ with span recorder attached: %d vs %d", len(plain), len(observed))
+	}
+	np, no := normalize(eventsOf(plain)), normalize(eventsOf(observed))
+	for i := range np {
+		if np[i] != no[i] {
+			t.Fatalf("event %d differs with span recorder attached:\n  without: %#v\n  with:    %#v", i, np[i], no[i])
+		}
+	}
+	var iterSpans int
+	for _, s := range spans {
+		if s.Kind == obs.SpanKindSpan && s.Name == obs.SpanIteration {
+			iterSpans++
+		}
+	}
+	if iterSpans == 0 {
+		t.Fatal("span stream recorded no iteration spans")
+	}
+}
+
+// eventsOf strips the decode envelope.
+func eventsOf(decoded []obs.DecodedEvent) []obs.Event {
+	out := make([]obs.Event, len(decoded))
+	for i, d := range decoded {
+		out[i] = d.Event
+	}
+	return out
 }
 
 // TestObserverParallelHammer runs the loop at full parallelism with a

@@ -60,6 +60,26 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	hist("design", &m.DesignLatency)
 	hist("iteration", &m.IterationLatency)
 
+	// Estimated quantiles as a separate gauge family: the histogram family
+	// above stays a pure Prometheus histogram, and servers that do not run
+	// histogram_quantile still get summary lines.
+	quant := func(phase string, h *Histogram) {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			return
+		}
+		for _, q := range [...]float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(ew, "cliffguard_phase_latency_quantile_seconds{phase=%q,quantile=%q} %g\n",
+				phase, trimFloat(q), s.Quantile(q)/1e6)
+		}
+	}
+	fmt.Fprintf(ew, "# HELP cliffguard_phase_latency_quantile_seconds Estimated phase-latency quantiles (interpolated from the power-of-two histogram).\n")
+	fmt.Fprintf(ew, "# TYPE cliffguard_phase_latency_quantile_seconds gauge\n")
+	quant("sample", &m.SampleLatency)
+	quant("eval", &m.EvalLatency)
+	quant("design", &m.DesignLatency)
+	quant("iteration", &m.IterationLatency)
+
 	snaps := m.CacheSnapshots()
 	if len(snaps) > 0 {
 		fmt.Fprintf(ew, "# HELP cliffguard_costcache_hits_total Memo-cache hits per cache.\n# TYPE cliffguard_costcache_hits_total counter\n")

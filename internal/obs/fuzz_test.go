@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordedStream writes a small but representative run through the real sink
+// (header included) and returns the bytes — the honest seed for the decoder
+// fuzzers.
+func recordedStream() []byte {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sink.now = func() time.Time { return time.Unix(1700000000, 0).UTC() }
+	for _, ev := range []Event{
+		NeighborhoodSampled{Gamma: 0.002, Requested: 4, Produced: 5},
+		DesignerInvoked{Iteration: -1, Designer: "VerticaDBD", Queries: 7, Structures: 3, SizeBytes: 1 << 27},
+		IterationStart{Iteration: 0, Alpha: 1, WorstCase: 900},
+		NeighborEvaluated{Iteration: 0, Phase: PhaseRank, Index: 0, Cost: 123.5},
+		NeighborEvaluated{Iteration: 0, Phase: PhaseRank, Index: 1, Uncostable: true},
+		MoveAccepted{Iteration: 0, Alpha: 1, WorstCase: 850, Previous: 900},
+		IterationEnd{Iteration: 0, Alpha: 1, WorstCase: 900, CandidateCost: 850, Improved: true},
+	} {
+		sink.OnEvent(ev)
+	}
+	_ = sink.Flush()
+	return buf.Bytes()
+}
+
+// FuzzDecodeJSONL hardens the event-stream decoder: whatever bytes arrive —
+// truncated lines, wrong kinds, duplicate headers, garbage — it must either
+// return typed events or a clean error, never panic. Decoded streams must
+// re-decode identically after a sink round-trip (a weak inverse check).
+func FuzzDecodeJSONL(f *testing.F) {
+	rec := recordedStream()
+	f.Add(rec)
+	// Truncation mid-record.
+	f.Add(rec[:len(rec)/2])
+	// Wrong kind.
+	f.Add([]byte(`{"seq":1,"ts":"2024-01-01T00:00:00Z","type":"mystery","event":{}}`))
+	// Payload of the wrong shape for its kind.
+	f.Add([]byte(`{"seq":1,"ts":"2024-01-01T00:00:00Z","type":"iteration_end","event":{"iteration":"NaN"}}`))
+	// Duplicate headers.
+	f.Add([]byte(`{"schema":1,"stream":"events"}` + "\n" + `{"schema":1,"stream":"events"}`))
+	// Unknown version and wrong stream.
+	f.Add([]byte(`{"schema":9000}`))
+	f.Add([]byte(`{"schema":1,"stream":"spans"}`))
+	// Plain garbage.
+	f.Add([]byte("\x00\xff not json at all"))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := DecodeJSONL(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "obs:") {
+				t.Fatalf("error lost its package prefix: %v", err)
+			}
+			return
+		}
+		// Success: every event must round-trip through a fresh sink.
+		var buf bytes.Buffer
+		sink := NewJSONLSink(&buf)
+		sink.now = func() time.Time { return time.Unix(0, 0).UTC() }
+		for _, d := range events {
+			sink.OnEvent(d.Event)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := DecodeJSONL(&buf)
+		if err != nil {
+			t.Fatalf("re-encoding decoded events failed to decode: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round-trip changed event count: %d -> %d", len(events), len(again))
+		}
+		for i := range again {
+			if again[i].Event != events[i].Event {
+				t.Fatalf("round-trip changed event %d: %#v -> %#v", i, events[i].Event, again[i].Event)
+			}
+		}
+	})
+}
+
+// FuzzDecodeSpans gives the span-stream decoder the same treatment.
+func FuzzDecodeSpans(f *testing.F) {
+	var buf bytes.Buffer
+	rec := NewSpanRecorder(&buf)
+	rec.now = func() time.Time { return time.Unix(1700000000, 0).UTC() }
+	rec.OnEvent(IterationStart{Iteration: 0, Alpha: 1})
+	rec.OnEvent(NeighborEvaluated{Iteration: 0, Phase: PhaseRank, Index: 0})
+	rec.OnEvent(IterationEnd{Iteration: 0, Alpha: 1})
+	m := NewMetrics()
+	m.CostModelCalls.Inc()
+	_ = rec.Finish(m)
+
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()/2])
+	f.Add([]byte(`{"kind":"mystery"}`))
+	f.Add([]byte(`{"schema":1,"stream":"spans"}` + "\n" + `{"schema":1,"stream":"spans"}`))
+	f.Add([]byte(`{"kind":"metrics","metrics":{"latency":{"eval":{"count":"x"}}}}`))
+	f.Add([]byte("}{"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spans, err := DecodeSpans(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "obs:") {
+				t.Fatalf("error lost its package prefix: %v", err)
+			}
+			return
+		}
+		for i, s := range spans {
+			switch s.Kind {
+			case SpanKindSpan, SpanKindMark, SpanKindMetrics:
+			default:
+				t.Fatalf("record %d decoded with invalid kind %q", i, s.Kind)
+			}
+		}
+	})
+}

@@ -68,6 +68,52 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile returns the estimated q-quantile latency in microseconds, with
+// linear interpolation inside the landing bucket. q is clamped to [0, 1]. An
+// empty histogram yields 0. The first bucket interpolates over [0µs, 1µs].
+// Observations in the last bucket are clamped (the bucket has no true upper
+// bound), so a quantile landing there returns the bucket's lower bound rather
+// than extrapolating beyond what was measured.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	if target < 1 {
+		target = 1 // the quantile of at least one observation
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		cum += b
+		if float64(cum) < target {
+			continue
+		}
+		if i == histBuckets-1 {
+			// Clamped overflow bucket: report its lower bound.
+			return float64(BucketUpperUs(i - 1))
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = float64(BucketUpperUs(i - 1))
+		}
+		upper := float64(BucketUpperUs(i))
+		frac := (target - float64(cum-b)) / float64(b)
+		return lower + frac*(upper-lower)
+	}
+	// Unreachable when Count matches the bucket sums; be defensive for
+	// snapshots taken mid-Observe.
+	return float64(BucketUpperUs(histBuckets - 2))
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

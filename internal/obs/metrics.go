@@ -32,17 +32,17 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 
 // CacheShardStats is one stripe's counters of a sharded memo cache.
 type CacheShardStats struct {
-	Hits    uint64
-	Misses  uint64
-	Entries int
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
 }
 
 // CacheStats is a point-in-time snapshot of a sharded memo cache.
 type CacheStats struct {
-	Hits    uint64
-	Misses  uint64
-	Entries int
-	Shards  []CacheShardStats
+	Hits    uint64            `json:"hits"`
+	Misses  uint64            `json:"misses"`
+	Entries int               `json:"entries"`
+	Shards  []CacheShardStats `json:"shards,omitempty"`
 }
 
 // Metrics is the loop's atomic counter registry. All fields are safe for
@@ -114,6 +114,73 @@ func (m *Metrics) CacheSnapshots() map[string]CacheStats {
 		out[name] = fn()
 	}
 	return out
+}
+
+// LatencyStats is one histogram's plain-data summary inside a
+// MetricsSnapshot: count, mean, and interpolated quantiles, in milliseconds.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// MetricsSnapshot is a plain-data, JSON-serializable copy of the registry,
+// written into the span side-channel by SpanRecorder.Finish and consumed by
+// the run-analysis tooling (internal/report). Counters are read individually,
+// so a snapshot taken mid-run can be off by in-flight updates.
+type MetricsSnapshot struct {
+	SamplerDraws        uint64 `json:"sampler_draws"`
+	SamplerRetries      uint64 `json:"sampler_retries"`
+	SamplerFailures     uint64 `json:"sampler_failures"`
+	CostModelCalls      uint64 `json:"costmodel_calls"`
+	DesignerInvocations uint64 `json:"designer_invocations"`
+	CandidatesGenerated uint64 `json:"designer_candidates"`
+	NeighborsEvaluated  uint64 `json:"neighbors_evaluated"`
+	MovesAccepted       uint64 `json:"moves_accepted"`
+	MovesRejected       uint64 `json:"moves_rejected"`
+	IterationsCompleted uint64 `json:"iterations_completed"`
+
+	Caches  map[string]CacheStats   `json:"caches,omitempty"`
+	Latency map[string]LatencyStats `json:"latency,omitempty"`
+}
+
+// Snapshot copies the registry into a plain-data MetricsSnapshot. A nil
+// registry yields the zero snapshot.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	lat := func(h *Histogram) LatencyStats {
+		s := h.Snapshot()
+		return LatencyStats{
+			Count:  s.Count,
+			MeanMs: h.MeanMs(),
+			P50Ms:  s.Quantile(0.5) / 1e3,
+			P90Ms:  s.Quantile(0.9) / 1e3,
+			P99Ms:  s.Quantile(0.99) / 1e3,
+		}
+	}
+	return MetricsSnapshot{
+		SamplerDraws:        m.SamplerDraws.Load(),
+		SamplerRetries:      m.SamplerRetries.Load(),
+		SamplerFailures:     m.SamplerFailures.Load(),
+		CostModelCalls:      m.CostModelCalls.Load(),
+		DesignerInvocations: m.DesignerInvocations.Load(),
+		CandidatesGenerated: m.CandidatesGenerated.Load(),
+		NeighborsEvaluated:  m.NeighborsEvaluated.Load(),
+		MovesAccepted:       m.MovesAccepted.Load(),
+		MovesRejected:       m.MovesRejected.Load(),
+		IterationsCompleted: m.IterationsCompleted.Load(),
+		Caches:              m.CacheSnapshots(),
+		Latency: map[string]LatencyStats{
+			"sample":    lat(&m.SampleLatency),
+			"eval":      lat(&m.EvalLatency),
+			"design":    lat(&m.DesignLatency),
+			"iteration": lat(&m.IterationLatency),
+		},
+	}
 }
 
 // cacheNames returns the registered cache names in sorted order (stable

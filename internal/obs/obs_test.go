@@ -96,11 +96,16 @@ func TestJSONLSinkRoundTrip(t *testing.T) {
 	for _, ev := range events {
 		sink.OnEvent(ev)
 	}
-	if err := sink.Err(); err != nil {
+	if err := sink.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if got := strings.Count(buf.String(), "\n"); got != len(events) {
-		t.Fatalf("%d lines, want %d", got, len(events))
+	// One line per event plus the schema header.
+	if got := strings.Count(buf.String(), "\n"); got != len(events)+1 {
+		t.Fatalf("%d lines, want %d", got, len(events)+1)
+	}
+	header := buf.String()[:strings.IndexByte(buf.String(), '\n')]
+	if !strings.Contains(header, `"schema":1`) || !strings.Contains(header, `"stream":"events"`) {
+		t.Fatalf("first line is not a v1 events header: %s", header)
 	}
 
 	decoded, err := DecodeJSONL(bytes.NewReader(buf.Bytes()))
@@ -124,6 +129,115 @@ func TestDecodeJSONLRejectsUnknownType(t *testing.T) {
 	line := `{"seq":1,"ts":"2024-01-01T00:00:00Z","type":"mystery","event":{}}`
 	if _, err := DecodeJSONL(strings.NewReader(line)); err == nil {
 		t.Fatal("unknown event type must fail decoding")
+	}
+}
+
+func TestDecodeJSONLHeaderHandling(t *testing.T) {
+	event := `{"seq":1,"ts":"2024-01-01T00:00:00Z","type":"iteration_start","event":{"iteration":0,"alpha":1,"worst_case":9}}`
+
+	// A PR 2-era stream has no header and must still decode.
+	got, err := DecodeJSONL(strings.NewReader(event))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("headerless stream: %v (%d events)", err, len(got))
+	}
+
+	// The current header is accepted and skipped.
+	got, err = DecodeJSONL(strings.NewReader(`{"schema":1,"stream":"events"}` + "\n" + event))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("v1 header: %v (%d events)", err, len(got))
+	}
+
+	// Unknown versions are a loud error.
+	if _, err := DecodeJSONL(strings.NewReader(`{"schema":99,"stream":"events"}`)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("unknown version must fail clearly, got %v", err)
+	}
+
+	// Duplicate (or late) headers are an error.
+	dup := `{"schema":1,"stream":"events"}` + "\n" + event + "\n" + `{"schema":1,"stream":"events"}`
+	if _, err := DecodeJSONL(strings.NewReader(dup)); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate header must fail, got %v", err)
+	}
+
+	// A span stream fed to the event decoder is rejected up front.
+	if _, err := DecodeJSONL(strings.NewReader(`{"schema":1,"stream":"spans"}`)); err == nil ||
+		!strings.Contains(err.Error(), "spans") {
+		t.Fatalf("stream mismatch must fail, got %v", err)
+	}
+}
+
+func TestJSONLSinkFlushNoEventLoss(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	const n = 5000 // far beyond one bufio buffer, forcing interior flushes
+	for i := 0; i < n; i++ {
+		sink.OnEvent(NeighborEvaluated{Iteration: i / 100, Phase: PhaseRank, Index: i % 100, Cost: float64(i)})
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != n {
+		t.Fatalf("decoded %d events, want %d (events lost without Flush?)", len(decoded), n)
+	}
+	for i, d := range decoded {
+		if d.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, d.Seq)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %g, want 0", got)
+	}
+
+	// All observations in the 0-1µs bucket: quantiles interpolate in [0, 1].
+	var tiny Histogram
+	for i := 0; i < 10; i++ {
+		tiny.Observe(500 * time.Nanosecond)
+	}
+	s := tiny.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		got := s.Quantile(q)
+		if got < 0 || got > 1 {
+			t.Fatalf("0-1µs bucket q=%g -> %gµs, want within [0, 1]", q, got)
+		}
+	}
+	if p10, p90 := s.Quantile(0.1), s.Quantile(0.9); p10 > p90 {
+		t.Fatalf("quantiles not monotone: p10=%g > p90=%g", p10, p90)
+	}
+
+	// A clamped overflow observation must not extrapolate past the last
+	// bucket's lower bound.
+	var huge Histogram
+	huge.Observe(100 * time.Hour)
+	if got, want := huge.Snapshot().Quantile(0.99), float64(BucketUpperUs(histBuckets-2)); got != want {
+		t.Fatalf("clamped bucket quantile = %g, want lower bound %g", got, want)
+	}
+
+	// Interpolation sanity: 100 observations at ~3µs land in bucket (2, 4];
+	// the median must stay inside that bucket.
+	var mid Histogram
+	for i := 0; i < 100; i++ {
+		mid.Observe(3 * time.Microsecond)
+	}
+	if got := mid.Snapshot().Quantile(0.5); got <= 2 || got > 4 {
+		t.Fatalf("p50 of 3µs observations = %gµs, want within (2, 4]", got)
+	}
+
+	// Out-of-range q is clamped, not a panic.
+	if got := mid.Snapshot().Quantile(2); got <= 0 {
+		t.Fatalf("q>1 must clamp to max, got %g", got)
+	}
+	if got := mid.Snapshot().Quantile(-1); got <= 0 {
+		t.Fatalf("q<0 must clamp to min, got %g", got)
 	}
 }
 
@@ -168,6 +282,7 @@ func TestMetricsPrometheusAndExpvar(t *testing.T) {
 		"cliffguard_moves_accepted_total 1",
 		"cliffguard_pool_queue_depth 3",
 		`cliffguard_phase_latency_seconds_count{phase="eval"} 1`,
+		`cliffguard_phase_latency_quantile_seconds{phase="eval",quantile="0.5"}`,
 		`cliffguard_costcache_hits_total{cache="vertsim"} 10`,
 		`cliffguard_costcache_shard_misses_total{cache="vertsim",shard="0"} 4`,
 	} {

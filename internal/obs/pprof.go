@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	runtimepprof "runtime/pprof"
+)
+
+// Profiling holds the live profiler state wired up by StartProfiling. Stop
+// must be called on shutdown to flush the CPU profile and write the heap
+// profile; it is safe to call on a zero value.
+type Profiling struct {
+	// Addr is the bound address of the pprof HTTP listener ("" when no
+	// -pprof-addr was requested). With ":0" the OS picks the port, so read
+	// the actual address here.
+	Addr string
+
+	cpuFile *os.File
+	memPath string
+	ln      net.Listener
+	srv     *http.Server
+}
+
+// StartProfiling wires the standard Go profilers behind the CLI flags:
+// cpuProfile/memProfile name pprof output files (either may be empty), and
+// pprofAddr serves the full net/http/pprof surface (/debug/pprof/...) on its
+// own mux so it never collides with a metrics server on another port.
+func StartProfiling(cpuProfile, memProfile, pprofAddr string) (*Profiling, error) {
+	p := &Profiling{memPath: memProfile}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: %w", err)
+		}
+		if err := runtimepprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: starting CPU profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			p.Stop()
+			return nil, fmt.Errorf("obs: %w", err)
+		}
+		p.ln = ln
+		p.Addr = ln.Addr().String()
+		p.srv = &http.Server{Handler: mux}
+		go func() { _ = p.srv.Serve(ln) }()
+	}
+	return p, nil
+}
+
+// Stop flushes the CPU profile, writes the heap profile, and closes the
+// pprof listener. The first error wins.
+func (p *Profiling) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var first error
+	if p.cpuFile != nil {
+		runtimepprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+		} else {
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := runtimepprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		p.memPath = ""
+	}
+	if p.srv != nil {
+		if err := p.srv.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.srv, p.ln = nil, nil
+	}
+	return first
+}

@@ -1,12 +1,31 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 )
+
+// The JSONL stream format. Every stream opens with a one-line header naming
+// the schema version and the stream flavor; streams written before the header
+// existed (the PR 2 era) decode fine without one.
+const (
+	// SchemaVersion is the JSONL stream schema this build reads and writes.
+	SchemaVersion = 1
+	// StreamEvents marks the canonical (deterministic) event stream.
+	StreamEvents = "events"
+	// StreamSpans marks the wall-clock span side-channel (see SpanRecorder).
+	StreamSpans = "spans"
+)
+
+// streamHeader is the first line of a JSONL stream.
+type streamHeader struct {
+	Schema int    `json:"schema"`
+	Stream string `json:"stream"`
+}
 
 // jsonlRecord is the envelope of one JSONL line: a monotonic sequence
 // number and sink-side timestamp around the deterministic event payload.
@@ -22,21 +41,36 @@ type jsonlRecord struct {
 // parallel evaluator never interleave bytes. The event payload is the
 // deterministic part; seq and ts belong to the envelope (seq orders the
 // stream, ts is wall-clock at write time).
+//
+// Writes are buffered internally (one write syscall per ~64 KiB, not per
+// event): call Flush when the run is done, before closing the underlying
+// file. Err/Flush report the first write error.
 type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	seq uint64
-	err error
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	seq    uint64
+	err    error
+	opened bool // header written
 
 	// now is swappable for tests.
 	now func() time.Time
 }
 
-// NewJSONLSink returns a sink writing to w. Wrap w in a bufio.Writer for
-// high-rate streams and flush it after the run; the sink itself does not
-// buffer.
+// NewJSONLSink returns a sink writing to w. The sink buffers internally;
+// callers must Flush after the run (the CLIs do so on shutdown).
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w), now: time.Now}
+	bw := bufio.NewWriterSize(w, 64<<10)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw), now: time.Now}
+}
+
+// header writes the stream header once. Callers hold s.mu.
+func (s *JSONLSink) header() {
+	if s.opened || s.err != nil {
+		return
+	}
+	s.opened = true
+	s.err = s.enc.Encode(streamHeader{Schema: SchemaVersion, Stream: StreamEvents})
 }
 
 // OnEvent implements Observer.
@@ -46,8 +80,25 @@ func (s *JSONLSink) OnEvent(ev Event) {
 	if s.err != nil {
 		return // a broken writer stays broken; do not spam it
 	}
+	s.header()
+	if s.err != nil {
+		return
+	}
 	s.seq++
 	s.err = s.enc.Encode(jsonlRecord{Seq: s.seq, TS: s.now(), Type: ev.Kind(), Event: ev})
+}
+
+// Flush writes the header if nothing was emitted yet, drains the internal
+// buffer to the underlying writer, and returns the first error seen by the
+// sink. Call it once the run is done, before closing the file.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.header()
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
 }
 
 // Err returns the first write error, if any.
@@ -64,21 +115,49 @@ type DecodedEvent struct {
 	Event Event
 }
 
+// checkHeader validates a decoded stream header against the expected stream
+// flavor. record is the 1-based position the header appeared at.
+func checkHeader(schema int, stream string, wantStream string, record int) error {
+	if record != 1 {
+		return fmt.Errorf("obs: duplicate stream header at record %d", record)
+	}
+	if schema != SchemaVersion {
+		return fmt.Errorf("obs: unknown stream schema version %d (this build reads version %d)", schema, SchemaVersion)
+	}
+	if stream != "" && stream != wantStream {
+		return fmt.Errorf("obs: stream is %q, want %q (wrong file?)", stream, wantStream)
+	}
+	return nil
+}
+
 // DecodeJSONL parses a JSONL event stream back into typed events (the
 // inverse of JSONLSink). Unknown event types fail loudly — the stream is a
-// contract, not best-effort logging.
+// contract, not best-effort logging. A leading schema header is validated
+// (unknown versions are an error); a missing header is tolerated for streams
+// written before headers existed.
 func DecodeJSONL(r io.Reader) ([]DecodedEvent, error) {
 	dec := json.NewDecoder(r)
 	var out []DecodedEvent
+	record := 0
 	for dec.More() {
+		record++
 		var raw struct {
-			Seq   uint64          `json:"seq"`
-			TS    time.Time       `json:"ts"`
-			Type  Kind            `json:"type"`
-			Event json.RawMessage `json:"event"`
+			Schema int             `json:"schema"`
+			Stream string          `json:"stream"`
+			Seq    uint64          `json:"seq"`
+			TS     time.Time       `json:"ts"`
+			Type   Kind            `json:"type"`
+			Event  json.RawMessage `json:"event"`
 		}
 		if err := dec.Decode(&raw); err != nil {
 			return nil, fmt.Errorf("obs: decoding JSONL record %d: %w", len(out)+1, err)
+		}
+		if raw.Schema != 0 || raw.Stream != "" {
+			// A header line (event records never carry schema/stream fields).
+			if err := checkHeader(raw.Schema, raw.Stream, StreamEvents, record); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		var ev Event
 		var err error

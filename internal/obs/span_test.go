@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock hands out strictly increasing instants, 1ms apart.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+// spanStream replays a two-iteration run through a SpanRecorder on a fake
+// clock and returns the decoded span records.
+func spanStream(t *testing.T, m *Metrics) []SpanRecord {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := NewSpanRecorder(&buf)
+	rec.now = (&fakeClock{t: time.Unix(1700000000, 0).UTC()}).now
+
+	rec.OnEvent(DesignerInvoked{Iteration: -1, Designer: "VerticaDBD", Queries: 5})
+	rec.OnEvent(NeighborhoodSampled{Gamma: 0.002, Requested: 4, Produced: 5})
+	for i := 0; i < 5; i++ {
+		rec.OnEvent(NeighborEvaluated{Iteration: -1, Phase: PhaseInitial, Index: i, Cost: 1})
+	}
+	for iter := 0; iter < 2; iter++ {
+		rec.OnEvent(IterationStart{Iteration: iter, Alpha: 1, WorstCase: 100})
+		for i := 0; i < 5; i++ {
+			rec.OnEvent(NeighborEvaluated{Iteration: iter, Phase: PhaseRank, Index: i, Cost: 1})
+		}
+		rec.OnEvent(DesignerInvoked{Iteration: iter, Designer: "VerticaDBD", Queries: 6})
+		for i := 0; i < 5; i++ {
+			rec.OnEvent(NeighborEvaluated{Iteration: iter, Phase: PhaseCandidate, Index: i, Cost: 1})
+		}
+		rec.OnEvent(MoveRejected{Iteration: iter, Alpha: 1, CandidateCost: 101, WorstCase: 100})
+		rec.OnEvent(IterationEnd{Iteration: iter, Alpha: 1, WorstCase: 100, CandidateCost: 101})
+	}
+	if err := rec.Finish(m); err != nil {
+		t.Fatal(err)
+	}
+
+	head := buf.String()[:strings.IndexByte(buf.String(), '\n')]
+	if !strings.Contains(head, `"stream":"spans"`) {
+		t.Fatalf("span stream missing header: %s", head)
+	}
+	spans, err := DecodeSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spans
+}
+
+func TestSpanRecorder(t *testing.T) {
+	m := NewMetrics()
+	m.CostModelCalls.Add(123)
+	m.EvalLatency.Observe(2 * time.Millisecond)
+	spans := spanStream(t, m)
+
+	count := map[string]int{}
+	byKind := map[string]int{}
+	for _, s := range spans {
+		byKind[s.Kind]++
+		count[s.Name]++
+	}
+	if count[SpanIteration] != 2 {
+		t.Fatalf("want 2 iteration spans, got %d (%v)", count[SpanIteration], count)
+	}
+	// One initial pass + (rank + candidate) per iteration.
+	if count[SpanPhasePrefix+PhaseInitial] != 1 ||
+		count[SpanPhasePrefix+PhaseRank] != 2 ||
+		count[SpanPhasePrefix+PhaseCandidate] != 2 {
+		t.Fatalf("phase span counts wrong: %v", count)
+	}
+	if count[SpanRun] != 1 {
+		t.Fatalf("want 1 run span, got %d", count[SpanRun])
+	}
+	// 3 designer marks (initial + one per iteration) and the sampling mark.
+	if count[MarkDesignerPrefix+"VerticaDBD"] != 3 || count[MarkNeighborhoodSampled] != 1 {
+		t.Fatalf("mark counts wrong: %v", count)
+	}
+	if byKind[SpanKindMetrics] != 1 {
+		t.Fatalf("want 1 metrics record, got %d", byKind[SpanKindMetrics])
+	}
+
+	for _, s := range spans {
+		switch s.Kind {
+		case SpanKindSpan:
+			if !s.End.After(s.Start) || s.DurUs <= 0 {
+				t.Fatalf("span %q has degenerate interval: %+v", s.Name, s)
+			}
+		case SpanKindMark:
+			if s.Start.IsZero() {
+				t.Fatalf("mark %q has no timestamp", s.Name)
+			}
+		case SpanKindMetrics:
+			if s.Metrics == nil || s.Metrics.CostModelCalls != 123 {
+				t.Fatalf("metrics record wrong: %+v", s.Metrics)
+			}
+			if s.Metrics.Latency["eval"].Count != 1 {
+				t.Fatalf("latency snapshot missing: %+v", s.Metrics.Latency)
+			}
+		}
+	}
+
+	// Iteration spans contain their phase spans; phases 5 evals apart on a
+	// 1ms fake clock are 4ms wide.
+	for _, s := range spans {
+		if s.Name == SpanPhasePrefix+PhaseRank {
+			if got := time.Duration(s.DurUs) * time.Microsecond; got != 4*time.Millisecond {
+				t.Fatalf("rank phase span = %s, want 4ms on the fake clock", got)
+			}
+		}
+	}
+}
+
+func TestSpanRecorderNilMetricsAndEmptyRun(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewSpanRecorder(&buf)
+	if err := rec.Finish(nil); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := DecodeSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Just the run span; no metrics record for a nil registry.
+	if len(spans) != 1 || spans[0].Name != SpanRun {
+		t.Fatalf("empty run spans = %+v", spans)
+	}
+}
+
+func TestDecodeSpansRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSpans(strings.NewReader(`{"kind":"mystery"}`)); err == nil {
+		t.Fatal("unknown span kind must fail")
+	}
+	if _, err := DecodeSpans(strings.NewReader(`{"schema":7,"stream":"spans"}`)); err == nil {
+		t.Fatal("unknown schema version must fail")
+	}
+	if _, err := DecodeSpans(strings.NewReader(`{"schema":1,"stream":"events"}`)); err == nil {
+		t.Fatal("events stream fed to span decoder must fail")
+	}
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteSummaryText renders a summary for humans: the headline numbers, the
+// convergence curve, the alpha trajectory, and (when recorded) the wall-clock
+// and budget tails.
+func WriteSummaryText(w io.Writer, s *Summary) error {
+	p := func(format string, args ...any) {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+	p("run summary (%d events)", s.Events)
+	p("  neighborhood      gamma=%g requested=%d produced=%d", s.Gamma, s.SamplesRequested, s.SamplesProduced)
+	p("  iterations        %d (accepted %d, rejected %d, acceptance %.1f%%)",
+		s.Iterations, s.Accepted, s.Rejected, s.AcceptanceRate*100)
+	p("  worst-case cost   %.4f -> %.4f (improvement %.2f%%)",
+		s.InitialWorstCase, s.FinalWorstCase, s.ImprovementPct)
+	p("  neighbor evals    %d (%d uncostable)", s.NeighborEvals, s.UncostableEvals)
+	for _, phase := range sortedKeys(s.EvalsByPhase) {
+		p("    phase %-11s %d", phase, s.EvalsByPhase[phase])
+	}
+	p("  designer calls    %d %v", s.DesignerInvocations, s.Designers)
+	if len(s.Convergence) > 0 {
+		p("  alpha trajectory  %s", s.alphaTrajectory())
+		p("  convergence:")
+		p("    %4s  %10s  %12s  %12s  %s", "iter", "alpha", "worst-case", "candidate", "move")
+		for _, pt := range s.Convergence {
+			move := "reject"
+			if pt.Improved {
+				move = "accept"
+			}
+			p("    %4d  %10.4g  %12.4f  %12.4f  %s", pt.Iteration, pt.Alpha, pt.WorstCase, pt.CandidateCost, move)
+		}
+	}
+	if s.HasSpans {
+		p("  wall clock        %.1f ms", s.WallMs)
+		for _, name := range s.phaseNames() {
+			pl := s.PhaseMs[name]
+			p("    %-15s %8.1f ms total  %7.2f ms avg  (%d spans)", name, pl.TotalMs, pl.AvgMs, pl.Spans)
+		}
+	}
+	if s.HasMetrics {
+		p("  cost-model calls  %d", s.CostModelCalls)
+		for _, name := range sortedKeys(s.CacheHitRatio) {
+			p("  cache %-11s %.1f%% hits", name, s.CacheHitRatio[name]*100)
+		}
+		for _, name := range sortedKeys(s.Latency) {
+			l := s.Latency[name]
+			if l.Count == 0 {
+				continue
+			}
+			p("  latency %-9s n=%d mean=%.3fms p50=%.3fms p90=%.3fms p99=%.3fms",
+				name, l.Count, l.MeanMs, l.P50Ms, l.P90Ms, l.P99Ms)
+		}
+	}
+	return nil
+}
+
+// WriteDiffText renders a diff table plus the regression verdict.
+func WriteDiffText(w io.Writer, d *Diff) error {
+	fmt.Fprintf(w, "%-24s  %12s  %12s  %9s  %8s  %s\n", "metric", "old", "new", "delta", "limit", "")
+	for _, r := range d.Rows {
+		flag := ""
+		if r.Regressed {
+			flag = "REGRESSED"
+		}
+		fmt.Fprintf(w, "%-24s  %12.4f  %12.4f  %+8.2f%%  %8s  %s\n",
+			r.Metric, r.Old, r.New, r.DeltaPct, r.Limit, flag)
+	}
+	if d.Regressed {
+		fmt.Fprintf(w, "FAIL: %d regression(s)\n", len(d.Regressions))
+		for _, msg := range d.Regressions {
+			fmt.Fprintf(w, "  - %s\n", msg)
+		}
+	} else {
+		fmt.Fprintln(w, "OK: no regressions")
+	}
+	return nil
+}
+
+// sortedKeys works for any string-keyed map used by the renderer.
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

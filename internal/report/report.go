@@ -1,0 +1,254 @@
+// Package report is the offline run-analysis layer on top of the
+// instrumentation streams of internal/obs: it ingests a canonical
+// (deterministic) JSONL event stream, optionally joined with its wall-clock
+// span side-channel, and computes run analytics — the worst-case-cost
+// convergence curve, the alpha line-search trajectory, move acceptance,
+// designer-invocation and cost-model-call budgets, cache hit ratios, and the
+// per-phase latency breakdown. Two runs can be diffed under configurable
+// regression thresholds (cmd/cliffreport's `diff -check` CI gate), and one
+// run can be checked against an expected summary (the golden-fixture gate
+// that regression-locks this package's math).
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"cliffguard/internal/obs"
+)
+
+// Run is one recorded robust-design run: the decoded canonical events and,
+// when a span stream was recorded alongside, its wall-clock spans.
+type Run struct {
+	Events []obs.DecodedEvent
+	Spans  []obs.SpanRecord
+}
+
+// Load reads an event stream (required) and a span stream (optional; pass ""
+// to skip) from files.
+func Load(eventsPath, spansPath string) (*Run, error) {
+	ef, err := os.Open(eventsPath)
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	defer ef.Close()
+	run := &Run{}
+	if run.Events, err = obs.DecodeJSONL(ef); err != nil {
+		return nil, fmt.Errorf("report: reading %s: %w", eventsPath, err)
+	}
+	if spansPath != "" {
+		sf, err := os.Open(spansPath)
+		if err != nil {
+			return nil, fmt.Errorf("report: %w", err)
+		}
+		defer sf.Close()
+		if run.Spans, err = obs.DecodeSpans(sf); err != nil {
+			return nil, fmt.Errorf("report: reading %s: %w", spansPath, err)
+		}
+	}
+	return run, nil
+}
+
+// FromReaders is Load over readers (spans may be nil).
+func FromReaders(events, spans io.Reader) (*Run, error) {
+	run := &Run{}
+	var err error
+	if run.Events, err = obs.DecodeJSONL(events); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	if spans != nil {
+		if run.Spans, err = obs.DecodeSpans(spans); err != nil {
+			return nil, fmt.Errorf("report: %w", err)
+		}
+	}
+	return run, nil
+}
+
+// IterationPoint is one point of the convergence curve / alpha trajectory:
+// the fields of one obs.IterationEnd (== one core.Trace).
+type IterationPoint struct {
+	Iteration     int     `json:"iteration"`
+	Alpha         float64 `json:"alpha"`
+	WorstCase     float64 `json:"worst_case"`
+	CandidateCost float64 `json:"candidate_cost"`
+	Improved      bool    `json:"improved"`
+}
+
+// PhaseLatency aggregates one span name's wall-clock time.
+type PhaseLatency struct {
+	Spans   int     `json:"spans"`
+	TotalMs float64 `json:"total_ms"`
+	AvgMs   float64 `json:"avg_ms"`
+}
+
+// Summary is the computed analytics of one run. Fields up to Designers are
+// derived from the deterministic event stream alone — for a fixed seed they
+// are identical across machines and parallelism levels, which is what the
+// golden-fixture check gates on. The Has*-guarded tails come from the span
+// side-channel and are wall-clock (never part of Check).
+type Summary struct {
+	Events int `json:"events"`
+
+	Gamma            float64 `json:"gamma"`
+	SamplesRequested int     `json:"samples_requested"`
+	SamplesProduced  int     `json:"samples_produced"`
+
+	Iterations     int     `json:"iterations"`
+	Accepted       int     `json:"accepted"`
+	Rejected       int     `json:"rejected"`
+	AcceptanceRate float64 `json:"acceptance_rate"`
+
+	InitialWorstCase float64 `json:"initial_worst_case"`
+	FinalWorstCase   float64 `json:"final_worst_case"`
+	ImprovementPct   float64 `json:"improvement_pct"`
+
+	Convergence []IterationPoint `json:"convergence"`
+
+	NeighborEvals   int            `json:"neighbor_evals"`
+	EvalsByPhase    map[string]int `json:"evals_by_phase,omitempty"`
+	UncostableEvals int            `json:"uncostable_evals"`
+
+	DesignerInvocations int      `json:"designer_invocations"`
+	Designers           []string `json:"designers,omitempty"`
+
+	// Span-derived wall-clock analytics (HasSpans guards them).
+	HasSpans bool                    `json:"has_spans"`
+	WallMs   float64                 `json:"wall_ms,omitempty"`
+	PhaseMs  map[string]PhaseLatency `json:"phase_ms,omitempty"`
+
+	// Metrics-snapshot-derived budgets (HasMetrics guards them).
+	HasMetrics     bool                        `json:"has_metrics"`
+	CostModelCalls uint64                      `json:"costmodel_calls,omitempty"`
+	CacheHitRatio  map[string]float64          `json:"cache_hit_ratio,omitempty"`
+	Latency        map[string]obs.LatencyStats `json:"latency,omitempty"`
+}
+
+// Summarize computes a run's analytics. The event stream must contain at
+// least one event; a stream with no iterations (a nominal run) still yields
+// a summary.
+func Summarize(run *Run) (*Summary, error) {
+	if run == nil || len(run.Events) == 0 {
+		return nil, fmt.Errorf("report: event stream is empty")
+	}
+	s := &Summary{
+		Events:       len(run.Events),
+		EvalsByPhase: map[string]int{},
+	}
+	designers := map[string]bool{}
+	sawIterStart := false
+	for _, d := range run.Events {
+		switch e := d.Event.(type) {
+		case obs.NeighborhoodSampled:
+			s.Gamma = e.Gamma
+			s.SamplesRequested += e.Requested
+			s.SamplesProduced += e.Produced
+		case obs.IterationStart:
+			if !sawIterStart {
+				sawIterStart = true
+				s.InitialWorstCase = e.WorstCase
+			}
+		case obs.IterationEnd:
+			s.Iterations++
+			if e.Improved {
+				s.Accepted++
+				s.FinalWorstCase = e.CandidateCost
+			} else {
+				s.Rejected++
+				s.FinalWorstCase = e.WorstCase
+			}
+			s.Convergence = append(s.Convergence, IterationPoint{
+				Iteration: e.Iteration, Alpha: e.Alpha,
+				WorstCase: e.WorstCase, CandidateCost: e.CandidateCost,
+				Improved: e.Improved,
+			})
+		case obs.NeighborEvaluated:
+			s.NeighborEvals++
+			s.EvalsByPhase[e.Phase]++
+			if e.Uncostable {
+				s.UncostableEvals++
+			}
+		case obs.DesignerInvoked:
+			s.DesignerInvocations++
+			designers[e.Designer] = true
+		}
+	}
+	if s.Iterations > 0 {
+		s.AcceptanceRate = float64(s.Accepted) / float64(s.Iterations)
+	}
+	if s.InitialWorstCase > 0 {
+		s.ImprovementPct = (s.InitialWorstCase - s.FinalWorstCase) / s.InitialWorstCase * 100
+	}
+	for name := range designers {
+		s.Designers = append(s.Designers, name)
+	}
+	sort.Strings(s.Designers)
+
+	s.ingestSpans(run.Spans)
+	return s, nil
+}
+
+// ingestSpans folds the wall-clock side-channel into the summary.
+func (s *Summary) ingestSpans(spans []obs.SpanRecord) {
+	if len(spans) == 0 {
+		return
+	}
+	s.HasSpans = true
+	s.PhaseMs = map[string]PhaseLatency{}
+	for _, rec := range spans {
+		switch rec.Kind {
+		case obs.SpanKindSpan:
+			ms := float64(rec.DurUs) / 1e3
+			if rec.Name == obs.SpanRun {
+				s.WallMs = ms
+				continue
+			}
+			pl := s.PhaseMs[rec.Name]
+			pl.Spans++
+			pl.TotalMs += ms
+			pl.AvgMs = pl.TotalMs / float64(pl.Spans)
+			s.PhaseMs[rec.Name] = pl
+		case obs.SpanKindMetrics:
+			if rec.Metrics == nil {
+				continue
+			}
+			s.HasMetrics = true
+			s.CostModelCalls = rec.Metrics.CostModelCalls
+			s.Latency = rec.Metrics.Latency
+			if len(rec.Metrics.Caches) > 0 {
+				s.CacheHitRatio = map[string]float64{}
+				for name, c := range rec.Metrics.Caches {
+					if total := c.Hits + c.Misses; total > 0 {
+						s.CacheHitRatio[name] = float64(c.Hits) / float64(total)
+					}
+				}
+			}
+		}
+	}
+}
+
+// phaseNames returns the PhaseMs keys sorted for stable rendering.
+func (s *Summary) phaseNames() []string {
+	names := make([]string, 0, len(s.PhaseMs))
+	for n := range s.PhaseMs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// alphaTrajectory renders the line-search path compactly: one token per
+// iteration, "alpha+" on an accepted move and "alpha-" on a rejected one.
+func (s *Summary) alphaTrajectory() string {
+	toks := make([]string, 0, len(s.Convergence))
+	for _, p := range s.Convergence {
+		mark := "-"
+		if p.Improved {
+			mark = "+"
+		}
+		toks = append(toks, fmt.Sprintf("%.3g%s", p.Alpha, mark))
+	}
+	return strings.Join(toks, " ")
+}
