@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke
+.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke bench-sampler
 
 # The full local gate: what should pass before every commit.
-ci: vet build race fuzz-smoke apidiff report-check bench-smoke
+ci: vet build race fuzz-smoke apidiff report-check bench-smoke bench-sampler
 
 # Fail on incompatible changes to the public cliffguard package (removed or
 # altered exported declarations vs api/cliffguard.api). Intentional breaks:
@@ -56,6 +56,15 @@ bench-smoke:
 	@mkdir -p /tmp/cliffguard-bench-smoke
 	$(GO) run ./cmd/benchrunner -experiment T1 -bench-json /tmp/cliffguard-bench-smoke > /dev/null
 	$(GO) run ./cmd/cliffreport bench -against benchmarks /tmp/cliffguard-bench-smoke/BENCH_T1.json
+
+# Gate the sampler fast path: re-run the SAMPLER experiment (closed-form
+# landing vs legacy verify/bisect at parallelism 1) and require its
+# deterministic counters and landing error to match the checked-in
+# benchmarks/BENCH_SAMPLER.json (wall-clock speedup is informational).
+bench-sampler:
+	@mkdir -p /tmp/cliffguard-bench-sampler
+	$(GO) run ./cmd/benchrunner -experiment SAMPLER -bench-json /tmp/cliffguard-bench-sampler > /dev/null
+	$(GO) run ./cmd/cliffreport bench -against benchmarks /tmp/cliffguard-bench-sampler/BENCH_SAMPLER.json
 
 # Parallel neighborhood-evaluation benchmarks (cold and warm cache).
 bench:

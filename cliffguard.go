@@ -74,6 +74,13 @@ type (
 	Query = workload.Query
 	// Workload is a weighted multiset of queries.
 	Workload = workload.Workload
+	// ClauseMask selects which query clauses define a template (the Figure
+	// 11 distance-function ablation varies it; MaskSWGO is the default).
+	ClauseMask = workload.ClauseMask
+	// FrozenVector is a workload's cached sorted template-frequency vector:
+	// the distance kernels' operand representation. Workload.Frozen returns
+	// it; it is invalidated copy-on-write when the workload changes.
+	FrozenVector = workload.FrozenVector
 
 	// Structure is one physical design object (projection, index, matview).
 	Structure = designer.Structure
@@ -98,6 +105,15 @@ type (
 
 	// Metric measures workload dissimilarity.
 	Metric = distance.Metric
+	// QuadraticMetric is implemented by metrics whose distance is a
+	// normalized quadratic form (delta_euclidean, delta_separate). Their
+	// DistanceDisjoint decomposition is what enables the sampler's
+	// closed-form landing fast path.
+	QuadraticMetric = distance.Quadratic
+	// Sampler draws Gamma-neighborhood workloads (Algorithm 4). New and
+	// NewWithMetric build one internally; construct one directly (NewSampler)
+	// to tune Parallelism or DisableFastPath.
+	Sampler = sample.Sampler
 
 	// VerticaDB is the columnar (sorted-projection) engine simulator.
 	VerticaDB = vertsim.DB
@@ -231,6 +247,25 @@ const (
 	Float64 = schema.Float64
 	String  = schema.String
 )
+
+// Clause mask constants; combine with bitwise OR.
+const (
+	MaskSelect  = workload.MaskSelect
+	MaskWhere   = workload.MaskWhere
+	MaskGroupBy = workload.MaskGroupBy
+	MaskOrderBy = workload.MaskOrderBy
+	// MaskSWGO is the paper's default template mask: all four clauses.
+	MaskSWGO = workload.MaskSWGO
+)
+
+// NewSampler returns a Gamma-neighborhood sampler over the schema's default
+// template mutator. The zero Sampler fields mean the paper defaults; set
+// Parallelism to bound the worker pool (0 = GOMAXPROCS — results are
+// bit-identical at any parallelism) or DisableFastPath to force the legacy
+// verify/bisect landing for quadratic metrics.
+func NewSampler(m Metric, s *Schema) *Sampler {
+	return sample.New(m, sample.NewMutator(s))
+}
 
 // NewSchema builds a schema from table definitions, assigning global column
 // IDs in declaration order.

@@ -217,7 +217,7 @@ func main() {
 	}
 
 	order := []string{"T1", "F5", "F6", "F7a", "F7b", "F7c", "F8", "F9",
-		"F10", "F11", "F12", "F13", "F14", "F15a", "F15b", "F16", "ABL"}
+		"F10", "F11", "F12", "F13", "F14", "F15a", "F15b", "F16", "ABL", "SAMPLER"}
 	want := make(map[string]bool)
 	if *exps == "all" {
 		for _, id := range order {
@@ -235,14 +235,14 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Printf("==== %s ====\n", id)
-		values := r.run(id)
+		values, info := r.run(id)
 		elapsed := time.Since(start)
 		fmt.Printf("(%s in %s)\n\n", id, elapsed.Round(time.Millisecond))
 		if *benchJSON != "" {
 			b := &report.BenchResult{
 				Name: id, Seed: *seed, Parallelism: *par,
 				WallMs: float64(elapsed.Milliseconds()),
-				Values: values,
+				Values: values, Info: info,
 			}
 			path := filepath.Join(*benchJSON, "BENCH_"+id+".json")
 			if err := b.WriteFile(path); err != nil {
@@ -254,12 +254,14 @@ func main() {
 }
 
 // run executes one experiment, printing its table/figure, and returns its
-// deterministic key values — the numbers a BENCH_<id>.json baseline gates on.
-// Wall-clock quantities (design/deploy time) are deliberately excluded; they
-// go into the baseline's informational wall_ms instead.
-func (r *runner) run(id string) map[string]float64 {
+// deterministic key values — the numbers a BENCH_<id>.json baseline gates on
+// — plus informational (machine-dependent, never gated) observations.
+// Wall-clock quantities (design/deploy time) are deliberately excluded from
+// the values; they go into wall_ms or the info map instead.
+func (r *runner) run(id string) (map[string]float64, map[string]float64) {
 	out := os.Stdout
 	vals := make(map[string]float64)
+	var info map[string]float64
 	sweepVals := func(points []bench.SweepPoint) {
 		for _, p := range points {
 			key := fmt.Sprintf("x=%g", p.X)
@@ -397,10 +399,25 @@ func (r *runner) run(id string) map[string]float64 {
 			vals[v.Name+"/avg_ms"] = v.AvgMs
 			vals[v.Name+"/max_ms"] = v.MaxMs
 		}
+	case "SAMPLER":
+		res, err := bench.SamplerBench(r.set("R1"), r.gammaV, 256, r.seed)
+		fail(err)
+		bench.PrintSampler(out, res)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteSamplerCSV(w, res) })
+		vals["draws"] = float64(res.Draws)
+		vals["fastpath"] = float64(res.FastPath)
+		vals["slowpath"] = float64(res.SlowPath)
+		vals["fast_evals"] = float64(res.FastEvals)
+		vals["legacy_evals"] = float64(res.LegacyEvals)
+		vals["eval_reduction"] = res.EvalReduction
+		vals["max_landing_err"] = res.MaxLandingErr
+		info = map[string]float64{
+			"fast_ms": res.FastMs, "legacy_ms": res.LegacyMs, "speedup": res.Speedup,
+		}
 	default:
 		log.Fatalf("unknown experiment %q", id)
 	}
-	return vals
+	return vals, info
 }
 
 func fail(err error) {

@@ -144,3 +144,23 @@ func WriteTimingCSV(w io.Writer, results []TimingResult) error {
 func f(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
+
+// WriteSamplerCSV exports the SAMPLER fast-path experiment.
+func WriteSamplerCSV(w io.Writer, r *SamplerResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "draws", "fastpath", "slowpath",
+		"fast_evals", "legacy_evals", "eval_reduction", "max_landing_err",
+		"fast_ms", "legacy_ms", "speedup"}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{
+		r.Workload, strconv.Itoa(r.Draws),
+		strconv.FormatUint(r.FastPath, 10), strconv.FormatUint(r.SlowPath, 10),
+		strconv.FormatUint(r.FastEvals, 10), strconv.FormatUint(r.LegacyEvals, 10),
+		f(r.EvalReduction), f(r.MaxLandingErr), f(r.FastMs), f(r.LegacyMs), f(r.Speedup),
+	}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

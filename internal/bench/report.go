@@ -115,3 +115,14 @@ func PrintLatencyMetric(w io.Writer, results []LatencyMetricResult) {
 		fmt.Fprintf(w, "omega=%.2f: spearman=%.3f over %d points\n", r.Omega, r.Spearman, len(r.Points))
 	}
 }
+
+// PrintSampler renders the SAMPLER fast-path experiment: the deterministic
+// Distance-evaluation counters and the informational wall-clock ratio.
+func PrintSampler(w io.Writer, r *SamplerResult) {
+	fmt.Fprintf(w, "%-10s %6s %10s %10s %12s %12s %10s %12s\n",
+		"Workload", "Draws", "FastPath", "SlowPath", "Fast evals", "Legacy evals", "Reduction", "Max land err")
+	fmt.Fprintf(w, "%-10s %6d %10d %10d %12d %12d %9.1fx %12.2e\n",
+		r.Workload, r.Draws, r.FastPath, r.SlowPath, r.FastEvals, r.LegacyEvals, r.EvalReduction, r.MaxLandingErr)
+	fmt.Fprintf(w, "wall-clock: fast %.1f ms, legacy %.1f ms (%.2fx, informational)\n",
+		r.FastMs, r.LegacyMs, r.Speedup)
+}

@@ -116,7 +116,10 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 		return d, nil, nil // nominal case: nothing to guard against
 	}
 
-	// Line 2: sample the Gamma-neighborhood.
+	// Line 2: sample the Gamma-neighborhood. The sampler fans its draws
+	// across the same worker budget as neighborhood evaluation; results are
+	// bit-identical at any parallelism (per-draw RNG substreams).
+	cg.Sampler.Parallelism = opts.Parallelism
 	sampleStart := em.clock()
 	neighborhood, err := cg.Sampler.Neighborhood(rng, w0, opts.Gamma, opts.Samples)
 	if err != nil {

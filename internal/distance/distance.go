@@ -6,13 +6,17 @@
 //
 // Each workload is conceptually a (2^n - 1)-dimensional frequency vector over
 // column subsets; all metrics here exploit sparsity and run in O(T^2 * n/64)
-// where T is the number of distinct templates actually present.
+// where T is the number of distinct templates actually present. The metrics
+// read workloads through their frozen vectors (workload.Frozen), so the
+// template map construction and key sort are paid once per workload rather
+// than once per Distance call — the Γ-neighborhood sampler evaluates
+// delta(W0, ·) hundreds of times against the same W0.
 package distance
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"cliffguard/internal/workload"
 )
@@ -22,6 +26,25 @@ import (
 type Metric interface {
 	Name() string
 	Distance(w1, w2 *workload.Workload) float64
+}
+
+// Quadratic is implemented by metrics whose value is an exact quadratic form
+// of the frequency-difference vector (Euclidean and Separate, but not
+// Latency: its penalty term R is not quadratic). For such metrics, blending a
+// template-disjoint perturbation Q into W0 moves the distance along an exact
+// closed form — delta(W0, blend) = u²·delta(W0, Q) where u is the blended
+// weight fraction — which is what lets the sampler skip its verify/bisect
+// phase entirely (see internal/sample).
+type Quadratic interface {
+	Metric
+	// DistanceDisjoint computes Distance(w1, w2) and reports whether the two
+	// workloads are template-disjoint under this metric's template identity.
+	// When disjoint is true, the value was computed via the self/cross
+	// decomposition, which amortizes a repeated operand's self-term to zero
+	// cost but may differ from Distance in the last float bits (different
+	// summation order); callers needing the bit-exact canonical value must
+	// use Distance. When disjoint is false the value IS Distance(w1, w2).
+	DistanceDisjoint(w1, w2 *workload.Workload) (d float64, disjoint bool)
 }
 
 // Euclidean is the paper's delta_euclidean (Equation 9): the quadratic form
@@ -62,50 +85,104 @@ func (e *Euclidean) Distance(w1, w2 *workload.Workload) float64 {
 		panic("distance: Euclidean.NumColumns must be positive")
 	}
 	m := e.mask()
-	f1, s1 := w1.VectorWithSets(m)
-	f2, s2 := w2.VectorWithSets(m)
-	diffs, sets := diffVector(f1, f2, s1, s2)
+	fv1, fv2 := w1.Frozen(m), w2.Frozen(m)
+	diffs := make([]float64, 0, fv1.Len()+fv2.Len())
+	sets := make([]workload.ColSet, 0, fv1.Len()+fv2.Len())
+	sparseDiff(fv1.Keys, fv1.Freqs, fv2.Keys, fv2.Freqs, func(d float64, i1, i2 int) {
+		diffs = append(diffs, d)
+		if i1 >= 0 {
+			sets = append(sets, fv1.Sets[i1])
+		} else {
+			sets = append(sets, fv2.Sets[i2])
+		}
+	})
 	return quadraticForm(diffs, sets, 2*float64(e.NumColumns))
 }
 
-// diffVector merges two sparse frequency vectors into the element-wise
-// absolute difference, paired with each key's column set. Keys are visited in
-// sorted order: quadraticForm sums floats in slice order, so map-iteration
-// order here would make the distance vary in its last bits from call to call
-// — and a workload distance that wobbles per call breaks the bit-exact
-// determinism CliffGuard's sampler and trace guarantees depend on.
-func diffVector(f1, f2 map[string]float64, s1, s2 map[string]workload.ColSet) ([]float64, []workload.ColSet) {
-	diffs := make([]float64, 0, len(f1)+len(f2))
-	sets := make([]workload.ColSet, 0, len(f1)+len(f2))
-	for _, k := range sortedKeys(f1) {
-		d := f1[k] - f2[k]
+// DistanceDisjoint implements Quadratic. For template-disjoint workloads the
+// difference vector is the concatenation of the two frequency vectors, so the
+// quadratic form splits into Self(w1) + Self(w2) + Cross(w1, w2); the
+// self-terms are memoized on the frozen vectors, leaving only the cross-term
+// per call. Note that restricted-mask variants (the Figure 11 ablation) can
+// see shared templates even when the full SWGO templates are distinct — the
+// disjointness check is what keeps the fast path sound for every mask.
+func (e *Euclidean) DistanceDisjoint(w1, w2 *workload.Workload) (float64, bool) {
+	if e.NumColumns <= 0 {
+		panic("distance: Euclidean.NumColumns must be positive")
+	}
+	m := e.mask()
+	fv1, fv2 := w1.Frozen(m), w2.Frozen(m)
+	if !disjointKeys(fv1.Keys, fv2.Keys) {
+		return e.Distance(w1, w2), false
+	}
+	var cross float64
+	for i, fi := range fv1.Freqs {
+		si := fv1.Sets[i]
+		for j, fj := range fv2.Freqs {
+			cross += 2 * fi * fj * float64(si.Hamming(fv2.Sets[j]))
+		}
+	}
+	return (fv1.SelfQuad() + fv2.SelfQuad() + cross) / (2 * float64(e.NumColumns)), true
+}
+
+// sparseDiff merges two key-sorted sparse frequency vectors into their
+// element-wise absolute difference, emitting entries in the canonical order
+// both metrics sum in: every key of the first vector in ascending order, then
+// the keys present only in the second, ascending. The order is load-bearing —
+// quadraticForm adds floats in emission order, so a different order would
+// make the distance wobble in its last bits between calls, breaking the
+// bit-exact determinism CliffGuard's sampler and trace guarantees depend on.
+//
+// emit receives the absolute difference plus the source index of the key's
+// representative sets: i1 >= 0 when the key exists in the first vector
+// (matching the historical preference for w1's sets), otherwise i1 == -1 and
+// i2 indexes the second vector.
+func sparseDiff(keys1 []string, freqs1 []float64, keys2 []string, freqs2 []float64, emit func(d float64, i1, i2 int)) {
+	j := 0
+	for i, k := range keys1 {
+		for j < len(keys2) && keys2[j] < k {
+			j++
+		}
+		var f2 float64
+		if j < len(keys2) && keys2[j] == k {
+			f2 = freqs2[j]
+		}
+		d := freqs1[i] - f2
 		if d < 0 {
 			d = -d
 		}
 		if d > 0 {
-			diffs = append(diffs, d)
-			sets = append(sets, s1[k])
+			emit(d, i, -1)
 		}
 	}
-	for _, k := range sortedKeys(f2) {
-		if _, seen := f1[k]; seen {
+	i := 0
+	for j, k := range keys2 {
+		for i < len(keys1) && keys1[i] < k {
+			i++
+		}
+		if i < len(keys1) && keys1[i] == k {
 			continue
 		}
-		if v2 := f2[k]; v2 > 0 {
-			diffs = append(diffs, v2)
-			sets = append(sets, s2[k])
+		if v2 := freqs2[j]; v2 > 0 {
+			emit(v2, -1, j)
 		}
 	}
-	return diffs, sets
 }
 
-func sortedKeys(m map[string]float64) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// disjointKeys reports whether two sorted key slices share no element.
+func disjointKeys(keys1, keys2 []string) bool {
+	i, j := 0, 0
+	for i < len(keys1) && j < len(keys2) {
+		switch {
+		case keys1[i] < keys2[j]:
+			i++
+		case keys1[i] > keys2[j]:
+			j++
+		default:
+			return false
+		}
 	}
-	sort.Strings(keys)
-	return keys
+	return true
 }
 
 // quadraticForm evaluates sum_ij d_i d_j Hamming(set_i, set_j) / norm.
@@ -139,44 +216,52 @@ func (s *Separate) Distance(w1, w2 *workload.Workload) float64 {
 	if s.NumColumns <= 0 {
 		panic("distance: Separate.NumColumns must be positive")
 	}
-	f1, t1 := w1.SeparateVector()
-	f2, t2 := w2.SeparateVector()
-
-	type entry struct {
-		diff float64
-		sets [4]workload.ColSet
-	}
-	// Sorted key order for the same reason as diffVector: the quadratic sum
-	// below must add terms in a reproducible order.
-	var entries []entry
-	for _, k := range sortedKeys(f1) {
-		d := f1[k] - f2[k]
-		if d < 0 {
-			d = -d
+	fv1, fv2 := w1.FrozenSeparate(), w2.FrozenSeparate()
+	diffs := make([]float64, 0, fv1.Len()+fv2.Len())
+	sets := make([][4]workload.ColSet, 0, fv1.Len()+fv2.Len())
+	sparseDiff(fv1.Keys, fv1.Freqs, fv2.Keys, fv2.Freqs, func(d float64, i1, i2 int) {
+		diffs = append(diffs, d)
+		if i1 >= 0 {
+			sets = append(sets, fv1.Sets[i1])
+		} else {
+			sets = append(sets, fv2.Sets[i2])
 		}
-		if d > 0 {
-			entries = append(entries, entry{d, t1[k]})
-		}
-	}
-	for _, k := range sortedKeys(f2) {
-		if _, seen := f1[k]; seen {
-			continue
-		}
-		if v2 := f2[k]; v2 > 0 {
-			entries = append(entries, entry{v2, t2[k]})
-		}
-	}
+	})
 	var total float64
-	for i := range entries {
-		for j := i + 1; j < len(entries); j++ {
+	for i := range diffs {
+		for j := i + 1; j < len(diffs); j++ {
 			ham := 0
 			for c := 0; c < 4; c++ {
-				ham += entries[i].sets[c].Hamming(entries[j].sets[c])
+				ham += sets[i][c].Hamming(sets[j][c])
 			}
-			total += 2 * entries[i].diff * entries[j].diff * float64(ham)
+			total += 2 * diffs[i] * diffs[j] * float64(ham)
 		}
 	}
 	return total / (2 * 4 * float64(s.NumColumns))
+}
+
+// DistanceDisjoint implements Quadratic (see Euclidean.DistanceDisjoint; the
+// same self/cross decomposition with the 4-tuple Hamming distance).
+func (s *Separate) DistanceDisjoint(w1, w2 *workload.Workload) (float64, bool) {
+	if s.NumColumns <= 0 {
+		panic("distance: Separate.NumColumns must be positive")
+	}
+	fv1, fv2 := w1.FrozenSeparate(), w2.FrozenSeparate()
+	if !disjointKeys(fv1.Keys, fv2.Keys) {
+		return s.Distance(w1, w2), false
+	}
+	var cross float64
+	for i, fi := range fv1.Freqs {
+		si := fv1.Sets[i]
+		for j, fj := range fv2.Freqs {
+			ham := 0
+			for c := 0; c < 4; c++ {
+				ham += si[c].Hamming(fv2.Sets[j][c])
+			}
+			cross += 2 * fi * fj * float64(ham)
+		}
+	}
+	return (fv1.SelfQuad() + fv2.SelfQuad() + cross) / (2 * 4 * float64(s.NumColumns)), true
 }
 
 // BaselineCost returns the cost of running a workload with no physical
@@ -184,13 +269,38 @@ func (s *Separate) Distance(w1, w2 *workload.Workload) float64 {
 // performance character of two workloads independent of any design.
 type BaselineCost func(w *workload.Workload) float64
 
+// baselineMemoCap bounds the Latency baseline memo; when full the memo is
+// dropped wholesale rather than evicted piecemeal — a sampler run touches a
+// bounded set of repeated operands, so churn past the cap means the entries
+// were one-shot anyway.
+const baselineMemoCap = 256
+
 // Latency is the paper's delta_latency (Appendix C, Equations 11-12):
 // (1-omega)*delta_euclidean + omega*R where
 // R = |f(W1,0)-f(W2,0)| / (f(W1,0)+f(W2,0)).
+//
+// Baseline costs are memoized by workload identity (pointer, length, total
+// weight), so the sampler's repeated operand W0 is costed once per
+// grow-and-bisect phase instead of once per probe. The memo assumes a
+// workload's items are not mutated in place between Distance calls; Add and
+// the package's own constructors are safe (they change length/weight or
+// allocate fresh pointers). Latency contains a mutex — share it by pointer.
 type Latency struct {
 	Euc      *Euclidean
 	Omega    float64 // penalty factor in [0,1]; the paper evaluates 0.1 and 0.2
 	Baseline BaselineCost
+
+	mu   sync.Mutex
+	memo map[baselineKey]float64
+}
+
+// baselineKey identifies a workload for baseline-cost memoization. The
+// length and total weight guard against the (package-internal) pattern of
+// mutating items in place after a Clone.
+type baselineKey struct {
+	w     *workload.Workload
+	n     int
+	total float64
 }
 
 // NewLatency returns the latency-aware metric.
@@ -207,13 +317,34 @@ func (l *Latency) Distance(w1, w2 *workload.Workload) float64 {
 	if l.Baseline == nil || l.Omega == 0 {
 		return euc
 	}
-	c1 := l.Baseline(w1)
-	c2 := l.Baseline(w2)
+	c1 := l.baseline(w1)
+	c2 := l.baseline(w2)
 	var r float64
 	if sum := c1 + c2; sum > 0 {
 		r = abs(c1-c2) / sum
 	}
 	return (1-l.Omega)*euc + l.Omega*r
+}
+
+// baseline returns the memoized baseline cost of w.
+func (l *Latency) baseline(w *workload.Workload) float64 {
+	key := baselineKey{w: w, n: w.Len(), total: w.TotalWeight()}
+	l.mu.Lock()
+	if v, ok := l.memo[key]; ok {
+		l.mu.Unlock()
+		return v
+	}
+	l.mu.Unlock()
+	// Compute outside the lock: Baseline may be expensive, and a duplicate
+	// computation under a racing miss is deterministic, so either value wins.
+	v := l.Baseline(w)
+	l.mu.Lock()
+	if l.memo == nil || len(l.memo) >= baselineMemoCap {
+		l.memo = make(map[baselineKey]float64, 64)
+	}
+	l.memo[key] = v
+	l.mu.Unlock()
+	return v
 }
 
 func abs(f float64) float64 {

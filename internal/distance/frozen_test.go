@@ -1,0 +1,263 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"cliffguard/internal/workload"
+)
+
+// legacyEuclidean is the pre-frozen-vector implementation of delta_euclidean,
+// kept verbatim as a reference: map-based vectors, sorted-key merge, same
+// summation order. The frozen-vector Distance must match it bit for bit —
+// benchmarks/BENCH_T1.json gates on these values at 0.01% but the intent is
+// exact equality.
+func legacyEuclidean(n int, m workload.ClauseMask, w1, w2 *workload.Workload) float64 {
+	f1, s1 := w1.VectorWithSets(m)
+	f2, s2 := w2.VectorWithSets(m)
+	var diffs []float64
+	var sets []workload.ColSet
+	for _, k := range legacySortedKeys(f1) {
+		d := f1[k] - f2[k]
+		if d < 0 {
+			d = -d
+		}
+		if d > 0 {
+			diffs = append(diffs, d)
+			sets = append(sets, s1[k])
+		}
+	}
+	for _, k := range legacySortedKeys(f2) {
+		if _, seen := f1[k]; seen {
+			continue
+		}
+		if v2 := f2[k]; v2 > 0 {
+			diffs = append(diffs, v2)
+			sets = append(sets, s2[k])
+		}
+	}
+	var total float64
+	for i := range diffs {
+		for j := i + 1; j < len(diffs); j++ {
+			total += 2 * diffs[i] * diffs[j] * float64(sets[i].Hamming(sets[j]))
+		}
+	}
+	return total / (2 * float64(n))
+}
+
+// legacySeparate is the pre-frozen-vector delta_separate, kept verbatim.
+func legacySeparate(n int, w1, w2 *workload.Workload) float64 {
+	f1, t1 := w1.SeparateVector()
+	f2, t2 := w2.SeparateVector()
+	type entry struct {
+		diff float64
+		sets [4]workload.ColSet
+	}
+	var entries []entry
+	for _, k := range legacySortedKeys(f1) {
+		d := f1[k] - f2[k]
+		if d < 0 {
+			d = -d
+		}
+		if d > 0 {
+			entries = append(entries, entry{d, t1[k]})
+		}
+	}
+	for _, k := range legacySortedKeys(f2) {
+		if _, seen := f1[k]; seen {
+			continue
+		}
+		if v2 := f2[k]; v2 > 0 {
+			entries = append(entries, entry{v2, t2[k]})
+		}
+	}
+	var total float64
+	for i := range entries {
+		for j := i + 1; j < len(entries); j++ {
+			ham := 0
+			for c := 0; c < 4; c++ {
+				ham += entries[i].sets[c].Hamming(entries[j].sets[c])
+			}
+			total += 2 * entries[i].diff * entries[j].diff * float64(ham)
+		}
+	}
+	return total / (2 * 4 * float64(n))
+}
+
+func legacySortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fullSpecWorkload builds workloads whose queries populate all four clauses,
+// so masked and separate variants all exercise nontrivial sets. overlap, when
+// non-nil, seeds some queries from it so the pair shares templates.
+func fullSpecWorkload(rng *rand.Rand, n int, overlap *workload.Workload) *workload.Workload {
+	w := &workload.Workload{}
+	for i := 0; i < n; i++ {
+		if overlap != nil && i < overlap.Len() && rng.Intn(2) == 0 {
+			w.Add(overlap.Items[i].Q, 0.2+rng.Float64()*2)
+			continue
+		}
+		spec := &workload.Spec{Table: "t"}
+		for j := 0; j <= rng.Intn(3); j++ {
+			spec.SelectCols = append(spec.SelectCols, rng.Intn(nCols))
+		}
+		spec.Preds = append(spec.Preds, workload.Pred{Col: rng.Intn(nCols), Op: workload.Eq, Sel: 0.1})
+		if rng.Intn(2) == 0 {
+			spec.GroupBy = append(spec.GroupBy, rng.Intn(nCols))
+		}
+		if rng.Intn(3) == 0 {
+			spec.OrderBy = append(spec.OrderBy, workload.OrderCol{Col: rng.Intn(nCols)})
+		}
+		w.Add(workload.FromSpec(workload.NextID(), time.Time{}, spec), 0.2+rng.Float64()*2)
+	}
+	return w
+}
+
+// TestFrozenDistanceBitIdentical pins the frozen-vector Distance to the
+// legacy map-based implementation, bit for bit, across masks and overlap
+// patterns. This is what keeps benchmarks/BENCH_T1.json (and every recorded
+// trace) valid across the rewrite.
+func TestFrozenDistanceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	masks := []workload.ClauseMask{
+		workload.MaskSWGO, workload.MaskSelect, workload.MaskWhere,
+		workload.MaskGroupBy, workload.MaskOrderBy,
+	}
+	for trial := 0; trial < 60; trial++ {
+		w1 := fullSpecWorkload(rng, 1+rng.Intn(12), nil)
+		var seed *workload.Workload
+		if trial%2 == 0 {
+			seed = w1 // force template overlap half the time
+		}
+		w2 := fullSpecWorkload(rng, 1+rng.Intn(12), seed)
+		for _, m := range masks {
+			e := &Euclidean{NumColumns: nCols, Mask: m}
+			got := e.Distance(w1, w2)
+			want := legacyEuclidean(nCols, m, w1, w2)
+			if got != want {
+				t.Fatalf("trial %d mask %s: frozen %v != legacy %v (must be bit-identical)",
+					trial, m, got, want)
+			}
+		}
+		s := NewSeparate(nCols)
+		if got, want := s.Distance(w1, w2), legacySeparate(nCols, w1, w2); got != want {
+			t.Fatalf("trial %d separate: frozen %v != legacy %v", trial, got, want)
+		}
+	}
+}
+
+// TestDistanceDisjoint checks the Quadratic fast path: the disjoint flag must
+// be exact, and the decomposed value must match Distance within float
+// reassociation error (1e-12 relative).
+func TestDistanceDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	var metrics = []Quadratic{
+		NewEuclidean(nCols),
+		&Euclidean{NumColumns: nCols, Mask: workload.MaskWhere},
+		NewSeparate(nCols),
+	}
+	sawDisjoint, sawShared := false, false
+	for trial := 0; trial < 80; trial++ {
+		w1 := fullSpecWorkload(rng, 1+rng.Intn(10), nil)
+		var seed *workload.Workload
+		if trial%2 == 0 {
+			seed = w1
+		}
+		w2 := fullSpecWorkload(rng, 1+rng.Intn(10), seed)
+		for _, q := range metrics {
+			slow := q.Distance(w1, w2)
+			fast, disjoint := q.DistanceDisjoint(w1, w2)
+			if err := math.Abs(fast - slow); err > 1e-12*(1+slow) {
+				t.Fatalf("trial %d %s: DistanceDisjoint %v vs Distance %v (err %g)",
+					trial, q.Name(), fast, slow, err)
+			}
+			if disjoint {
+				sawDisjoint = true
+			} else {
+				sawShared = true
+			}
+			// Verify the flag against ground truth for the Euclidean masks.
+			if e, ok := q.(*Euclidean); ok {
+				shared := false
+				t2 := w2.TemplateSet(e.mask())
+				for k := range w1.TemplateSet(e.mask()) {
+					if t2[k] {
+						shared = true
+					}
+				}
+				if disjoint == shared {
+					t.Fatalf("trial %d %s: disjoint=%v but shared-templates=%v",
+						trial, q.Name(), disjoint, shared)
+				}
+			}
+		}
+	}
+	if !sawDisjoint || !sawShared {
+		t.Fatalf("test did not exercise both branches (disjoint=%v shared=%v)", sawDisjoint, sawShared)
+	}
+}
+
+// TestMaskedDisjointnessDiffers documents why DistanceDisjoint must check
+// disjointness under its own mask: two workloads can be SWGO-disjoint yet
+// share templates under a restricted mask (the Figure 11 ablation variants).
+func TestMaskedDisjointnessDiffers(t *testing.T) {
+	// Same select column, different where column: SWGO-distinct templates,
+	// identical MaskSelect templates.
+	specA := &workload.Spec{Table: "t", SelectCols: []int{1},
+		Preds: []workload.Pred{{Col: 2, Op: workload.Eq, Sel: 0.1}}}
+	specB := &workload.Spec{Table: "t", SelectCols: []int{1},
+		Preds: []workload.Pred{{Col: 3, Op: workload.Eq, Sel: 0.1}}}
+	w1 := workload.New(workload.FromSpec(workload.NextID(), time.Time{}, specA))
+	w2 := workload.New(workload.FromSpec(workload.NextID(), time.Time{}, specB))
+
+	if _, disjoint := NewEuclidean(nCols).DistanceDisjoint(w1, w2); !disjoint {
+		t.Error("SWGO templates should be disjoint")
+	}
+	sel := &Euclidean{NumColumns: nCols, Mask: workload.MaskSelect}
+	if _, disjoint := sel.DistanceDisjoint(w1, w2); disjoint {
+		t.Error("MaskSelect templates should NOT be disjoint (same select cols)")
+	}
+}
+
+// TestLatencyBaselineMemo verifies that repeated Distance calls against the
+// same workload instance invoke the baseline cost function once per identity.
+func TestLatencyBaselineMemo(t *testing.T) {
+	calls := 0
+	baseline := func(w *workload.Workload) float64 {
+		calls++
+		return w.TotalWeight()
+	}
+	m := NewLatency(nCols, 0.2, baseline)
+	w0 := pointMass(1, 2, 3)
+	others := []*workload.Workload{pointMass(4, 5), pointMass(6, 7), pointMass(8, 9)}
+
+	want := m.Distance(w0, others[0])
+	for i := 0; i < 5; i++ {
+		for _, o := range others {
+			m.Distance(w0, o)
+		}
+	}
+	// w0 once + each distinct other once = 4 baseline computations.
+	if calls != 4 {
+		t.Fatalf("baseline called %d times, want 4 (memo by identity)", calls)
+	}
+	if got := m.Distance(w0, others[0]); got != want {
+		t.Fatalf("memoized distance drifted: %v != %v", got, want)
+	}
+
+	// Mutating a workload via Add changes its identity key: recomputed.
+	others[0].Add(queryOn(10, 11), 1)
+	m.Distance(w0, others[0])
+	if calls != 5 {
+		t.Fatalf("baseline called %d times after Add, want 5 (stale memo served?)", calls)
+	}
+}

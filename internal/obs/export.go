@@ -27,6 +27,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter("cliffguard_sampler_draws_total", "Gamma-neighborhood sample draws.", m.SamplerDraws.Load())
 	counter("cliffguard_sampler_retries_total", "Perturbation-set retries beyond the first try.", m.SamplerRetries.Load())
 	counter("cliffguard_sampler_failures_total", "Sample draws that found no perturbation set.", m.SamplerFailures.Load())
+	counter("cliffguard_sampler_fastpath_total", "Draws landed by the closed-form solve.", m.SamplerFastPath.Load())
+	counter("cliffguard_sampler_slowpath_total", "Draws landed by build-and-verify.", m.SamplerSlowPath.Load())
+	counter("cliffguard_sampler_distance_evals_total", "Distance evaluations spent inside the sampler.", m.SamplerDistanceEvals.Load())
 	counter("cliffguard_costmodel_calls_total", "What-if cost model invocations.", m.CostModelCalls.Load())
 	counter("cliffguard_designer_invocations_total", "Black-box nominal designer calls.", m.DesignerInvocations.Load())
 	counter("cliffguard_designer_candidates_total", "Candidate structures proposed by designers.", m.CandidatesGenerated.Load())
@@ -145,18 +148,21 @@ func (m *Metrics) ExpvarFunc() expvar.Func {
 			return map[string]any{"count": h.Count(), "mean_ms": h.MeanMs()}
 		}
 		out := map[string]any{
-			"sampler_draws":        m.SamplerDraws.Load(),
-			"sampler_retries":      m.SamplerRetries.Load(),
-			"sampler_failures":     m.SamplerFailures.Load(),
-			"costmodel_calls":      m.CostModelCalls.Load(),
-			"designer_invocations": m.DesignerInvocations.Load(),
-			"designer_candidates":  m.CandidatesGenerated.Load(),
-			"neighbors_evaluated":  m.NeighborsEvaluated.Load(),
-			"moves_accepted":       m.MovesAccepted.Load(),
-			"moves_rejected":       m.MovesRejected.Load(),
-			"iterations_completed": m.IterationsCompleted.Load(),
-			"pool_queue_depth":     m.PoolQueueDepth.Load(),
-			"pool_workers_busy":    m.PoolWorkersBusy.Load(),
+			"sampler_draws":          m.SamplerDraws.Load(),
+			"sampler_retries":        m.SamplerRetries.Load(),
+			"sampler_failures":       m.SamplerFailures.Load(),
+			"sampler_fastpath":       m.SamplerFastPath.Load(),
+			"sampler_slowpath":       m.SamplerSlowPath.Load(),
+			"sampler_distance_evals": m.SamplerDistanceEvals.Load(),
+			"costmodel_calls":        m.CostModelCalls.Load(),
+			"designer_invocations":   m.DesignerInvocations.Load(),
+			"designer_candidates":    m.CandidatesGenerated.Load(),
+			"neighbors_evaluated":    m.NeighborsEvaluated.Load(),
+			"moves_accepted":         m.MovesAccepted.Load(),
+			"moves_rejected":         m.MovesRejected.Load(),
+			"iterations_completed":   m.IterationsCompleted.Load(),
+			"pool_queue_depth":       m.PoolQueueDepth.Load(),
+			"pool_workers_busy":      m.PoolWorkersBusy.Load(),
 			"latency": map[string]any{
 				"sample":    hist(&m.SampleLatency),
 				"eval":      hist(&m.EvalLatency),

@@ -51,9 +51,12 @@ type CacheStats struct {
 // NewMetrics; the struct contains atomics and must not be copied.
 type Metrics struct {
 	// Sampler throughput (internal/sample).
-	SamplerDraws    Counter // SampleAt invocations
-	SamplerRetries  Counter // perturbation-set retries beyond the first try
-	SamplerFailures Counter // draws that found no perturbation set
+	SamplerDraws         Counter // SampleAt invocations
+	SamplerRetries       Counter // perturbation-set retries beyond the first try
+	SamplerFailures      Counter // draws that found no perturbation set
+	SamplerFastPath      Counter // draws landed by the closed-form solve (verification skipped)
+	SamplerSlowPath      Counter // draws landed by build-and-verify (grow/bisect fallback)
+	SamplerDistanceEvals Counter // Metric.Distance evaluations spent inside the sampler
 
 	// Cost-model and designer activity (the three engine simulators).
 	CostModelCalls      Counter // what-if Cost() invocations
@@ -131,16 +134,19 @@ type LatencyStats struct {
 // the run-analysis tooling (internal/report). Counters are read individually,
 // so a snapshot taken mid-run can be off by in-flight updates.
 type MetricsSnapshot struct {
-	SamplerDraws        uint64 `json:"sampler_draws"`
-	SamplerRetries      uint64 `json:"sampler_retries"`
-	SamplerFailures     uint64 `json:"sampler_failures"`
-	CostModelCalls      uint64 `json:"costmodel_calls"`
-	DesignerInvocations uint64 `json:"designer_invocations"`
-	CandidatesGenerated uint64 `json:"designer_candidates"`
-	NeighborsEvaluated  uint64 `json:"neighbors_evaluated"`
-	MovesAccepted       uint64 `json:"moves_accepted"`
-	MovesRejected       uint64 `json:"moves_rejected"`
-	IterationsCompleted uint64 `json:"iterations_completed"`
+	SamplerDraws         uint64 `json:"sampler_draws"`
+	SamplerRetries       uint64 `json:"sampler_retries"`
+	SamplerFailures      uint64 `json:"sampler_failures"`
+	SamplerFastPath      uint64 `json:"sampler_fastpath"`
+	SamplerSlowPath      uint64 `json:"sampler_slowpath"`
+	SamplerDistanceEvals uint64 `json:"sampler_distance_evals"`
+	CostModelCalls       uint64 `json:"costmodel_calls"`
+	DesignerInvocations  uint64 `json:"designer_invocations"`
+	CandidatesGenerated  uint64 `json:"designer_candidates"`
+	NeighborsEvaluated   uint64 `json:"neighbors_evaluated"`
+	MovesAccepted        uint64 `json:"moves_accepted"`
+	MovesRejected        uint64 `json:"moves_rejected"`
+	IterationsCompleted  uint64 `json:"iterations_completed"`
 
 	Caches  map[string]CacheStats   `json:"caches,omitempty"`
 	Latency map[string]LatencyStats `json:"latency,omitempty"`
@@ -163,17 +169,20 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		}
 	}
 	return MetricsSnapshot{
-		SamplerDraws:        m.SamplerDraws.Load(),
-		SamplerRetries:      m.SamplerRetries.Load(),
-		SamplerFailures:     m.SamplerFailures.Load(),
-		CostModelCalls:      m.CostModelCalls.Load(),
-		DesignerInvocations: m.DesignerInvocations.Load(),
-		CandidatesGenerated: m.CandidatesGenerated.Load(),
-		NeighborsEvaluated:  m.NeighborsEvaluated.Load(),
-		MovesAccepted:       m.MovesAccepted.Load(),
-		MovesRejected:       m.MovesRejected.Load(),
-		IterationsCompleted: m.IterationsCompleted.Load(),
-		Caches:              m.CacheSnapshots(),
+		SamplerDraws:         m.SamplerDraws.Load(),
+		SamplerRetries:       m.SamplerRetries.Load(),
+		SamplerFailures:      m.SamplerFailures.Load(),
+		SamplerFastPath:      m.SamplerFastPath.Load(),
+		SamplerSlowPath:      m.SamplerSlowPath.Load(),
+		SamplerDistanceEvals: m.SamplerDistanceEvals.Load(),
+		CostModelCalls:       m.CostModelCalls.Load(),
+		DesignerInvocations:  m.DesignerInvocations.Load(),
+		CandidatesGenerated:  m.CandidatesGenerated.Load(),
+		NeighborsEvaluated:   m.NeighborsEvaluated.Load(),
+		MovesAccepted:        m.MovesAccepted.Load(),
+		MovesRejected:        m.MovesRejected.Load(),
+		IterationsCompleted:  m.IterationsCompleted.Load(),
+		Caches:               m.CacheSnapshots(),
 		Latency: map[string]LatencyStats{
 			"sample":    lat(&m.SampleLatency),
 			"eval":      lat(&m.EvalLatency),

@@ -30,10 +30,10 @@ type streamHeader struct {
 // jsonlRecord is the envelope of one JSONL line: a monotonic sequence
 // number and sink-side timestamp around the deterministic event payload.
 type jsonlRecord struct {
-	Seq  uint64    `json:"seq"`
-	TS   time.Time `json:"ts"`
-	Type Kind      `json:"type"`
-	Event any      `json:"event"`
+	Seq   uint64    `json:"seq"`
+	TS    time.Time `json:"ts"`
+	Type  Kind      `json:"type"`
+	Event any       `json:"event"`
 }
 
 // JSONLSink is an Observer that writes one JSON object per event to a

@@ -23,6 +23,10 @@ type BenchResult struct {
 	Parallelism int                `json:"parallelism"`
 	WallMs      float64            `json:"wall_ms"`
 	Values      map[string]float64 `json:"values"`
+	// Info carries machine-dependent observations (wall-clock speedups and
+	// the like). Like WallMs it is recorded for the trajectory but never
+	// compared by CompareBench.
+	Info map[string]float64 `json:"info,omitempty"`
 }
 
 // LoadBench reads and validates one BENCH_*.json file.

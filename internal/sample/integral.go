@@ -26,12 +26,12 @@ func (s *Sampler) SampleAtIntegral(rng *rand.Rand, w0 *workload.Workload, alpha 
 		return w0.Clone(), nil
 	}
 
-	templates := w0.TemplateSet(workload.MaskSWGO)
+	frozen := w0.Frozen(workload.MaskSWGO)
 	var qset *workload.Workload
 	var beta float64
 	k := s.PerturbationSize
 	if k <= 0 {
-		k = len(templates) / 3
+		k = frozen.Len() / 3
 		if k < 6 {
 			k = 6
 		}
@@ -43,7 +43,7 @@ func (s *Sampler) SampleAtIntegral(rng *rand.Rand, w0 *workload.Workload, alpha 
 		cands := s.Source.Candidates(rng, w0, k)
 		var fresh []*workload.Query
 		for _, q := range cands {
-			if !templates[q.TemplateKey(workload.MaskSWGO)] {
+			if !frozen.HasKey(q.TemplateKey(workload.MaskSWGO)) {
 				fresh = append(fresh, q)
 			}
 		}

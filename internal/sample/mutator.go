@@ -3,6 +3,8 @@ package sample
 import (
 	"math"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"cliffguard/internal/schema"
 	"cliffguard/internal/workload"
@@ -13,11 +15,91 @@ import (
 // uncertainty structure — future queries resemble past ones but reference
 // drifted column subsets — without using any knowledge of the actual future
 // workload.
+//
+// Candidates is safe for concurrent calls with distinct rng instances; the
+// popularity prior derived from w0 is cached per workload identity behind a
+// mutex, so the repeated operand of a neighborhood (always W0) pays the
+// O(items × columns) prior construction once rather than once per draw.
 type Mutator struct {
 	Schema *schema.Schema
 	// MaxFlips bounds how many columns a single mutation adds/removes
 	// (default 5).
 	MaxFlips int
+
+	mu     sync.Mutex
+	popKey popCacheKey
+	popVal *popModel
+}
+
+// popCacheKey identifies a workload for popularity-prior caching; length and
+// total weight guard against in-place item mutation after a Clone.
+type popCacheKey struct {
+	w     *workload.Workload
+	n     int
+	total float64
+}
+
+// popModel is the popularity prior for one workload: a cumulative weighted
+// column sampler per schema table. Immutable once built.
+type popModel struct {
+	byTable map[string]*popPicker
+}
+
+// popPicker draws a column of one table with probability proportional to its
+// (smoothed) popularity, via one rng.Float64 and a binary search — the same
+// distribution and rng consumption as the historical linear scan.
+type popPicker struct {
+	cols  []schema.Column
+	cum   []float64
+	total float64
+}
+
+func (p *popPicker) pick(rng *rand.Rand) schema.Column {
+	r := rng.Float64() * p.total
+	i := sort.SearchFloat64s(p.cum, r)
+	if i >= len(p.cols) {
+		i = len(p.cols) - 1
+	}
+	return p.cols[i]
+}
+
+// popModelFor returns the cached popularity model for w0, building it on
+// first use. Single-entry cache: the sampler hammers one W0 at a time, and a
+// racing rebuild is deterministic, so either instance is correct.
+func (m *Mutator) popModelFor(w0 *workload.Workload) *popModel {
+	key := popCacheKey{w: w0, n: w0.Len(), total: w0.TotalWeight()}
+	m.mu.Lock()
+	if m.popVal != nil && m.popKey == key {
+		v := m.popVal
+		m.mu.Unlock()
+		return v
+	}
+	m.mu.Unlock()
+
+	pop := columnPopularity(w0)
+	model := &popModel{byTable: make(map[string]*popPicker)}
+	for _, tbl := range m.Schema.Tables() {
+		var maxW float64
+		for _, c := range tbl.Columns {
+			if w := pop[c.ID]; w > maxW {
+				maxW = w
+			}
+		}
+		// Additive smoothing keeps cold columns reachable (same constants as
+		// the historical pickByPopularity).
+		smoothing := maxW*0.1 + 1e-9
+		p := &popPicker{cols: tbl.Columns, cum: make([]float64, len(tbl.Columns))}
+		for i, c := range tbl.Columns {
+			p.total += pop[c.ID] + smoothing
+			p.cum[i] = p.total
+		}
+		model.byTable[tbl.Name] = p
+	}
+
+	m.mu.Lock()
+	m.popKey, m.popVal = key, model
+	m.mu.Unlock()
+	return model
 }
 
 // NewMutator returns a mutator over the given schema.
@@ -32,14 +114,14 @@ func (m *Mutator) Candidates(rng *rand.Rand, w0 *workload.Workload, k int) []*wo
 	if w0.Len() == 0 || k <= 0 {
 		return nil
 	}
-	pop := columnPopularity(w0)
+	model := m.popModelFor(w0)
 	out := make([]*workload.Query, 0, k)
 	for i := 0; i < k; i++ {
 		base := m.pick(rng, w0)
 		if base == nil || base.Spec == nil {
 			continue
 		}
-		if q := m.mutateWith(rng, base, pop); q != nil {
+		if q := m.mutateWith(rng, base, model); q != nil {
 			out = append(out, q)
 		}
 	}
@@ -89,7 +171,7 @@ func (m *Mutator) Mutate(rng *rand.Rand, q *workload.Query) *workload.Query {
 }
 
 // mutateWith is Mutate with an optional column-popularity prior.
-func (m *Mutator) mutateWith(rng *rand.Rand, q *workload.Query, pop map[int]float64) *workload.Query {
+func (m *Mutator) mutateWith(rng *rand.Rand, q *workload.Query, model *popModel) *workload.Query {
 	tbl, ok := m.Schema.Table(q.Spec.Table)
 	if !ok {
 		return nil
@@ -101,7 +183,7 @@ func (m *Mutator) mutateWith(rng *rand.Rand, q *workload.Query, pop map[int]floa
 	}
 	flips := 1 + rng.Intn(maxFlips)
 	for i := 0; i < flips; i++ {
-		m.flip(rng, spec, tbl, pop)
+		m.flip(rng, spec, tbl, model)
 	}
 	if len(spec.SelectCols) == 0 && len(spec.Aggs) == 0 {
 		// A query must select something; restore one projected column.
@@ -112,8 +194,17 @@ func (m *Mutator) mutateWith(rng *rand.Rand, q *workload.Query, pop map[int]floa
 }
 
 // flip applies one random structural mutation to the spec.
-func (m *Mutator) flip(rng *rand.Rand, spec *workload.Spec, tbl *schema.Table, pop map[int]float64) {
-	col := pickByPopularity(rng, tbl, pop)
+func (m *Mutator) flip(rng *rand.Rand, spec *workload.Spec, tbl *schema.Table, model *popModel) {
+	var col schema.Column
+	if model != nil {
+		if p := model.byTable[tbl.Name]; p != nil {
+			col = p.pick(rng)
+		} else {
+			col = tbl.Columns[rng.Intn(len(tbl.Columns))]
+		}
+	} else {
+		col = tbl.Columns[rng.Intn(len(tbl.Columns))]
+	}
 	switch rng.Intn(7) {
 	case 0: // add a select column
 		if !containsInt(spec.SelectCols, col.ID) {
@@ -169,33 +260,6 @@ func randomPred(rng *rand.Rand, col schema.Column) workload.Pred {
 	lo := rng.Int63n(maxI64(card-span, 1))
 	return workload.Pred{Col: col.ID, Op: workload.Between, Lo: lo, Hi: lo + span - 1,
 		Sel: float64(span) / float64(card)}
-}
-
-// pickByPopularity draws one of the table's columns weighted by the
-// popularity prior (with additive smoothing so cold columns stay reachable);
-// a nil prior degrades to uniform.
-func pickByPopularity(rng *rand.Rand, tbl *schema.Table, pop map[int]float64) schema.Column {
-	if pop == nil {
-		return tbl.Columns[rng.Intn(len(tbl.Columns))]
-	}
-	var total, maxW float64
-	for _, c := range tbl.Columns {
-		if w := pop[c.ID]; w > maxW {
-			maxW = w
-		}
-	}
-	smoothing := maxW*0.1 + 1e-9
-	for _, c := range tbl.Columns {
-		total += pop[c.ID] + smoothing
-	}
-	r := rng.Float64() * total
-	for _, c := range tbl.Columns {
-		r -= pop[c.ID] + smoothing
-		if r <= 0 {
-			return c
-		}
-	}
-	return tbl.Columns[len(tbl.Columns)-1]
 }
 
 func cloneSpec(s *workload.Spec) *workload.Spec {

@@ -9,8 +9,19 @@
 // delta_euclidean is quadratic in the frequency-difference vector, the blend
 // lands at exactly alpha. This implementation uses fractional item weights
 // instead of floor(c) integral copies, so the landing is exact rather than
-// quantized; a verification-and-bisection fallback handles metrics that are
-// not exactly quadratic (e.g. delta_latency).
+// quantized.
+//
+// For quadratic metrics (distance.Quadratic: Euclidean, Separate) the
+// landing is taken on faith — delta(W0, blend(c)) == lambda²·beta == alpha
+// holds in exact arithmetic whenever Q is template-disjoint from W0 (see
+// DESIGN.md "Closed-form blend landing") — so the verify/grow/bisect phase
+// and its up-to-80 Distance evaluations are skipped entirely. Non-quadratic
+// metrics (delta_latency) and non-disjoint perturbation sets (possible under
+// restricted clause masks) keep the verification-and-bisection fallback.
+//
+// Neighborhood fans its draws across a bounded worker pool, one derived RNG
+// substream per draw index, so the result is bit-identical at any
+// parallelism setting.
 package sample
 
 import (
@@ -18,6 +29,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"cliffguard/internal/distance"
 	"cliffguard/internal/obs"
@@ -27,6 +40,10 @@ import (
 // QuerySource produces candidate perturbation queries "near" a workload.
 // Candidates should be plausible future queries: same tables and similar
 // column sets as W0's queries, but with templates not present in W0.
+//
+// Implementations must be safe for concurrent Candidates calls with distinct
+// rng instances: the parallel Neighborhood invokes one call per in-flight
+// draw. The built-in Mutator is stateless and satisfies this.
 type QuerySource interface {
 	// Candidates returns up to k candidate queries. Implementations may
 	// return fewer if they cannot generate enough distinct templates.
@@ -48,8 +65,18 @@ type Sampler struct {
 	// templates, so the perturbed mass models broad template churn rather
 	// than a few runaway queries.
 	PerturbationSize int
-	// Metrics, when non-nil, counts draws, perturbation-set retries, and
-	// failed draws (SamplerDraws/SamplerRetries/SamplerFailures).
+	// Parallelism bounds the workers Neighborhood fans its draws across.
+	// <= 0 means GOMAXPROCS; 1 runs on the caller's goroutine. Results are
+	// bit-identical at every setting (per-draw RNG substreams).
+	Parallelism int
+	// DisableFastPath forces the build-and-verify landing even for quadratic
+	// metrics. The closed form and the legacy path produce the same workload
+	// (the legacy path's first verification succeeds and returns the same
+	// blend); this switch exists for benchmarks and the property tests that
+	// prove exactly that.
+	DisableFastPath bool
+	// Metrics, when non-nil, counts draws, perturbation-set retries, failed
+	// draws, fast/slow-path landings, and sampler Distance evaluations.
 	Metrics *obs.Metrics
 }
 
@@ -78,17 +105,25 @@ func (s *Sampler) SampleAt(rng *rand.Rand, w0 *workload.Workload, alpha float64)
 		return w0.Clone(), nil
 	}
 
+	quad, isQuad := s.Metric.(distance.Quadratic)
+	if s.DisableFastPath {
+		isQuad = false
+	}
+
 	// Find Q = {q1..qk}, Q disjoint from W0's templates, with
-	// delta(W0, Q) > alpha; grow k when unsuccessful.
-	templates := w0.TemplateSet(workload.MaskSWGO)
+	// delta(W0, Q) > alpha; grow k when unsuccessful. The frozen vector's
+	// sorted keys double as the fresh-template filter (binary search instead
+	// of building a template-set map per draw).
+	frozen := w0.Frozen(workload.MaskSWGO)
 	var qset *workload.Workload
 	var beta float64
+	var disjoint bool
 	// Spread the perturbed mass across multiple plausible drift directions:
 	// one heavy mutant is not a representative neighborhood sample when the
 	// same distance can also be reached by broad template churn.
 	k := s.PerturbationSize
 	if k <= 0 {
-		k = len(templates) / 3
+		k = frozen.Len() / 3
 		if k < 6 {
 			k = 6
 		}
@@ -103,14 +138,22 @@ func (s *Sampler) SampleAt(rng *rand.Rand, w0 *workload.Workload, alpha float64)
 		cands := s.Source.Candidates(rng, w0, k)
 		var fresh []*workload.Query
 		for _, q := range cands {
-			if !templates[q.TemplateKey(workload.MaskSWGO)] {
+			if !frozen.HasKey(q.TemplateKey(workload.MaskSWGO)) {
 				fresh = append(fresh, q)
 			}
 		}
 		if len(fresh) > 0 {
 			cand := workload.New(fresh...)
-			if b := s.Metric.Distance(w0, cand); b > alpha {
-				qset, beta = cand, b
+			var b float64
+			var dj bool
+			if isQuad {
+				b, dj = quad.DistanceDisjoint(w0, cand)
+			} else {
+				b = s.Metric.Distance(w0, cand)
+			}
+			s.countEvals(1)
+			if b > alpha {
+				qset, beta, disjoint = cand, b, dj
 				break
 			}
 		}
@@ -140,17 +183,39 @@ func (s *Sampler) SampleAt(rng *rand.Rand, w0 *workload.Workload, alpha float64)
 	}
 	w1 := build(c)
 
+	// Closed-form landing: for a quadratic metric and template-disjoint Q,
+	// the blended weight fraction is u = cS/(N+cS) = lambda exactly (S = k,
+	// the total weight of Q's unit items), so delta(W0, w1) = lambda²·beta =
+	// alpha in exact arithmetic — verification cannot improve on it.
+	if isQuad && disjoint {
+		if s.Metrics != nil {
+			s.Metrics.SamplerFastPath.Inc()
+		}
+		return w1, nil
+	}
+	if s.Metrics != nil {
+		s.Metrics.SamplerSlowPath.Inc()
+	}
+
 	// Verify; for non-quadratic metrics bisect c until within tolerance.
 	got := s.Metric.Distance(w0, w1)
+	s.countEvals(1)
 	if relErr(got, alpha) > s.tolerance() {
 		lo, hi := 0.0, c
 		// Grow hi until it overshoots, then bisect.
-		for i := 0; i < 32 && s.Metric.Distance(w0, build(hi)) < alpha; i++ {
+		for i := 0; i < 32; i++ {
+			d := s.Metric.Distance(w0, build(hi))
+			s.countEvals(1)
+			if d >= alpha {
+				break
+			}
 			hi *= 2
 		}
 		for i := 0; i < 48; i++ {
 			mid := (lo + hi) / 2
-			if s.Metric.Distance(w0, build(mid)) < alpha {
+			d := s.Metric.Distance(w0, build(mid))
+			s.countEvals(1)
+			if d < alpha {
 				lo = mid
 			} else {
 				hi = mid
@@ -164,6 +229,12 @@ func (s *Sampler) SampleAt(rng *rand.Rand, w0 *workload.Workload, alpha float64)
 // Neighborhood returns n sampled workloads with distances drawn uniformly
 // from (0, gamma] (Algorithm 2, line 2). Failed draws are skipped, so the
 // result may be shorter than n; it errors only if no draw succeeds.
+//
+// Draws are fanned across min(Parallelism, n) workers. Each draw i consumes
+// only its own RNG substream, derived as splitmix64(root, i) from a single
+// root value read off the caller's rng, so the returned workloads — and the
+// counters fed to Metrics — are bit-identical whether Parallelism is 1 or
+// NumCPU. The caller's rng advances by exactly one Uint64 regardless of n.
 func (s *Sampler) Neighborhood(rng *rand.Rand, w0 *workload.Workload, gamma float64, n int) ([]*workload.Workload, error) {
 	if gamma < 0 {
 		return nil, fmt.Errorf("sample: negative gamma %g", gamma)
@@ -172,27 +243,101 @@ func (s *Sampler) Neighborhood(rng *rand.Rand, w0 *workload.Workload, gamma floa
 		return nil, fmt.Errorf("sample: non-positive sample count %d", n)
 	}
 	if gamma == 0 {
+		// Degenerate neighborhood: n clones are still n draws — report
+		// summaries divide retries by draws, so these must be counted.
+		if s.Metrics != nil {
+			s.Metrics.SamplerDraws.Add(uint64(n))
+		}
 		out := make([]*workload.Workload, n)
 		for i := range out {
 			out[i] = w0.Clone()
 		}
 		return out, nil
 	}
-	var out []*workload.Workload
+
+	root := rng.Uint64()
+	results := make([]*workload.Workload, n)
+	errs := make([]error, n)
+	draw := func(i int) {
+		sub := rand.New(rand.NewSource(int64(splitmix64(root, uint64(i)))))
+		alpha := gamma * (0.05 + 0.95*sub.Float64()) // avoid degenerate near-zero draws
+		results[i], errs[i] = s.SampleAt(sub, w0, alpha)
+	}
+
+	if p := s.workers(n); p == 1 {
+		for i := 0; i < n; i++ {
+			draw(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					draw(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Merge in draw-index order so the output is independent of completion
+	// order; failed draws are dropped here.
+	out := make([]*workload.Workload, 0, n)
 	var lastErr error
 	for i := 0; i < n; i++ {
-		alpha := gamma * (0.05 + 0.95*rng.Float64()) // avoid degenerate near-zero draws
-		w1, err := s.SampleAt(rng, w0, alpha)
-		if err != nil {
-			lastErr = err
+		if errs[i] != nil {
+			lastErr = errs[i]
 			continue
 		}
-		out = append(out, w1)
+		out = append(out, results[i])
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("sample: no neighborhood samples succeeded: %w", lastErr)
 	}
 	return out, nil
+}
+
+// splitmix64 derives the seed of draw substream i from the root value: one
+// round of the SplitMix64 output function over root + (i+1)·golden-gamma.
+// Distinct indexes land in well-separated states, and the derivation depends
+// only on (root, i) — never on scheduling — which is what makes the parallel
+// Neighborhood reproducible.
+func splitmix64(root, i uint64) uint64 {
+	x := root + (i+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// workers resolves the worker count for an n-draw neighborhood.
+func (s *Sampler) workers(n int) int {
+	p := s.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// countEvals adds Distance evaluations to the sampler's eval counter.
+func (s *Sampler) countEvals(n uint64) {
+	if s.Metrics != nil {
+		s.Metrics.SamplerDistanceEvals.Add(n)
+	}
 }
 
 func (s *Sampler) maxTries() int {

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func frozenTestWorkload(rng *rand.Rand, n int) *Workload {
+	w := &Workload{}
+	for i := 0; i < n; i++ {
+		spec := &Spec{Table: "t"}
+		k := 1 + rng.Intn(4)
+		for j := 0; j < k; j++ {
+			spec.SelectCols = append(spec.SelectCols, rng.Intn(24))
+		}
+		spec.Preds = append(spec.Preds, Pred{Col: rng.Intn(24), Op: Eq, Sel: 0.01})
+		if rng.Intn(2) == 0 {
+			spec.GroupBy = append(spec.GroupBy, rng.Intn(24))
+		}
+		w.Add(FromSpec(NextID(), time.Time{}, spec), 0.5+rng.Float64()*3)
+	}
+	return w
+}
+
+// TestFrozenMatchesVector pins the frozen vector to the map-based vector it
+// replaces: same keys, bit-identical frequencies, same representative sets.
+func TestFrozenMatchesVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	w := frozenTestWorkload(rng, 30)
+
+	for _, m := range []ClauseMask{MaskSWGO, MaskWhere, MaskSelect | MaskGroupBy} {
+		freqs, sets := w.VectorWithSets(m)
+		fv := w.Frozen(m)
+		if fv.Len() != len(freqs) {
+			t.Fatalf("mask %s: frozen has %d templates, map has %d", m, fv.Len(), len(freqs))
+		}
+		for i, k := range fv.Keys {
+			if i > 0 && fv.Keys[i-1] >= k {
+				t.Fatalf("mask %s: keys not strictly sorted at %d", m, i)
+			}
+			if fv.Freqs[i] != freqs[k] {
+				t.Fatalf("mask %s: freq[%q] = %g, want %g (bit-identical)", m, k, fv.Freqs[i], freqs[k])
+			}
+			if !fv.Sets[i].Equal(sets[k]) {
+				t.Fatalf("mask %s: set[%q] differs", m, k)
+			}
+			if !fv.HasKey(k) {
+				t.Fatalf("mask %s: HasKey(%q) = false for present key", m, k)
+			}
+		}
+		if fv.HasKey("no-such-template") {
+			t.Fatal("HasKey true for absent key")
+		}
+	}
+
+	sf, st := w.SeparateVector()
+	sv := w.FrozenSeparate()
+	if sv.Len() != len(sf) {
+		t.Fatalf("separate: frozen has %d templates, map has %d", sv.Len(), len(sf))
+	}
+	for i, k := range sv.Keys {
+		if sv.Freqs[i] != sf[k] {
+			t.Fatalf("separate: freq[%q] = %g, want %g", k, sv.Freqs[i], sf[k])
+		}
+		for c := 0; c < 4; c++ {
+			if !sv.Sets[i][c].Equal(st[k][c]) {
+				t.Fatalf("separate: set[%q][%d] differs", k, c)
+			}
+		}
+	}
+}
+
+// TestFrozenCaching checks identity caching, Add invalidation, and that Clone
+// does not share (and therefore cannot stale-read) the cache.
+func TestFrozenCaching(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	w := frozenTestWorkload(rng, 10)
+
+	a := w.Frozen(MaskSWGO)
+	if b := w.Frozen(MaskSWGO); a != b {
+		t.Fatal("repeated Frozen did not return the cached instance")
+	}
+	// A second mask coexists with the first.
+	wOnly := w.Frozen(MaskWhere)
+	if c := w.Frozen(MaskSWGO); a != c {
+		t.Fatal("caching a second mask evicted the first")
+	}
+	if wv := w.Frozen(MaskWhere); wv != wOnly {
+		t.Fatal("second mask not cached")
+	}
+	sep := w.FrozenSeparate()
+	if s2 := w.FrozenSeparate(); s2 != sep {
+		t.Fatal("FrozenSeparate not cached")
+	}
+	if c := w.Frozen(MaskSWGO); a != c {
+		t.Fatal("caching the separate vector evicted the masked one")
+	}
+
+	// Add invalidates: the new vector must reflect the added query.
+	clone := w.Clone()
+	extra := frozenTestWorkload(rng, 1).Items[0]
+	w.Add(extra.Q, 2)
+	after := w.Frozen(MaskSWGO)
+	if after == a {
+		t.Fatal("Add did not invalidate the frozen cache")
+	}
+	if !after.HasKey(extra.Q.TemplateKey(MaskSWGO)) {
+		t.Fatal("recomputed frozen vector misses the added template")
+	}
+	// The clone, taken before the Add, must still freeze to the old contents.
+	cv := clone.Frozen(MaskSWGO)
+	if cv.Len() != a.Len() {
+		t.Fatalf("clone frozen has %d templates, want %d", cv.Len(), a.Len())
+	}
+	for i := range a.Keys {
+		if cv.Keys[i] != a.Keys[i] || cv.Freqs[i] != a.Freqs[i] {
+			t.Fatalf("clone frozen differs at %d", i)
+		}
+	}
+
+	// SelfQuad is deterministic and cached.
+	if s1, s2 := after.SelfQuad(), after.SelfQuad(); s1 != s2 {
+		t.Fatalf("SelfQuad not stable: %g vs %g", s1, s2)
+	}
+}
+
+// TestFrozenConcurrent hammers Frozen/FrozenSeparate/SelfQuad from many
+// goroutines (run under -race in CI): all callers must observe equivalent
+// vectors and identical self-terms.
+func TestFrozenConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	w := frozenTestWorkload(rng, 40)
+
+	ref := w.buildFrozen(MaskSWGO)
+	refSelf := ref.SelfQuad()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var fv *FrozenVector
+				switch (g + i) % 3 {
+				case 0:
+					fv = w.Frozen(MaskSWGO)
+				case 1:
+					fv = w.Frozen(MaskWhere)
+				default:
+					sv := w.FrozenSeparate()
+					if sv.Len() == 0 {
+						t.Error("empty separate vector")
+					}
+					sv.SelfQuad()
+					continue
+				}
+				if fv.Len() == 0 {
+					t.Error("empty frozen vector")
+				}
+				if (g+i)%3 == 0 {
+					if got := fv.SelfQuad(); got != refSelf {
+						t.Errorf("SelfQuad = %g, want %g", got, refSelf)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestFrozenEmptyWorkload: freezing an empty workload yields empty vectors.
+func TestFrozenEmptyWorkload(t *testing.T) {
+	w := &Workload{}
+	if fv := w.Frozen(MaskSWGO); fv.Len() != 0 {
+		t.Fatalf("empty workload froze to %d templates", fv.Len())
+	}
+	if sv := w.FrozenSeparate(); sv.Len() != 0 {
+		t.Fatalf("empty workload froze to %d separate templates", sv.Len())
+	}
+	if s := w.Frozen(MaskSWGO).SelfQuad(); s != 0 {
+		t.Fatalf("empty self-term = %g", s)
+	}
+}

@@ -15,8 +15,15 @@ type Item struct {
 }
 
 // Workload is a weighted multiset of queries. The zero value is empty.
+//
+// A Workload lazily caches frozen (interned) frequency vectors for the
+// distance metrics — see Frozen/FrozenSeparate in frozen.go. The cache is
+// invalidated by Add and never shared by Clone; code that mutates Items
+// directly (only this package does) must call invalidateFrozen.
 type Workload struct {
 	Items []Item
+
+	frozen frozenPtr
 }
 
 // New builds a workload from queries, each with weight 1.
@@ -35,6 +42,7 @@ func (w *Workload) Add(q *Query, weight float64) {
 		return
 	}
 	w.Items = append(w.Items, Item{Q: q, Weight: weight})
+	w.invalidateFrozen()
 }
 
 // Len returns the number of items (not total weight).
