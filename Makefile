@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke bench-sampler
+.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke bench-sampler bench-eval
 
 # The full local gate: what should pass before every commit.
-ci: vet build race fuzz-smoke apidiff report-check bench-smoke bench-sampler
+ci: vet build race fuzz-smoke apidiff report-check bench-smoke bench-sampler bench-eval
 
 # Fail on incompatible changes to the public cliffguard package (removed or
 # altered exported declarations vs api/cliffguard.api). Intentional breaks:
@@ -65,6 +65,16 @@ bench-sampler:
 	@mkdir -p /tmp/cliffguard-bench-sampler
 	$(GO) run ./cmd/benchrunner -experiment SAMPLER -bench-json /tmp/cliffguard-bench-sampler > /dev/null
 	$(GO) run ./cmd/cliffreport bench -against benchmarks /tmp/cliffguard-bench-sampler/BENCH_SAMPLER.json
+
+# Gate the incremental-evaluation fast path: re-run the EVAL experiment (the
+# unit-cost memo and pass replay vs DisableEvalFastPath at parallelism 1) and
+# require its deterministic cost-model-call counters and equivalence bits to
+# match the checked-in benchmarks/BENCH_EVAL.json (wall-clock speedup is
+# informational).
+bench-eval:
+	@mkdir -p /tmp/cliffguard-bench-eval
+	$(GO) run ./cmd/benchrunner -experiment EVAL -bench-json /tmp/cliffguard-bench-eval > /dev/null
+	$(GO) run ./cmd/cliffreport bench -against benchmarks /tmp/cliffguard-bench-eval/BENCH_EVAL.json
 
 # Parallel neighborhood-evaluation benchmarks (cold and warm cache).
 bench:

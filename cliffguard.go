@@ -94,7 +94,10 @@ type (
 	// Options configure the CliffGuard loop; Gamma is the robustness knob.
 	// Use Options.WithObserver / Options.WithMetrics to attach
 	// instrumentation, Options.Validate to reject nonsensical values, and
-	// Options.Normalized to clamp them to defaults instead.
+	// Options.Normalized to clamp them to defaults instead. Set
+	// DisableEvalFastPath to bypass the incremental-evaluation memo (the
+	// unit-cost cache and evaluation-pass replay); designs, traces, and
+	// events are bit-identical either way.
 	Options = core.Options
 	// Guard is the CliffGuard robust designer (Algorithm 2 of the paper).
 	Guard = core.CliffGuard
@@ -246,6 +249,15 @@ const (
 	Int64   = schema.Int64
 	Float64 = schema.Float64
 	String  = schema.String
+)
+
+// Line-search clamp bounds for the robust loop's step-size multiplier alpha,
+// re-exported from internal/core. Options.InitialAlpha must lie in
+// (AlphaMin, AlphaMax]; during a run the backtracking line search keeps alpha
+// inside [AlphaMin, AlphaMax].
+const (
+	AlphaMin = core.AlphaMin
+	AlphaMax = core.AlphaMax
 )
 
 // Clause mask constants; combine with bitwise OR.

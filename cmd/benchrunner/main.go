@@ -9,7 +9,8 @@
 //
 // Experiment IDs: T1, F5, F6, F7a, F7b, F7c, F8, F9, F10, F11, F12, F13,
 // F14, F15a, F15b, F16, plus ABL (this reproduction's CliffGuard loop
-// ablation; see DESIGN.md Section 5).
+// ablation; see DESIGN.md Section 5), SAMPLER (the closed-form landing fast
+// path), and EVAL (the incremental-evaluation fast path).
 package main
 
 import (
@@ -217,7 +218,7 @@ func main() {
 	}
 
 	order := []string{"T1", "F5", "F6", "F7a", "F7b", "F7c", "F8", "F9",
-		"F10", "F11", "F12", "F13", "F14", "F15a", "F15b", "F16", "ABL", "SAMPLER"}
+		"F10", "F11", "F12", "F13", "F14", "F15a", "F15b", "F16", "ABL", "SAMPLER", "EVAL"}
 	want := make(map[string]bool)
 	if *exps == "all" {
 		for _, id := range order {
@@ -411,6 +412,32 @@ func (r *runner) run(id string) (map[string]float64, map[string]float64) {
 		vals["legacy_evals"] = float64(res.LegacyEvals)
 		vals["eval_reduction"] = res.EvalReduction
 		vals["max_landing_err"] = res.MaxLandingErr
+		info = map[string]float64{
+			"fast_ms": res.FastMs, "legacy_ms": res.LegacyMs, "speedup": res.Speedup,
+		}
+	case "EVAL":
+		res, err := bench.EvalBench(r.set("R1"), r.gammaV, r.seed)
+		fail(err)
+		bench.PrintEval(out, res)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteEvalCSV(w, res) })
+		b2f := func(b bool) float64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		vals["samples"] = float64(res.Samples)
+		vals["iterations"] = float64(res.Iterations)
+		vals["fast_cost_calls"] = float64(res.FastCostCalls)
+		vals["legacy_cost_calls"] = float64(res.LegacyCostCalls)
+		vals["call_reduction"] = res.CallReduction
+		vals["eval_fastpath"] = float64(res.FastPathEvals)
+		vals["eval_slowpath"] = float64(res.SlowPathEvals)
+		vals["evalcache_hits"] = float64(res.CacheHits)
+		vals["evalcache_misses"] = float64(res.CacheMisses)
+		vals["designs_match"] = b2f(res.DesignsMatch)
+		vals["traces_match"] = b2f(res.TracesMatch)
+		vals["events_match"] = b2f(res.EventsMatch)
 		info = map[string]float64{
 			"fast_ms": res.FastMs, "legacy_ms": res.LegacyMs, "speedup": res.Speedup,
 		}

@@ -164,3 +164,29 @@ func WriteSamplerCSV(w io.Writer, r *SamplerResult) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// WriteEvalCSV exports the EVAL incremental-evaluation experiment.
+func WriteEvalCSV(w io.Writer, r *EvalResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "samples", "iterations",
+		"fast_cost_calls", "legacy_cost_calls", "call_reduction",
+		"eval_fastpath", "eval_slowpath", "evalcache_hits", "evalcache_misses",
+		"designs_match", "traces_match", "events_match",
+		"fast_ms", "legacy_ms", "speedup"}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{
+		r.Workload, strconv.Itoa(r.Samples), strconv.Itoa(r.Iterations),
+		strconv.FormatUint(r.FastCostCalls, 10), strconv.FormatUint(r.LegacyCostCalls, 10),
+		f(r.CallReduction),
+		strconv.FormatUint(r.FastPathEvals, 10), strconv.FormatUint(r.SlowPathEvals, 10),
+		strconv.FormatUint(r.CacheHits, 10), strconv.FormatUint(r.CacheMisses, 10),
+		strconv.FormatBool(r.DesignsMatch), strconv.FormatBool(r.TracesMatch),
+		strconv.FormatBool(r.EventsMatch),
+		f(r.FastMs), f(r.LegacyMs), f(r.Speedup),
+	}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

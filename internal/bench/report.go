@@ -126,3 +126,19 @@ func PrintSampler(w io.Writer, r *SamplerResult) {
 	fmt.Fprintf(w, "wall-clock: fast %.1f ms, legacy %.1f ms (%.2fx, informational)\n",
 		r.FastMs, r.LegacyMs, r.Speedup)
 }
+
+// PrintEval renders the EVAL incremental-evaluation experiment: the
+// deterministic cost-model-call counters, the fast/slow path split, the
+// equivalence bits, and the informational wall-clock ratio.
+func PrintEval(w io.Writer, r *EvalResult) {
+	fmt.Fprintf(w, "%-10s %7s %5s %11s %12s %10s %10s %10s %10s %10s\n",
+		"Workload", "Samples", "Iters", "Fast calls", "Legacy calls", "Reduction",
+		"Fast evals", "Slow evals", "Hits", "Misses")
+	fmt.Fprintf(w, "%-10s %7d %5d %11d %12d %9.1fx %10d %10d %10d %10d\n",
+		r.Workload, r.Samples, r.Iterations, r.FastCostCalls, r.LegacyCostCalls,
+		r.CallReduction, r.FastPathEvals, r.SlowPathEvals, r.CacheHits, r.CacheMisses)
+	fmt.Fprintf(w, "equivalence: designs=%v traces=%v events=%v\n",
+		r.DesignsMatch, r.TracesMatch, r.EventsMatch)
+	fmt.Fprintf(w, "wall-clock: fast %.1f ms, legacy %.1f ms (%.2fx, informational)\n",
+		r.FastMs, r.LegacyMs, r.Speedup)
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"cliffguard/internal/designer"
+	"cliffguard/internal/evalcache"
 	"cliffguard/internal/obs"
 	"cliffguard/internal/sample"
 	"cliffguard/internal/workload"
@@ -136,8 +137,13 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 		Produced:  len(neighborhood),
 	})
 
+	// The incremental evaluator: a unit-cost memo plus a per-design score
+	// cache over the (now fixed) neighborhood. Every already-scored design
+	// replays instead of re-invoking the cost model; see incremental.go.
+	ev := cg.newRunEval(opts)
+
 	alpha := opts.InitialAlpha
-	worst, err := cg.worstCase(ctx, neighborhood, d, em, -1, obs.PhaseInitial)
+	worst, err := worstOf(ev.score(ctx, neighborhood, d, em, -1, obs.PhaseInitial))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -156,7 +162,11 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 		em.emit(obs.IterationStart{Iteration: iter, Alpha: alpha, WorstCase: worst})
 
 		// Neighborhood exploration: worst neighbors under the current design.
-		worstNeighbors, err := cg.worstNeighbors(ctx, neighborhood, d, opts.TopFraction, em, iter)
+		// The incumbent was scored by the previous pass (the initial scan or
+		// the last candidate scan), so with the fast path on this ranking is
+		// a replay of that pass, not a re-evaluation.
+		worstNeighbors, err := topNeighbors(neighborhood,
+			ev.score(ctx, neighborhood, d, em, iter, obs.PhaseRank), opts.TopFraction)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -166,13 +176,14 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 			moveTargets = worstNeighbors
 		}
 
-		// Robust local move: merge and re-design.
-		moved := cg.MoveWorkload(ctx, w0, moveTargets, d, alpha)
+		// Robust local move: merge and re-design. The move reads the same
+		// unit-cost memo the ranking pass just filled.
+		moved := cg.moveWorkload(ctx, w0, moveTargets, d, alpha, ev.units)
 		cand, err := cg.invokeNominal(ctx, em, iter, moved)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: nominal design on moved workload: %w", err)
 		}
-		candWorst, err := cg.worstCase(ctx, neighborhood, cand, em, iter, obs.PhaseCandidate)
+		candWorst, err := worstOf(ev.score(ctx, neighborhood, cand, em, iter, obs.PhaseCandidate))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -184,7 +195,7 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 				em.met.MovesAccepted.Inc()
 			}
 			d, worst = cand, candWorst
-			alpha = math.Min(alpha*opts.LambdaSuccess, 8)
+			alpha = math.Min(alpha*opts.LambdaSuccess, AlphaMax)
 			end.Improved = true
 			sinceImprove = 0
 		} else {
@@ -192,9 +203,12 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 			if em.met != nil {
 				em.met.MovesRejected.Inc()
 			}
-			alpha = math.Max(alpha*opts.LambdaFailure, 1.0/32)
+			alpha = math.Max(alpha*opts.LambdaFailure, AlphaMin)
 			sinceImprove++
 		}
+		// Two-generation eviction: unit costs and scores survive only for
+		// the incumbent (possibly just replaced) and the latest candidate.
+		ev.retain(d, cand)
 		em.emit(end)
 		if em.met != nil {
 			em.met.IterationsCompleted.Inc()
@@ -232,15 +246,16 @@ func (cg *CliffGuard) invokeNominal(ctx context.Context, em emitter, iter int, w
 	return d, nil
 }
 
-// worstCase returns max over the sampled neighborhood of f(W, D), evaluating
-// the workloads on the parallel engine. Workloads the cost model cannot handle
-// at all are skipped (the sampler's mutator only produces in-schema queries,
-// so this is defensive); if every workload is uncostable the result is
-// ErrUncostableNeighborhood rather than a degenerate -Inf worst case. The max
+// worstOf is the max reduction over one evaluation pass: the worst-case cost
+// across the sampled neighborhood. Workloads the cost model cannot handle at
+// all are skipped (the sampler's mutator only produces in-schema queries, so
+// this is defensive); if every workload is uncostable the result is
+// ErrUncostableNeighborhood rather than a degenerate -Inf worst case. The
 // reduction walks results in neighborhood-index order, and a hard error from
 // the lowest index wins, so the outcome is independent of worker scheduling.
-func (cg *CliffGuard) worstCase(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design, em emitter, iter int, phase string) (float64, error) {
-	results := cg.evalNeighborhood(ctx, neighborhood, d, em, iter, phase)
+// Both reductions (worstOf and topNeighbors) consume the same score pass —
+// the single-pass-per-(neighborhood, design) contract of incremental.go.
+func worstOf(results []evalResult) (float64, error) {
 	worst := math.Inf(-1)
 	costable := false
 	for _, r := range results {
@@ -261,12 +276,11 @@ func (cg *CliffGuard) worstCase(ctx context.Context, neighborhood []*workload.Wo
 	return worst, nil
 }
 
-// worstNeighbors returns the top fraction of the neighborhood by cost under
-// design d, most expensive first, evaluating on the parallel engine. The
-// stable sort runs over the index-ordered result slice, so ties between
-// equal-cost neighbors break by neighborhood index regardless of worker count.
-func (cg *CliffGuard) worstNeighbors(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design, frac float64, em emitter, iter int) ([]*workload.Workload, error) {
-	results := cg.evalNeighborhood(ctx, neighborhood, d, em, iter, obs.PhaseRank)
+// topNeighbors reduces one evaluation pass to the top fraction of the
+// neighborhood by cost, most expensive first. The stable sort runs over the
+// index-ordered result slice, so ties between equal-cost neighbors break by
+// neighborhood index regardless of worker count.
+func topNeighbors(neighborhood []*workload.Workload, results []evalResult, frac float64) ([]*workload.Workload, error) {
 	type scored struct {
 		w *workload.Workload
 		c float64
@@ -316,6 +330,14 @@ func (cg *CliffGuard) worstNeighbors(ctx context.Context, neighborhood []*worklo
 // search while keeping the designer's objective balanced between W0 and the
 // perturbation directions.)
 func (cg *CliffGuard) MoveWorkload(ctx context.Context, w0 *workload.Workload, worstNeighbors []*workload.Workload, d *designer.Design, alpha float64) *workload.Workload {
+	return cg.moveWorkload(ctx, w0, worstNeighbors, d, alpha, nil)
+}
+
+// moveWorkload is MoveWorkload with an optional unit-cost memo: inside the
+// robust loop the per-query latencies under the incumbent design were just
+// computed by the ranking pass, so units (keyed by d's fingerprint) turns
+// the latency-times-frequency loop into pure lookups.
+func (cg *CliffGuard) moveWorkload(ctx context.Context, w0 *workload.Workload, worstNeighbors []*workload.Workload, d *designer.Design, alpha float64, units *evalcache.Cache) *workload.Workload {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -355,13 +377,16 @@ func (cg *CliffGuard) MoveWorkload(ctx context.Context, w0 *workload.Workload, w
 	// the moved workload's weights — vary from run to run.
 	raw := make(map[*workload.Query]float64, len(neighborWeight))
 	var rawTotal float64
+	fp := d.Fingerprint()
 	for _, q := range order {
 		nw, ok := neighborWeight[q]
 		if !ok {
 			continue
 		}
-		fq, err := cg.Cost.Cost(ctx, q, d)
-		if err != nil || fq <= 0 {
+		// Unsupported queries and hard errors are skipped either way, so the
+		// memoized and legacy paths build identical moved workloads.
+		fq, unsupported, _, err := cg.unitCost(ctx, q, d, units, fp)
+		if err != nil || unsupported || fq <= 0 {
 			continue
 		}
 		r := fq * nw

@@ -234,7 +234,8 @@ func TestOptionsValidate(t *testing.T) {
 		{}, // zero options are all-default, always valid
 		{Gamma: 0.002, Samples: 40, Iterations: 10, Patience: 3},
 		{TopFraction: 0.5, InitialAlpha: 2, LambdaSuccess: 5, LambdaFailure: 0.5},
-		{Parallelism: -1}, // <= 0 means NumCPU
+		{InitialAlpha: AlphaMax}, // the top of the line-search clamp range is usable
+		{Parallelism: -1},        // <= 0 means NumCPU
 	}
 	for i, o := range valid {
 		if err := o.Validate(); err != nil {
@@ -249,6 +250,8 @@ func TestOptionsValidate(t *testing.T) {
 		{TopFraction: 1.5},
 		{TopFraction: -0.2},
 		{InitialAlpha: -1},
+		{InitialAlpha: AlphaMin},     // at the floor the line search could never shrink
+		{InitialAlpha: AlphaMax + 1}, // above the ceiling the clamp would silently override it
 		{LambdaSuccess: 0.5}, // must grow alpha
 		{LambdaSuccess: 1},
 		{LambdaFailure: 3}, // must shrink alpha

@@ -6,6 +6,23 @@ import (
 	"cliffguard/internal/obs"
 )
 
+// Alpha clamps of the backtracking line search (BNT's step-size control):
+// after an improving move alpha is multiplied by LambdaSuccess, after a
+// failed one by LambdaFailure, and in both cases clamped into
+// [AlphaMin, AlphaMax]. The bounds keep the robust move meaningful: above
+// AlphaMax the merged workload is dominated by the perturbation directions
+// (the nominal designer would effectively stop seeing W0), below AlphaMin
+// the neighbor-derived mass is rounding noise next to W0 and the line search
+// could never recover in the few iterations the loop runs.
+const (
+	// AlphaMin is the smallest step size the line search may shrink to
+	// (1/32 of W0's mass).
+	AlphaMin = 1.0 / 32
+	// AlphaMax is the largest step size the line search may grow to
+	// (8x W0's mass).
+	AlphaMax = 8.0
+)
+
 // Options configure the CliffGuard loop. The defaults follow Section 6.1 of
 // the paper: n=20 samples, 5 iterations, lambda_success=5, lambda_failure=0.5.
 //
@@ -30,7 +47,9 @@ type Options struct {
 	// sampled neighbors by cost (default 0.2, per Section 4.3's "top-K or
 	// top 20%" bias mitigation). At least one neighbor is always selected.
 	TopFraction float64
-	// InitialAlpha is the starting step-size exponent (default 1).
+	// InitialAlpha is the starting step-size exponent (default 1). A set
+	// value must lie in (AlphaMin, AlphaMax], the working range of the
+	// backtracking line search.
 	InitialAlpha float64
 	// LambdaSuccess multiplies alpha after an improving move (default 5).
 	LambdaSuccess float64
@@ -49,6 +68,14 @@ type Options struct {
 	// (ablation knob; see the package comment for why accumulation is the
 	// default).
 	DisableAccumulation bool
+	// DisableEvalFastPath reverts neighborhood evaluation to the legacy
+	// full-pass behavior: every pass calls the cost model once per
+	// (query, workload) and nothing is memoized across passes. The default
+	// (false) memoizes unit costs per (query, design-fingerprint) and
+	// replays whole passes for already-scored designs; designs, traces, and
+	// JSONL events are bit-identical either way, so this is purely an escape
+	// hatch (mirroring sample.Sampler.DisableFastPath).
+	DisableEvalFastPath bool
 
 	// Observer receives the loop's typed instrumentation events
 	// (obs.IterationStart/End, obs.NeighborEvaluated, ...). nil disables
@@ -87,7 +114,8 @@ func (o Options) WithMetrics(m *obs.Metrics) Options {
 //   - Samples, Iterations, Patience, Parallelism may not be negative
 //     (Parallelism <= 0 means NumCPU and stays valid)
 //   - TopFraction must lie in [0, 1]
-//   - InitialAlpha must be >= 0
+//   - InitialAlpha, if set, must lie in (AlphaMin, AlphaMax] — the working
+//     range of the backtracking line search (its clamps)
 //   - LambdaSuccess, if set, must be > 1 (it grows alpha on success)
 //   - LambdaFailure, if set, must lie in (0, 1) (it shrinks alpha on failure)
 //
@@ -109,8 +137,9 @@ func (o Options) Validate() error {
 	if o.TopFraction < 0 || o.TopFraction > 1 {
 		return fmt.Errorf("core: TopFraction = %g, must lie in [0, 1] (0 = default)", o.TopFraction)
 	}
-	if o.InitialAlpha < 0 {
-		return fmt.Errorf("core: InitialAlpha = %g, must be >= 0 (0 = default)", o.InitialAlpha)
+	if o.InitialAlpha != 0 && !(o.InitialAlpha > AlphaMin && o.InitialAlpha <= AlphaMax) {
+		return fmt.Errorf("core: InitialAlpha = %g, must lie in (%g, %g] — the line search clamps alpha to [AlphaMin, AlphaMax] (0 = default)",
+			o.InitialAlpha, AlphaMin, AlphaMax)
 	}
 	if o.LambdaSuccess != 0 && o.LambdaSuccess <= 1 {
 		return fmt.Errorf("core: LambdaSuccess = %g, must be > 1 (it grows alpha on an improving move; 0 = default)", o.LambdaSuccess)
@@ -138,7 +167,7 @@ func (o Options) Normalized() Options {
 	if o.TopFraction <= 0 || o.TopFraction > 1 {
 		o.TopFraction = 0.2
 	}
-	if o.InitialAlpha <= 0 {
+	if !(o.InitialAlpha > AlphaMin && o.InitialAlpha <= AlphaMax) {
 		o.InitialAlpha = 1
 	}
 	if o.LambdaSuccess <= 1 {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cliffguard/internal/designer"
+	"cliffguard/internal/evalcache"
 	"cliffguard/internal/obs"
 	"cliffguard/internal/workload"
 )
@@ -97,12 +98,16 @@ func (cg *CliffGuard) workers(n int) int {
 // fanning out to the worker pool. The returned slice is index-aligned with
 // the input regardless of completion order. iter and phase tag the emitted
 // NeighborEvaluated events (iter is -1 for the pre-loop initial scan).
-func (cg *CliffGuard) evalNeighborhood(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design, em emitter, iter int, phase string) []evalResult {
+// units, when non-nil, memoizes unit costs under d's fingerprint (the
+// sharded cache is safe for the pool's concurrent workers); nil keeps the
+// legacy call-the-model-every-time behavior.
+func (cg *CliffGuard) evalNeighborhood(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design, em emitter, iter int, phase string, units *evalcache.Cache) []evalResult {
+	fp := d.Fingerprint()
 	res := make([]evalResult, len(neighborhood))
 	workers := cg.workers(len(neighborhood))
 	if workers == 1 {
 		for i, w := range neighborhood {
-			res[i] = cg.evalOne(ctx, w, d, em, iter, phase, i)
+			res[i] = cg.evalOne(ctx, w, d, em, iter, phase, i, units, fp)
 		}
 		return res
 	}
@@ -117,7 +122,7 @@ func (cg *CliffGuard) evalNeighborhood(ctx context.Context, neighborhood []*work
 					em.met.PoolQueueDepth.Add(-1)
 					em.met.PoolWorkersBusy.Add(1)
 				}
-				res[i] = cg.evalOne(ctx, neighborhood[i], d, em, iter, phase, i)
+				res[i] = cg.evalOne(ctx, neighborhood[i], d, em, iter, phase, i, units, fp)
 				if em.met != nil {
 					em.met.PoolWorkersBusy.Add(-1)
 				}
@@ -135,14 +140,19 @@ func (cg *CliffGuard) evalNeighborhood(ctx context.Context, neighborhood []*work
 	return res
 }
 
-func (cg *CliffGuard) evalOne(ctx context.Context, w *workload.Workload, d *designer.Design, em emitter, iter int, phase string, index int) evalResult {
+func (cg *CliffGuard) evalOne(ctx context.Context, w *workload.Workload, d *designer.Design, em emitter, iter int, phase string, index int, units *evalcache.Cache, fp uint64) evalResult {
 	if err := ctx.Err(); err != nil {
 		return evalResult{err: err}
 	}
 	start := em.clock()
-	c, err := cg.workloadCost(ctx, w, d)
+	c, usedModel, err := cg.workloadCost(ctx, w, d, units, fp)
 	if em.met != nil {
 		em.met.NeighborsEvaluated.Inc()
+		if usedModel {
+			em.met.EvalSlowPath.Inc()
+		} else {
+			em.met.EvalFastPath.Inc()
+		}
 		em.met.EvalLatency.Observe(time.Since(start))
 	}
 	if em.obs != nil {
@@ -163,23 +173,60 @@ func (cg *CliffGuard) evalOne(ctx context.Context, w *workload.Workload, d *desi
 // comparable. Queries outside the cost model's supported subset are skipped;
 // any other cost-model error (including ctx cancellation) aborts the
 // evaluation.
-func (cg *CliffGuard) workloadCost(ctx context.Context, w *workload.Workload, d *designer.Design) (float64, error) {
+//
+// f(W, D) is linear in the item weights — a weighted mean of per-query unit
+// costs — so with a warm units cache the whole evaluation is a dot product
+// over memoized float64s, bit-identical to the uncached sum (same values,
+// same summation order). usedModel reports whether any cost-model call was
+// actually made (false = the evaluation was served entirely from the memo).
+func (cg *CliffGuard) workloadCost(ctx context.Context, w *workload.Workload, d *designer.Design, units *evalcache.Cache, fp uint64) (cost float64, usedModel bool, err error) {
 	var total, weight float64
 	for _, it := range w.Items {
-		c, err := cg.Cost.Cost(ctx, it.Q, d)
+		c, unsupported, computed, err := cg.unitCost(ctx, it.Q, d, units, fp)
+		if computed {
+			usedModel = true
+		}
 		if err != nil {
-			if errors.Is(err, designer.ErrUnsupported) {
-				continue
-			}
-			return 0, err
+			return 0, usedModel, err
+		}
+		if unsupported {
+			continue
 		}
 		total += it.Weight * c
 		weight += it.Weight
 	}
 	if weight == 0 {
-		return 0, errWorkloadUncostable
+		return 0, usedModel, errWorkloadUncostable
 	}
-	return total / weight, nil
+	return total / weight, usedModel, nil
+}
+
+// unitCost returns the what-if cost of one query under design d (fingerprint
+// fp), memoizing through units when non-nil. designer.ErrUnsupported is a
+// deterministic verdict and is memoized alongside costs (unsupported=true);
+// hard errors (cancellation, cost-model failure) are returned uncached so a
+// transient failure can never poison the memo. computed reports whether the
+// cost model was invoked.
+func (cg *CliffGuard) unitCost(ctx context.Context, q *workload.Query, d *designer.Design, units *evalcache.Cache, fp uint64) (cost float64, unsupported, computed bool, err error) {
+	if units != nil {
+		if c, uns, ok := units.Lookup(q, fp); ok {
+			return c, uns, false, nil
+		}
+	}
+	c, err := cg.Cost.Cost(ctx, q, d)
+	if err != nil {
+		if errors.Is(err, designer.ErrUnsupported) {
+			if units != nil {
+				units.Store(q, fp, 0, true)
+			}
+			return 0, true, true, nil
+		}
+		return 0, false, true, err
+	}
+	if units != nil {
+		units.Store(q, fp, c, false)
+	}
+	return c, false, true, nil
 }
 
 // NeighborhoodCosts evaluates f(W, D) for every workload in parallel and
@@ -192,7 +239,7 @@ func (cg *CliffGuard) NeighborhoodCosts(ctx context.Context, neighborhood []*wor
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	results := cg.evalNeighborhood(ctx, neighborhood, d, emitter{}, -1, obs.PhaseInitial)
+	results := cg.evalNeighborhood(ctx, neighborhood, d, emitter{}, -1, obs.PhaseInitial, nil)
 	out := make([]float64, len(results))
 	for i, r := range results {
 		if r.err != nil {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"cliffguard/internal/workload"
 )
@@ -30,8 +31,17 @@ type Structure interface {
 
 // Design is a set of structures. The zero value is the empty design
 // (paper's NoDesign: every query runs off the base table/super-projection).
+//
+// A design's structure set must not be mutated after it is first
+// fingerprinted (the constructors and With never mutate; they build fresh
+// designs, so idiomatic use is safe by construction).
 type Design struct {
 	Structures []Structure
+
+	// fp caches Fingerprint. 0 means "not yet computed"; computed values are
+	// remapped away from 0, so a benign store race can only write the same
+	// value twice.
+	fp atomic.Uint64
 }
 
 // NewDesign builds a design, deduplicating structures by key.
@@ -78,6 +88,58 @@ func (d *Design) Keys() map[string]bool {
 	}
 	return out
 }
+
+// Fingerprint returns a canonical 64-bit identity of the design: an FNV-1a
+// hash over the sorted, deduplicated structure keys together with each
+// structure's modeled size (the budget-relevant field). Two designs holding
+// the same structures — in any order, with any duplication — fingerprint
+// identically, which is what lets CliffGuard recognize "the designer returned
+// the incumbent again" across iterations and reuse memoized unit costs.
+// Nil and empty designs share one fingerprint. The value is computed once
+// and cached; it is never 0.
+func (d *Design) Fingerprint() uint64 {
+	if d == nil {
+		return emptyFingerprint
+	}
+	if v := d.fp.Load(); v != 0 {
+		return v
+	}
+	keys := make([]string, 0, len(d.Structures))
+	sizes := make(map[string]int64, len(d.Structures))
+	for _, s := range d.Structures {
+		k := s.Key()
+		if _, dup := sizes[k]; dup {
+			continue
+		}
+		sizes[k] = s.SizeBytes()
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := uint64(fnvOffset)
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h = (h ^ uint64(k[i])) * fnvPrime
+		}
+		h = (h ^ 0xff) * fnvPrime // key terminator: "ab"+"c" != "a"+"bc"
+		sz := uint64(sizes[k])
+		for shift := 0; shift < 64; shift += 8 {
+			h = (h ^ (sz >> shift & 0xff)) * fnvPrime
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	d.fp.Store(h)
+	return h
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+	// emptyFingerprint is Fingerprint() of a design with no structures: the
+	// bare FNV offset basis (the hash loop body never runs).
+	emptyFingerprint = uint64(fnvOffset)
+)
 
 // With returns a new design with s appended (no mutation of d).
 func (d *Design) With(s Structure) *Design {

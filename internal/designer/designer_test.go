@@ -259,3 +259,63 @@ func TestGreedySelectPropagatesErrors(t *testing.T) {
 		t.Fatal("cost errors must propagate")
 	}
 }
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	a := &fakeStructure{"a", 10}
+	b := &fakeStructure{"b", 20}
+	c := &fakeStructure{"c", 30}
+	d1 := NewDesign(a, b, c)
+	d2 := NewDesign(c, a, b)
+	if d1.Fingerprint() != d2.Fingerprint() {
+		t.Fatalf("fingerprint depends on structure order: %x vs %x", d1.Fingerprint(), d2.Fingerprint())
+	}
+}
+
+func TestFingerprintDuplicationInvariant(t *testing.T) {
+	a := &fakeStructure{"a", 10}
+	b := &fakeStructure{"b", 20}
+	base := NewDesign(a, b)
+	// With appends without deduplicating; the fingerprint hashes the key SET,
+	// so a duplicated structure must not change it.
+	dup := NewDesign(a, b).With(a)
+	if base.Fingerprint() != dup.Fingerprint() {
+		t.Fatalf("duplicate structure changed the fingerprint: %x vs %x",
+			base.Fingerprint(), dup.Fingerprint())
+	}
+}
+
+func TestFingerprintNilAndEmpty(t *testing.T) {
+	var nilD *Design
+	if nilD.Fingerprint() != NewDesign().Fingerprint() {
+		t.Fatalf("nil and empty designs disagree: %x vs %x",
+			nilD.Fingerprint(), NewDesign().Fingerprint())
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	a := &fakeStructure{"a", 10}
+	seen := map[uint64]string{NewDesign().Fingerprint(): "empty"}
+	cases := map[string]*Design{
+		"a":        NewDesign(a),
+		"b":        NewDesign(&fakeStructure{"b", 10}),
+		"a+b":      NewDesign(a, &fakeStructure{"b", 20}),
+		"a-resize": NewDesign(&fakeStructure{"a", 11}), // same key, different size
+	}
+	for name, d := range cases {
+		fp := d.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("designs %q and %q collide on %x", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+func TestFingerprintCached(t *testing.T) {
+	d := NewDesign(&fakeStructure{"a", 10}, &fakeStructure{"b", 20})
+	first := d.Fingerprint()
+	for i := 0; i < 3; i++ {
+		if got := d.Fingerprint(); got != first {
+			t.Fatalf("fingerprint unstable across calls: %x vs %x", got, first)
+		}
+	}
+}

@@ -34,6 +34,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter("cliffguard_designer_invocations_total", "Black-box nominal designer calls.", m.DesignerInvocations.Load())
 	counter("cliffguard_designer_candidates_total", "Candidate structures proposed by designers.", m.CandidatesGenerated.Load())
 	counter("cliffguard_neighbors_evaluated_total", "Per-workload neighborhood evaluations.", m.NeighborsEvaluated.Load())
+	counter("cliffguard_eval_fastpath_total", "Workload evaluations served entirely from the unit-cost memo.", m.EvalFastPath.Load())
+	counter("cliffguard_eval_slowpath_total", "Workload evaluations that invoked the cost model.", m.EvalSlowPath.Load())
 	counter("cliffguard_moves_accepted_total", "Improving robust local moves.", m.MovesAccepted.Load())
 	counter("cliffguard_moves_rejected_total", "Non-improving robust local moves.", m.MovesRejected.Load())
 	counter("cliffguard_iterations_completed_total", "Completed robust-loop iterations.", m.IterationsCompleted.Load())
@@ -158,6 +160,8 @@ func (m *Metrics) ExpvarFunc() expvar.Func {
 			"designer_invocations":   m.DesignerInvocations.Load(),
 			"designer_candidates":    m.CandidatesGenerated.Load(),
 			"neighbors_evaluated":    m.NeighborsEvaluated.Load(),
+			"eval_fastpath":          m.EvalFastPath.Load(),
+			"eval_slowpath":          m.EvalSlowPath.Load(),
 			"moves_accepted":         m.MovesAccepted.Load(),
 			"moves_rejected":         m.MovesRejected.Load(),
 			"iterations_completed":   m.IterationsCompleted.Load(),

@@ -65,6 +65,8 @@ type Metrics struct {
 
 	// Robust-loop progress (internal/core).
 	NeighborsEvaluated  Counter // per-workload neighborhood evaluations
+	EvalFastPath        Counter // workload evaluations served entirely from the unit-cost memo (zero cost-model calls)
+	EvalSlowPath        Counter // workload evaluations that invoked the cost model at least once
 	MovesAccepted       Counter
 	MovesRejected       Counter
 	IterationsCompleted Counter
@@ -144,6 +146,8 @@ type MetricsSnapshot struct {
 	DesignerInvocations  uint64 `json:"designer_invocations"`
 	CandidatesGenerated  uint64 `json:"designer_candidates"`
 	NeighborsEvaluated   uint64 `json:"neighbors_evaluated"`
+	EvalFastPath         uint64 `json:"eval_fastpath"`
+	EvalSlowPath         uint64 `json:"eval_slowpath"`
 	MovesAccepted        uint64 `json:"moves_accepted"`
 	MovesRejected        uint64 `json:"moves_rejected"`
 	IterationsCompleted  uint64 `json:"iterations_completed"`
@@ -179,6 +183,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		DesignerInvocations:  m.DesignerInvocations.Load(),
 		CandidatesGenerated:  m.CandidatesGenerated.Load(),
 		NeighborsEvaluated:   m.NeighborsEvaluated.Load(),
+		EvalFastPath:         m.EvalFastPath.Load(),
+		EvalSlowPath:         m.EvalSlowPath.Load(),
 		MovesAccepted:        m.MovesAccepted.Load(),
 		MovesRejected:        m.MovesRejected.Load(),
 		IterationsCompleted:  m.IterationsCompleted.Load(),

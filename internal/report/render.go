@@ -45,6 +45,9 @@ func WriteSummaryText(w io.Writer, s *Summary) error {
 	}
 	if s.HasMetrics {
 		p("  cost-model calls  %d", s.CostModelCalls)
+		if s.EvalFastPath+s.EvalSlowPath > 0 {
+			p("  eval fast path    %d memoized / %d via cost model", s.EvalFastPath, s.EvalSlowPath)
+		}
 		for _, name := range sortedKeys(s.CacheHitRatio) {
 			p("  cache %-11s %.1f%% hits", name, s.CacheHitRatio[name]*100)
 		}

@@ -122,6 +122,8 @@ type Summary struct {
 	// Metrics-snapshot-derived budgets (HasMetrics guards them).
 	HasMetrics     bool                        `json:"has_metrics"`
 	CostModelCalls uint64                      `json:"costmodel_calls,omitempty"`
+	EvalFastPath   uint64                      `json:"eval_fastpath,omitempty"`
+	EvalSlowPath   uint64                      `json:"eval_slowpath,omitempty"`
 	CacheHitRatio  map[string]float64          `json:"cache_hit_ratio,omitempty"`
 	Latency        map[string]obs.LatencyStats `json:"latency,omitempty"`
 }
@@ -216,6 +218,8 @@ func (s *Summary) ingestSpans(spans []obs.SpanRecord) {
 			}
 			s.HasMetrics = true
 			s.CostModelCalls = rec.Metrics.CostModelCalls
+			s.EvalFastPath = rec.Metrics.EvalFastPath
+			s.EvalSlowPath = rec.Metrics.EvalSlowPath
 			s.Latency = rec.Metrics.Latency
 			if len(rec.Metrics.Caches) > 0 {
 				s.CacheHitRatio = map[string]float64{}
