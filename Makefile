@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke bench-sampler bench-eval
+.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke bench-sampler bench-eval bench-portfolio
 
 # The full local gate: what should pass before every commit.
-ci: vet build race fuzz-smoke apidiff report-check bench-smoke bench-sampler bench-eval
+ci: vet build race fuzz-smoke apidiff report-check bench-smoke bench-sampler bench-eval bench-portfolio
 
 # Fail on incompatible changes to the public cliffguard package (removed or
 # altered exported declarations vs api/cliffguard.api). Intentional breaks:
@@ -32,12 +32,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz of the SQL parser and the JSONL stream decoders on top of the
-# checked-in corpora (go's -fuzz takes one target per invocation).
+# Short fuzz of the SQL parser, the JSONL stream decoders, and the ILP
+# solver's brute-force cross-check, on top of the checked-in corpora (go's
+# -fuzz takes one target per invocation).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparse/
 	$(GO) test -fuzz=FuzzDecodeJSONL -fuzztime=5s ./internal/obs/
 	$(GO) test -fuzz=FuzzDecodeSpans -fuzztime=5s ./internal/obs/
+	$(GO) test -fuzz=FuzzILPSolve -fuzztime=5s ./internal/ilp/
 
 # Regression-lock the run-analysis math: the golden event stream must
 # summarize to exactly the checked-in expected summary. After an intentional
@@ -75,6 +77,17 @@ bench-eval:
 	@mkdir -p /tmp/cliffguard-bench-eval
 	$(GO) run ./cmd/benchrunner -experiment EVAL -bench-json /tmp/cliffguard-bench-eval > /dev/null
 	$(GO) run ./cmd/cliffreport bench -against benchmarks /tmp/cliffguard-bench-eval/BENCH_EVAL.json
+
+# Gate the designer portfolio: re-run the PORTFOLIO experiment (advisor vs
+# AutoAdmin vs ILP-exact raced by the portfolio runner) and require its
+# deterministic member costs, the portfolio<=best-member bit, the p=1 vs
+# NumCPU equivalence bit, and the ILP exactness certificate to match the
+# checked-in benchmarks/BENCH_PORTFOLIO.json (wall-clock overhead is
+# informational).
+bench-portfolio:
+	@mkdir -p /tmp/cliffguard-bench-portfolio
+	$(GO) run ./cmd/benchrunner -experiment PORTFOLIO -bench-json /tmp/cliffguard-bench-portfolio > /dev/null
+	$(GO) run ./cmd/cliffreport bench -against benchmarks /tmp/cliffguard-bench-portfolio/BENCH_PORTFOLIO.json
 
 # Parallel neighborhood-evaluation benchmarks (cold and warm cache).
 bench:

@@ -50,6 +50,7 @@ import (
 	"cliffguard/internal/designer"
 	"cliffguard/internal/distance"
 	"cliffguard/internal/obs"
+	"cliffguard/internal/portfolio"
 	"cliffguard/internal/rowsim"
 	"cliffguard/internal/sample"
 	"cliffguard/internal/schema"
@@ -133,6 +134,22 @@ type (
 	ApproxDB = aqesim.DB
 	// Sample is the approximate engine's stratified-sample structure.
 	Sample = aqesim.Sample
+
+	// PortfolioDesigner races member designers concurrently on the same
+	// workload and keeps the best worst-case design with a deterministic
+	// tie-break; it implements Designer and can fill the nominal slot of the
+	// robust loop (see Options.Portfolio for the integrated form).
+	PortfolioDesigner = portfolio.Portfolio
+	// AutoAdminDesigner is the candidate-pruning greedy designer in the
+	// classic AutoAdmin shape: per-query best-candidate selection, then a
+	// bounded (k, m)-greedy merge over the union pool.
+	AutoAdminDesigner = portfolio.AutoAdmin
+	// ILPDesigner lowers structure selection to the exact branch-and-bound
+	// solver; DesignExact surfaces whether the design is provably optimal.
+	ILPDesigner = portfolio.ILPDesigner
+	// ILPResult is ILPDesigner.DesignExact's output: the design plus the
+	// optimality certificate (Exact) and the node count.
+	ILPResult = portfolio.Result
 
 	// Parser parses the supported SQL subset against a schema.
 	Parser = sqlparse.Parser
@@ -320,6 +337,29 @@ func NewRowStoreWithData(data *Dataset) *RowStoreDB { return rowsim.OpenWithData
 // designer with the given storage budget.
 func NewRowStoreDesigner(db *RowStoreDB, budgetBytes int64) Designer {
 	return rowsim.NewDesigner(db, budgetBytes)
+}
+
+// NewPortfolio returns a designer portfolio racing the members concurrently
+// on each input workload; the best design by worst-case cost wins (ties
+// break deterministically, so outputs are bit-identical at any
+// parallelism). To race designers inside the robust loop, list the extra
+// members in Options.Portfolio instead.
+func NewPortfolio(cost CostModel, members ...Designer) *PortfolioDesigner {
+	return portfolio.New(cost, members...)
+}
+
+// NewAutoAdminDesigner returns the AutoAdmin-style candidate-pruning greedy
+// designer over the provider's candidate pool (any engine's nominal
+// designer implements CandidateProvider).
+func NewAutoAdminDesigner(cost CostModel, provider CandidateProvider, budgetBytes int64) *AutoAdminDesigner {
+	return portfolio.NewAutoAdmin(cost, provider, budgetBytes)
+}
+
+// NewILPDesigner returns the ILP-exact designer over the provider's
+// candidate pool. Design returns the best design found; DesignExact also
+// reports whether it is provably optimal (the node budget held).
+func NewILPDesigner(cost CostModel, provider CandidateProvider, budgetBytes int64) *ILPDesigner {
+	return portfolio.NewILPDesigner(cost, provider, budgetBytes)
 }
 
 // NewApproxEngine opens the approximate-query engine simulator, whose

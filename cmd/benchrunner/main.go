@@ -10,7 +10,8 @@
 // Experiment IDs: T1, F5, F6, F7a, F7b, F7c, F8, F9, F10, F11, F12, F13,
 // F14, F15a, F15b, F16, plus ABL (this reproduction's CliffGuard loop
 // ablation; see DESIGN.md Section 5), SAMPLER (the closed-form landing fast
-// path), and EVAL (the incremental-evaluation fast path).
+// path), EVAL (the incremental-evaluation fast path), and PORTFOLIO (the
+// designer race: advisor vs AutoAdmin vs ILP-exact).
 package main
 
 import (
@@ -218,7 +219,7 @@ func main() {
 	}
 
 	order := []string{"T1", "F5", "F6", "F7a", "F7b", "F7c", "F8", "F9",
-		"F10", "F11", "F12", "F13", "F14", "F15a", "F15b", "F16", "ABL", "SAMPLER", "EVAL"}
+		"F10", "F11", "F12", "F13", "F14", "F15a", "F15b", "F16", "ABL", "SAMPLER", "EVAL", "PORTFOLIO"}
 	want := make(map[string]bool)
 	if *exps == "all" {
 		for _, id := range order {
@@ -420,12 +421,6 @@ func (r *runner) run(id string) (map[string]float64, map[string]float64) {
 		fail(err)
 		bench.PrintEval(out, res)
 		r.csvOut(id, func(w *os.File) error { return bench.WriteEvalCSV(w, res) })
-		b2f := func(b bool) float64 {
-			if b {
-				return 1
-			}
-			return 0
-		}
 		vals["samples"] = float64(res.Samples)
 		vals["iterations"] = float64(res.Iterations)
 		vals["fast_cost_calls"] = float64(res.FastCostCalls)
@@ -441,10 +436,37 @@ func (r *runner) run(id string) (map[string]float64, map[string]float64) {
 		info = map[string]float64{
 			"fast_ms": res.FastMs, "legacy_ms": res.LegacyMs, "speedup": res.Speedup,
 		}
+	case "PORTFOLIO":
+		res, err := bench.PortfolioBench(r.set("R1"), r.seed)
+		fail(err)
+		bench.PrintPortfolio(out, res)
+		r.csvOut(id, func(w *os.File) error { return bench.WritePortfolioCSV(w, res) })
+		for _, m := range res.Members {
+			vals[m.Name+"/cost_ms"] = m.CostMs
+			vals[m.Name+"/structures"] = float64(m.Structures)
+			vals[m.Name+"/size_bytes"] = float64(m.SizeBytes)
+		}
+		vals["queries"] = float64(res.Queries)
+		vals["portfolio/cost_ms"] = res.PortfolioCost
+		vals["portfolio_le_best"] = b2f(res.PortfolioLEBest)
+		vals["parallel_match"] = b2f(res.ParallelismMatch)
+		vals["ilp_exact"] = b2f(res.ILPExact)
+		vals["ilp_nodes"] = float64(res.ILPNodes)
+		info = map[string]float64{
+			"p1_ms": res.P1Ms, "pn_ms": res.PNMs, "overhead_ms": res.OverheadMs,
+		}
 	default:
 		log.Fatalf("unknown experiment %q", id)
 	}
 	return vals, info
+}
+
+// b2f encodes a gated equivalence/safety bit as a baseline value.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func fail(err error) {

@@ -44,6 +44,11 @@ func main() {
 		verbose = flag.Bool("v", false, "print the per-iteration trace")
 		outJSON = flag.String("out", "", "also write the design as JSON to this file")
 
+		designers = flag.String("designers", "advisor",
+			"comma-separated designer portfolio raced on every design call: advisor (the engine's nominal designer), autoadmin, ilp")
+		memberTimeout = flag.Duration("member-timeout", 0,
+			"per-member design timeout for the portfolio (0 = no bound); a timed-out member is skipped, not fatal")
+
 		events   = flag.String("events", "", "write the loop's event stream as JSONL to this file")
 		spans    = flag.String("spans", "", "write the wall-clock span side-channel as JSONL to this file (cliffreport summarize -spans)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /vars (expvar) on this address, e.g. :8080 or :0")
@@ -81,6 +86,11 @@ func main() {
 		nominal = cliffguard.NewRowStoreDesigner(r, *budget<<20)
 	default:
 		log.Fatalf("unknown engine %q (want vertica or rowstore)", *engine)
+	}
+
+	members, err := buildDesigners(*designers, db, nominal, *budget<<20)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Ctrl-C cancels the design loop: the context threads down through the
@@ -150,13 +160,23 @@ func main() {
 	start := time.Now()
 	var design *cliffguard.Design
 	if *gamma == 0 {
-		design, err = nominal.Design(ctx, w)
+		if len(members) == 1 {
+			design, err = members[0].Design(ctx, w)
+		} else {
+			pf := cliffguard.NewPortfolio(db, members...)
+			pf.Parallelism = *par
+			pf.MemberTimeout = *memberTimeout
+			pf.Observer = observer
+			pf.Metrics = reg
+			design, err = pf.Design(ctx, w)
+		}
 	} else {
 		opts := cliffguard.Options{
 			Gamma: *gamma, Samples: *samples, Iterations: *iters, Seed: *seed,
 			Parallelism: *par,
+			Portfolio:   members[1:], MemberTimeout: *memberTimeout,
 		}.WithObserver(observer).WithMetrics(reg)
-		guard, gerr := cliffguard.New(nominal, db, s, opts)
+		guard, gerr := cliffguard.New(members[0], db, s, opts)
 		if gerr != nil {
 			log.Fatal(gerr)
 		}
@@ -196,6 +216,42 @@ func main() {
 		}
 		fmt.Printf("design written to %s\n", *outJSON)
 	}
+}
+
+// buildDesigners resolves the -designers flag into a designer list. The
+// first entry fills the robust loop's nominal slot; the rest become
+// Options.Portfolio members raced against it.
+func buildDesigners(spec string, db cliffguard.CostModel, nominal cliffguard.Designer, budgetBytes int64) ([]cliffguard.Designer, error) {
+	provider, _ := nominal.(cliffguard.CandidateProvider)
+	var out []cliffguard.Designer
+	seen := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		switch name {
+		case "advisor":
+			out = append(out, nominal)
+		case "autoadmin":
+			if provider == nil {
+				return nil, fmt.Errorf("designer %q needs a candidate-providing nominal designer", name)
+			}
+			out = append(out, cliffguard.NewAutoAdminDesigner(db, provider, budgetBytes))
+		case "ilp":
+			if provider == nil {
+				return nil, fmt.Errorf("designer %q needs a candidate-providing nominal designer", name)
+			}
+			out = append(out, cliffguard.NewILPDesigner(db, provider, budgetBytes))
+		default:
+			return nil, fmt.Errorf("unknown designer %q (want advisor, autoadmin or ilp)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-designers %q names no designers", spec)
+	}
+	return out, nil
 }
 
 // designDoc is the JSON shape of an exported design.

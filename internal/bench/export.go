@@ -190,3 +190,31 @@ func WriteEvalCSV(w io.Writer, r *EvalResult) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// WritePortfolioCSV exports the PORTFOLIO designer-race experiment: one row
+// per member plus one row for the portfolio itself.
+func WritePortfolioCSV(w io.Writer, r *PortfolioResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"member", "cost_ms", "structures", "size_bytes",
+		"design_ms", "winner", "le_best", "parallel_match", "ilp_exact", "ilp_nodes"}); err != nil {
+		return err
+	}
+	for _, m := range r.Members {
+		if err := cw.Write([]string{
+			m.Name, f(m.CostMs), strconv.Itoa(m.Structures),
+			strconv.FormatInt(m.SizeBytes, 10), f(m.DesignMs), "", "", "", "", "",
+		}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{
+		"Portfolio", f(r.PortfolioCost), "", "", f(r.P1Ms),
+		r.Winner, strconv.FormatBool(r.PortfolioLEBest),
+		strconv.FormatBool(r.ParallelismMatch), strconv.FormatBool(r.ILPExact),
+		strconv.Itoa(r.ILPNodes),
+	}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"cliffguard/internal/designer"
+	"cliffguard/internal/obs"
+	"cliffguard/internal/portfolio"
+	"cliffguard/internal/wlgen"
+	"cliffguard/internal/workload"
+)
+
+// PortfolioMember is one raced designer's standalone showing on the
+// experiment workload.
+type PortfolioMember struct {
+	Name       string
+	CostMs     float64 // weighted mean designable-query latency under its design
+	Structures int
+	SizeBytes  int64
+	DesignMs   float64 // informational
+}
+
+// PortfolioResult is the PORTFOLIO experiment's output: the DBMS-X advisor,
+// the AutoAdmin-style candidate-pruning greedy, and the ILP-exact designer
+// raced by a portfolio.Portfolio on the R1 set's first designable window.
+// The safety property the baseline gates on is the portfolio's defining
+// contract: its design's cost is never worse than the best single member's,
+// and the winning design is bit-identical at parallelism 1 and NumCPU.
+type PortfolioResult struct {
+	Workload string
+	Queries  int
+
+	Members []PortfolioMember
+
+	// Deterministic values (gated).
+	PortfolioCost    float64
+	Winner           string
+	PortfolioLEBest  bool // portfolio cost <= every member cost
+	ParallelismMatch bool // p=1 and p=NumCPU designs bit-identical
+	ILPExact         bool // ILP member's branch and bound proved optimality
+	ILPNodes         int
+
+	// Wall-clock (informational, never gated).
+	P1Ms       float64 // portfolio run, members sequential
+	PNMs       float64 // portfolio run, members raced at NumCPU
+	OverheadMs float64 // p=1 portfolio time minus the slowest member's solo time
+}
+
+// PortfolioBench races the three member designers over the first designable
+// window of the set on the DBMS-X simulator, twice — members sequential
+// (Parallelism 1) and raced at NumCPU — and cross-checks the portfolio
+// contract: the kept design is bit-identical across parallelism levels and
+// its workload cost is <= the best single member's.
+func PortfolioBench(set *wlgen.Set, seed int64) (*PortfolioResult, error) {
+	sc := DBMSX(set, 0, seed)
+	windows := sc.Windows()
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("bench: portfolio experiment needs a non-empty window")
+	}
+	w := sc.DesignableQueries(windows[0])
+	if w.Len() == 0 {
+		return nil, fmt.Errorf("bench: portfolio experiment window has no designable queries")
+	}
+
+	members := []designer.Designer{
+		sc.Nominal,
+		portfolio.NewAutoAdmin(sc.Cost, sc.Provider, sc.Budget),
+		portfolio.NewILPDesigner(sc.Cost, sc.Provider, sc.Budget),
+	}
+
+	res := &PortfolioResult{Workload: set.Config.Name, Queries: w.Len()}
+	ctx := context.Background()
+
+	// Each member solo: its standalone design and cost is the reference the
+	// portfolio must not be worse than.
+	var slowestMs float64
+	for _, m := range members {
+		start := time.Now()
+		d, err := m.Design(ctx, w)
+		if err != nil {
+			return nil, fmt.Errorf("bench: portfolio member %s: %w", m.Name(), err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if ms > slowestMs {
+			slowestMs = ms
+		}
+		cost, err := weightedCost(ctx, sc.Cost, w, d)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scoring member %s: %w", m.Name(), err)
+		}
+		res.Members = append(res.Members, PortfolioMember{
+			Name: m.Name(), CostMs: cost,
+			Structures: d.Len(), SizeBytes: d.SizeBytes(), DesignMs: ms,
+		})
+	}
+
+	// The ILP member's exactness certificate (Design discards it).
+	ilpRes, err := portfolio.NewILPDesigner(sc.Cost, sc.Provider, sc.Budget).DesignExact(ctx, w)
+	if err != nil {
+		return nil, fmt.Errorf("bench: ILP certificate: %w", err)
+	}
+	res.ILPExact = ilpRes.Exact
+	res.ILPNodes = ilpRes.Nodes
+
+	// The portfolio at parallelism 1, then at NumCPU: same design, bit for bit.
+	runPortfolio := func(par int) (*designer.Design, *obs.Metrics, float64, error) {
+		met := obs.NewMetrics()
+		p := portfolio.New(sc.Cost, members...)
+		p.Parallelism = par
+		p.Metrics = met
+		start := time.Now()
+		d, err := p.Design(ctx, w)
+		return d, met, float64(time.Since(start).Microseconds()) / 1000, err
+	}
+	d1, met1, p1Ms, err := runPortfolio(1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: portfolio at parallelism 1: %w", err)
+	}
+	dN, _, pNMs, err := runPortfolio(runtime.NumCPU())
+	if err != nil {
+		return nil, fmt.Errorf("bench: portfolio at NumCPU: %w", err)
+	}
+	res.P1Ms, res.PNMs = p1Ms, pNMs
+	res.OverheadMs = p1Ms - slowestMs
+	res.ParallelismMatch = d1.Fingerprint() == dN.Fingerprint() && d1.String() == dN.String()
+
+	for _, name := range met1.PortfolioWins.Labels() {
+		res.Winner = name // exactly one run, so exactly one label
+	}
+	cost, err := weightedCost(ctx, sc.Cost, w, d1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: scoring portfolio design: %w", err)
+	}
+	res.PortfolioCost = cost
+	res.PortfolioLEBest = true
+	for _, m := range res.Members {
+		if res.PortfolioCost > m.CostMs {
+			res.PortfolioLEBest = false
+		}
+	}
+	return res, nil
+}
+
+// weightedCost is the portfolio's scoring semantics restated for the
+// experiment: the weighted mean cost over the workload's costable queries,
+// summed in item order.
+func weightedCost(ctx context.Context, cm designer.CostModel, w *workload.Workload, d *designer.Design) (float64, error) {
+	var total, weight float64
+	for _, it := range w.Items {
+		c, err := cm.Cost(ctx, it.Q, d)
+		if err != nil {
+			if errors.Is(err, designer.ErrUnsupported) {
+				continue
+			}
+			return 0, err
+		}
+		total += it.Weight * c
+		weight += it.Weight
+	}
+	if weight == 0 {
+		return 0, fmt.Errorf("bench: no costable query in the workload")
+	}
+	return total / weight, nil
+}

@@ -142,3 +142,21 @@ func PrintEval(w io.Writer, r *EvalResult) {
 	fmt.Fprintf(w, "wall-clock: fast %.1f ms, legacy %.1f ms (%.2fx, informational)\n",
 		r.FastMs, r.LegacyMs, r.Speedup)
 }
+
+// PrintPortfolio renders the PORTFOLIO designer-race experiment: each
+// member's standalone cost, the portfolio's kept design, and the two
+// determinism/safety bits the baseline gates on.
+func PrintPortfolio(w io.Writer, r *PortfolioResult) {
+	fmt.Fprintf(w, "%-16s %12s %8s %10s %10s\n",
+		"Member", "Cost (ms)", "Structs", "Size (MB)", "Design ms")
+	for _, m := range r.Members {
+		fmt.Fprintf(w, "%-16s %12.3f %8d %10.1f %10.1f\n",
+			m.Name, m.CostMs, m.Structures, float64(m.SizeBytes)/(1<<20), m.DesignMs)
+	}
+	fmt.Fprintf(w, "portfolio: cost %.3f ms, winner %s, <= best member: %v\n",
+		r.PortfolioCost, r.Winner, r.PortfolioLEBest)
+	fmt.Fprintf(w, "determinism: p=1 vs NumCPU identical=%v; ILP exact=%v (%d nodes)\n",
+		r.ParallelismMatch, r.ILPExact, r.ILPNodes)
+	fmt.Fprintf(w, "wall-clock: p1 %.1f ms, pN %.1f ms, overhead vs slowest member %.1f ms (informational)\n",
+		r.P1Ms, r.PNMs, r.OverheadMs)
+}

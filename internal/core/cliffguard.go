@@ -34,6 +34,7 @@ import (
 	"cliffguard/internal/designer"
 	"cliffguard/internal/evalcache"
 	"cliffguard/internal/obs"
+	"cliffguard/internal/portfolio"
 	"cliffguard/internal/sample"
 	"cliffguard/internal/workload"
 )
@@ -107,9 +108,10 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 
 	tb := &traceBuilder{}
 	em := emitter{obs: obs.Multi(tb, opts.Observer), met: opts.Metrics}
+	nominal := cg.resolveNominal(opts, em)
 
 	// Line 1: nominal design for W0.
-	d, err := cg.invokeNominal(ctx, em, -1, w0)
+	d, err := cg.invokeNominal(ctx, em, nominal, -1, w0)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: initial nominal design: %w", err)
 	}
@@ -179,7 +181,7 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 		// Robust local move: merge and re-design. The move reads the same
 		// unit-cost memo the ranking pass just filled.
 		moved := cg.moveWorkload(ctx, w0, moveTargets, d, alpha, ev.units)
-		cand, err := cg.invokeNominal(ctx, em, iter, moved)
+		cand, err := cg.invokeNominal(ctx, em, nominal, iter, moved)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: nominal design on moved workload: %w", err)
 		}
@@ -221,12 +223,38 @@ func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload
 	return d, tb.traces, nil
 }
 
-// invokeNominal calls the black-box nominal designer with instrumentation:
-// a DesignerInvoked event on success plus invocation count and latency in
-// the metrics registry. iter is -1 for the initial design.
-func (cg *CliffGuard) invokeNominal(ctx context.Context, em emitter, iter int, w *workload.Workload) (*designer.Design, error) {
+// resolveNominal returns the designer filling the loop's nominal slot: the
+// plain black-box nominal, or — when Options.Portfolio names extra members —
+// a portfolio racing [Nominal, Portfolio...] concurrently, scored on each
+// input workload with deterministic winner selection. The portfolio shares
+// the run's observer and metrics so per-member DesignerInvoked events and
+// win counters land in the same streams as the rest of the loop.
+func (cg *CliffGuard) resolveNominal(opts Options, em emitter) designer.Designer {
+	if len(opts.Portfolio) == 0 {
+		return cg.Nominal
+	}
+	members := make([]designer.Designer, 0, 1+len(opts.Portfolio))
+	members = append(members, cg.Nominal)
+	members = append(members, opts.Portfolio...)
+	return &portfolio.Portfolio{
+		Members:       members,
+		Cost:          cg.Cost,
+		Parallelism:   opts.Parallelism,
+		MemberTimeout: opts.MemberTimeout,
+		Observer:      em.obs,
+		Metrics:       em.met,
+	}
+}
+
+// invokeNominal calls the (resolved) black-box designer with
+// instrumentation: a DesignerInvoked event on success plus invocation count
+// and latency in the metrics registry. iter is -1 for the initial design;
+// it also rides the context so composite designers (the portfolio) can tag
+// their own per-member events.
+func (cg *CliffGuard) invokeNominal(ctx context.Context, em emitter, nominal designer.Designer, iter int, w *workload.Workload) (*designer.Design, error) {
+	ctx = obs.ContextWithIteration(ctx, iter)
 	start := em.clock()
-	d, err := cg.Nominal.Design(ctx, w)
+	d, err := nominal.Design(ctx, w)
 	if em.met != nil {
 		em.met.DesignerInvocations.Inc()
 		em.met.DesignLatency.Observe(time.Since(start))
@@ -237,7 +265,7 @@ func (cg *CliffGuard) invokeNominal(ctx context.Context, em emitter, iter int, w
 	if em.obs != nil {
 		em.obs.OnEvent(obs.DesignerInvoked{
 			Iteration:  iter,
-			Designer:   cg.Nominal.Name(),
+			Designer:   nominal.Name(),
 			Queries:    w.Len(),
 			Structures: d.Len(),
 			SizeBytes:  d.SizeBytes(),

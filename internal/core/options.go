@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"cliffguard/internal/designer"
 	"cliffguard/internal/obs"
 )
 
@@ -68,6 +70,20 @@ type Options struct {
 	// (ablation knob; see the package comment for why accumulation is the
 	// default).
 	DisableAccumulation bool
+	// Portfolio lists additional member designers raced against the nominal
+	// designer on every workload the robust loop designs (the initial target
+	// and each iteration's moved workload). The loop's designer slot becomes
+	// a portfolio.Portfolio over [Nominal, Portfolio...]: members run
+	// concurrently under the Parallelism bound, each returned design is
+	// scored on the input workload with a shared unit-cost cache, and the
+	// best design wins with a deterministic tie-break — so the loop's
+	// outputs stay bit-identical at any parallelism. Empty means the nominal
+	// designer runs alone (the historical behavior).
+	Portfolio []designer.Designer
+	// MemberTimeout bounds each portfolio member's Design call (0 = no
+	// bound). A member exceeding it is skipped for that invocation — counted
+	// in Metrics, never fatal — as long as at least one member returns.
+	MemberTimeout time.Duration
 	// DisableEvalFastPath reverts neighborhood evaluation to the legacy
 	// full-pass behavior: every pass calls the cost model once per
 	// (query, workload) and nothing is memoized across passes. The default
@@ -147,6 +163,14 @@ func (o Options) Validate() error {
 	if o.LambdaFailure != 0 && (o.LambdaFailure < 0 || o.LambdaFailure >= 1) {
 		return fmt.Errorf("core: LambdaFailure = %g, must lie in (0, 1) (it shrinks alpha on a failed move; 0 = default)", o.LambdaFailure)
 	}
+	for i, m := range o.Portfolio {
+		if m == nil {
+			return fmt.Errorf("core: Portfolio[%d] is nil", i)
+		}
+	}
+	if o.MemberTimeout < 0 {
+		return fmt.Errorf("core: MemberTimeout = %v, must be >= 0 (0 = no bound)", o.MemberTimeout)
+	}
 	return nil
 }
 
@@ -175,6 +199,21 @@ func (o Options) Normalized() Options {
 	}
 	if o.LambdaFailure <= 0 || o.LambdaFailure >= 1 {
 		o.LambdaFailure = 0.5
+	}
+	if o.MemberTimeout < 0 {
+		o.MemberTimeout = 0
+	}
+	for _, m := range o.Portfolio {
+		if m == nil {
+			clean := make([]designer.Designer, 0, len(o.Portfolio))
+			for _, m := range o.Portfolio {
+				if m != nil {
+					clean = append(clean, m)
+				}
+			}
+			o.Portfolio = clean
+			break
+		}
 	}
 	return o
 }

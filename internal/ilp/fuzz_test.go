@@ -1,0 +1,134 @@
+package ilp_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cliffguard/internal/ilp"
+	"cliffguard/internal/portfolio/portfoliotest"
+)
+
+// genProblem builds a small random structure-selection instance. Dimensions
+// are kept within the brute-force enumerator's range so every fuzz execution
+// has an independent ground truth.
+func genProblem(seed int64, nq, ns int, budgetFrac, infFrac float64) *ilp.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &ilp.Problem{
+		Weights: make([]float64, nq),
+		Base:    make([]float64, nq),
+		Cost:    make([][]float64, nq),
+		Size:    make([]int64, ns),
+	}
+	var total int64
+	for s := 0; s < ns; s++ {
+		p.Size[s] = 1 + rng.Int63n(100)
+		total += p.Size[s]
+	}
+	p.Budget = int64(budgetFrac * float64(total))
+	for q := 0; q < nq; q++ {
+		p.Weights[q] = 0.1 + 2*rng.Float64()
+		p.Base[q] = 10 + 90*rng.Float64()
+		row := make([]float64, ns)
+		for s := 0; s < ns; s++ {
+			if rng.Float64() < infFrac {
+				row[s] = math.Inf(1) // inapplicable pair
+				continue
+			}
+			// Costs straddle the base path: some structures help, some hurt.
+			row[s] = p.Base[q] * (0.1 + 1.2*rng.Float64())
+		}
+		p.Cost[q] = row
+	}
+	return p
+}
+
+// checkSolution verifies the solver's universal contracts on one instance:
+// the chosen set is feasible and ascending, the reported objective is the
+// chosen set's true objective, and when Exact is reported the objective
+// equals the brute-force optimum. With a second, larger budget it also
+// checks monotonicity: more storage can never make an exact optimum worse.
+func checkSolution(t *testing.T, p *ilp.Problem) {
+	t.Helper()
+	sol, err := ilp.Solve(p, 0)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	var used int64
+	for i, s := range sol.Chosen {
+		if s < 0 || s >= len(p.Size) {
+			t.Fatalf("chosen structure %d out of range", s)
+		}
+		if i > 0 && sol.Chosen[i-1] >= s {
+			t.Fatalf("Chosen not strictly ascending: %v", sol.Chosen)
+		}
+		used += p.Size[s]
+	}
+	if used > p.Budget {
+		t.Fatalf("infeasible solution: %d bytes > budget %d", used, p.Budget)
+	}
+	// Recompute the objective of the chosen set.
+	var obj float64
+	for q := range p.Weights {
+		c := p.Base[q]
+		for _, s := range sol.Chosen {
+			if p.Cost[q][s] < c {
+				c = p.Cost[q][s]
+			}
+		}
+		obj += p.Weights[q] * c
+	}
+	if !approxEq(obj, sol.Objective) {
+		t.Fatalf("reported objective %.12g != recomputed %.12g", sol.Objective, obj)
+	}
+	if sol.Exact {
+		brute, err := portfoliotest.BruteForceObjective(p)
+		if err != nil {
+			t.Fatalf("brute force: %v", err)
+		}
+		if !approxEq(sol.Objective, brute) {
+			t.Fatalf("Exact objective %.12g != brute force %.12g", sol.Objective, brute)
+		}
+	}
+	// Budget monotonicity between exact optima.
+	bigger := *p
+	bigger.Budget = p.Budget*2 + 1
+	sol2, err := ilp.Solve(&bigger, 0)
+	if err != nil {
+		t.Fatalf("Solve (larger budget): %v", err)
+	}
+	if sol.Exact && sol2.Exact && sol2.Objective > sol.Objective && !approxEq(sol.Objective, sol2.Objective) {
+		t.Fatalf("objective got worse with more budget: %.12g -> %.12g", sol.Objective, sol2.Objective)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return scale == 0 || math.Abs(a-b) <= 1e-9*scale
+}
+
+// FuzzILPSolve fuzz-checks Solve against the brute-force enumerator on
+// random small instances (see checkSolution for the properties).
+func FuzzILPSolve(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4), uint8(128), uint8(25))
+	f.Add(int64(42), uint8(6), uint8(8), uint8(64), uint8(0))
+	f.Add(int64(7), uint8(1), uint8(1), uint8(255), uint8(128))
+	f.Add(int64(99), uint8(8), uint8(10), uint8(32), uint8(200))
+	f.Fuzz(func(t *testing.T, seed int64, nqRaw, nsRaw, budgetRaw, infRaw uint8) {
+		nq := 1 + int(nqRaw)%8
+		ns := 1 + int(nsRaw)%10
+		budgetFrac := float64(budgetRaw) / 255
+		infFrac := float64(infRaw) / 255 * 0.5
+		checkSolution(t, genProblem(seed, nq, ns, budgetFrac, infFrac))
+	})
+}
+
+// TestILPSolveRandomized runs the fuzz property over a fixed sweep so the
+// contract is exercised by plain `go test` runs too.
+func TestILPSolveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for i := 0; i < 200; i++ {
+		p := genProblem(rng.Int63(), 1+rng.Intn(8), 1+rng.Intn(10), rng.Float64(), rng.Float64()*0.5)
+		checkSolution(t, p)
+	}
+}

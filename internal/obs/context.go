@@ -1,0 +1,29 @@
+package obs
+
+import "context"
+
+// The robust loop tags the context it hands the nominal designer with the
+// current iteration number, so composite designers (the portfolio runner)
+// can stamp their own DesignerInvoked events with the iteration they ran
+// under without widening the designer.Designer interface.
+
+type iterationKey struct{}
+
+// ContextWithIteration returns a context carrying the robust-loop iteration
+// number (-1 for the initial, pre-loop design).
+func ContextWithIteration(ctx context.Context, iteration int) context.Context {
+	return context.WithValue(ctx, iterationKey{}, iteration)
+}
+
+// IterationFromContext returns the iteration number stored by
+// ContextWithIteration, or -1 when the context carries none (callers outside
+// the robust loop look like the initial design).
+func IterationFromContext(ctx context.Context) int {
+	if ctx == nil {
+		return -1
+	}
+	if v, ok := ctx.Value(iterationKey{}).(int); ok {
+		return v
+	}
+	return -1
+}

@@ -39,6 +39,15 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter("cliffguard_moves_accepted_total", "Improving robust local moves.", m.MovesAccepted.Load())
 	counter("cliffguard_moves_rejected_total", "Non-improving robust local moves.", m.MovesRejected.Load())
 	counter("cliffguard_iterations_completed_total", "Completed robust-loop iterations.", m.IterationsCompleted.Load())
+	counter("cliffguard_portfolio_runs_total", "Designer-portfolio invocations.", m.PortfolioRuns.Load())
+	counter("cliffguard_portfolio_member_errors_total", "Portfolio members that returned an error.", m.PortfolioMemberErrors.Load())
+	counter("cliffguard_portfolio_member_timeouts_total", "Portfolio members that exceeded their timeout.", m.PortfolioMemberTimeouts.Load())
+	if wins := m.PortfolioWins.Snapshot(); len(wins) > 0 {
+		fmt.Fprintf(ew, "# HELP cliffguard_portfolio_wins_total Winning designs kept, per member designer.\n# TYPE cliffguard_portfolio_wins_total counter\n")
+		for _, member := range m.PortfolioWins.Labels() {
+			fmt.Fprintf(ew, "cliffguard_portfolio_wins_total{member=%q} %d\n", member, wins[member])
+		}
+	}
 	gauge("cliffguard_pool_queue_depth", "Neighborhood tasks submitted but not yet picked up.", m.PoolQueueDepth.Load())
 	gauge("cliffguard_pool_workers_busy", "Workers currently evaluating a workload.", m.PoolWorkersBusy.Load())
 
@@ -165,7 +174,13 @@ func (m *Metrics) ExpvarFunc() expvar.Func {
 			"moves_accepted":         m.MovesAccepted.Load(),
 			"moves_rejected":         m.MovesRejected.Load(),
 			"iterations_completed":   m.IterationsCompleted.Load(),
-			"pool_queue_depth":       m.PoolQueueDepth.Load(),
+			"portfolio": map[string]any{
+				"runs":            m.PortfolioRuns.Load(),
+				"member_errors":   m.PortfolioMemberErrors.Load(),
+				"member_timeouts": m.PortfolioMemberTimeouts.Load(),
+				"wins":            m.PortfolioWins.Snapshot(),
+			},
+			"pool_queue_depth": m.PoolQueueDepth.Load(),
 			"pool_workers_busy":      m.PoolWorkersBusy.Load(),
 			"latency": map[string]any{
 				"sample":    hist(&m.SampleLatency),

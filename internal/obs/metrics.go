@@ -18,6 +18,58 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
+// LabeledCounter is a monotonically increasing counter family keyed by a
+// string label (e.g. portfolio wins per member designer). The zero value is
+// ready to use; all methods are safe for concurrent use. Labels are expected
+// to be low-cardinality (member names), so a mutex-guarded map suffices.
+type LabeledCounter struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// Inc adds one to the label's counter.
+func (c *LabeledCounter) Inc(label string) { c.Add(label, 1) }
+
+// Add adds n to the label's counter.
+func (c *LabeledCounter) Add(label string, n uint64) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]uint64)
+	}
+	c.m[label] += n
+	c.mu.Unlock()
+}
+
+// Load returns the label's current value (0 if never incremented).
+func (c *LabeledCounter) Load(label string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[label]
+}
+
+// Snapshot copies the counter family. Never nil; the map is the caller's.
+func (c *LabeledCounter) Snapshot() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Labels returns the label set in sorted order (stable export output).
+func (c *LabeledCounter) Labels() []string {
+	c.mu.Lock()
+	labels := make([]string, 0, len(c.m))
+	for k := range c.m {
+		labels = append(labels, k)
+	}
+	c.mu.Unlock()
+	sort.Strings(labels)
+	return labels
+}
+
 // Gauge is an atomic instantaneous value (e.g. a queue depth).
 type Gauge struct{ v atomic.Int64 }
 
@@ -70,6 +122,12 @@ type Metrics struct {
 	MovesAccepted       Counter
 	MovesRejected       Counter
 	IterationsCompleted Counter
+
+	// Designer-portfolio activity (internal/portfolio).
+	PortfolioRuns           Counter        // portfolio Design invocations
+	PortfolioMemberErrors   Counter        // member designers that returned an error
+	PortfolioMemberTimeouts Counter        // member designers that exceeded their per-member timeout
+	PortfolioWins           LabeledCounter // winning designs kept, per member name
 
 	// Worker-pool occupancy (instantaneous).
 	PoolQueueDepth  Gauge // neighborhood tasks submitted but not picked up
@@ -152,6 +210,11 @@ type MetricsSnapshot struct {
 	MovesRejected        uint64 `json:"moves_rejected"`
 	IterationsCompleted  uint64 `json:"iterations_completed"`
 
+	PortfolioRuns           uint64            `json:"portfolio_runs,omitempty"`
+	PortfolioMemberErrors   uint64            `json:"portfolio_member_errors,omitempty"`
+	PortfolioMemberTimeouts uint64            `json:"portfolio_member_timeouts,omitempty"`
+	PortfolioWins           map[string]uint64 `json:"portfolio_wins,omitempty"`
+
 	Caches  map[string]CacheStats   `json:"caches,omitempty"`
 	Latency map[string]LatencyStats `json:"latency,omitempty"`
 }
@@ -188,7 +251,13 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		MovesAccepted:        m.MovesAccepted.Load(),
 		MovesRejected:        m.MovesRejected.Load(),
 		IterationsCompleted:  m.IterationsCompleted.Load(),
-		Caches:               m.CacheSnapshots(),
+
+		PortfolioRuns:           m.PortfolioRuns.Load(),
+		PortfolioMemberErrors:   m.PortfolioMemberErrors.Load(),
+		PortfolioMemberTimeouts: m.PortfolioMemberTimeouts.Load(),
+		PortfolioWins:           m.PortfolioWins.Snapshot(),
+
+		Caches: m.CacheSnapshots(),
 		Latency: map[string]LatencyStats{
 			"sample":    lat(&m.SampleLatency),
 			"eval":      lat(&m.EvalLatency),

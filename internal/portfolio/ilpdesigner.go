@@ -1,0 +1,197 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cliffguard/internal/designer"
+	"cliffguard/internal/ilp"
+	"cliffguard/internal/workload"
+)
+
+// ILPDesigner lowers any (engine, workload, budget) instance to an
+// ilp.Problem through the what-if cost model and solves it with the exact
+// branch-and-bound solver. When the node budget holds the returned design is
+// provably optimal over the candidate pool (Result.Exact); when it does not,
+// the solver's greedy incumbent — a benefit-per-byte greedy completion —
+// is returned with Exact=false.
+//
+// The candidate pool comes from the engine's nominal designer, so "optimal"
+// means optimal structure selection, not optimal structure generation; the
+// optimality-oracle tests exploit exactly this to pin the greedy designers
+// against a measurable optimum.
+type ILPDesigner struct {
+	// Cost is the engine's what-if cost model.
+	Cost designer.CostModel
+	// Provider generates the candidate pool.
+	Provider CandidateProvider
+	// Budget is the storage budget in bytes.
+	Budget int64
+	// MaxNodes caps branch-and-bound nodes (default 200k, ilp.Solve's
+	// default). Exceeding it degrades to the greedy incumbent, Exact=false.
+	MaxNodes int
+	// MaxCandidates caps the pool fed to the solver (default 64): the
+	// highest total-weighted-benefit-per-byte candidates survive,
+	// deterministic ties by pool order. Branch-and-bound is exponential in
+	// the pool in the worst case; the cap keeps design time bounded on
+	// template-rich workloads. Set negative for no cap.
+	MaxCandidates int
+}
+
+// NewILPDesigner returns an ILP-exact designer with default knobs.
+func NewILPDesigner(cost designer.CostModel, provider CandidateProvider, budget int64) *ILPDesigner {
+	return &ILPDesigner{Cost: cost, Provider: provider, Budget: budget}
+}
+
+// Result is DesignExact's output: the design plus the solver's optimality
+// proof status.
+type Result struct {
+	Design *designer.Design
+	// Exact reports that the design is provably optimal over the candidate
+	// pool; false means the node budget was exceeded and the design is the
+	// solver's greedy completion.
+	Exact bool
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Name implements designer.Designer.
+func (d *ILPDesigner) Name() string { return "ILP" }
+
+// Design implements designer.Designer, discarding the exactness certificate.
+func (d *ILPDesigner) Design(ctx context.Context, w *workload.Workload) (*designer.Design, error) {
+	r, err := d.DesignExact(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	return r.Design, nil
+}
+
+func (d *ILPDesigner) maxCandidates() int {
+	if d.MaxCandidates == 0 {
+		return 64
+	}
+	return d.MaxCandidates
+}
+
+// DesignExact lowers the instance to an ilp.Problem and solves it, surfacing
+// whether the solution is provably optimal.
+func (d *ILPDesigner) DesignExact(ctx context.Context, w *workload.Workload) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if w == nil || w.Len() == 0 {
+		return nil, errors.New("portfolio: ILP: empty workload")
+	}
+	cw := designer.CompressByTemplate(w)
+	pool := dedupe(d.Provider.Candidates(cw))
+	if len(pool) == 0 {
+		return &Result{Design: designer.NewDesign(), Exact: true}, nil
+	}
+
+	// Base costs; unsupported queries drop out of the objective (they cost
+	// the same under every design).
+	var queries []*workload.Query
+	var weights []float64
+	var base []float64
+	for _, it := range cw.Items {
+		c, err := d.Cost.Cost(ctx, it.Q, nil)
+		if err != nil {
+			if errors.Is(err, designer.ErrUnsupported) {
+				continue
+			}
+			return nil, fmt.Errorf("portfolio: ILP: costing %s: %w", it.Q, err)
+		}
+		queries = append(queries, it.Q)
+		weights = append(weights, it.Weight)
+		base = append(base, c)
+	}
+	if len(queries) == 0 {
+		return &Result{Design: designer.NewDesign(), Exact: true}, nil
+	}
+
+	// Per-(query, structure) what-if costs; +Inf marks inapplicable pairs.
+	pair := make([][]float64, len(pool))
+	for si, s := range pool {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(queries))
+		sd := designer.NewDesign(s)
+		for qi, q := range queries {
+			c, err := d.Cost.Cost(ctx, q, sd)
+			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
+				row[qi] = math.Inf(1)
+				continue
+			}
+			row[qi] = c
+		}
+		pair[si] = row
+	}
+
+	keep := d.capPool(pool, pair, base, weights)
+
+	prob := &ilp.Problem{
+		Weights: weights,
+		Base:    base,
+		Cost:    make([][]float64, len(queries)),
+		Size:    make([]int64, len(keep)),
+		Budget:  d.Budget,
+	}
+	for ki, si := range keep {
+		prob.Size[ki] = pool[si].SizeBytes()
+	}
+	for qi := range queries {
+		row := make([]float64, len(keep))
+		for ki, si := range keep {
+			row[ki] = pair[si][qi]
+		}
+		prob.Cost[qi] = row
+	}
+	sol, err := ilp.Solve(prob, d.MaxNodes)
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: ILP: %w", err)
+	}
+	chosen := make([]designer.Structure, 0, len(sol.Chosen))
+	for _, ki := range sol.Chosen {
+		chosen = append(chosen, pool[keep[ki]])
+	}
+	return &Result{
+		Design: designer.NewDesign(chosen...),
+		Exact:  sol.Exact,
+		Nodes:  sol.Nodes,
+	}, nil
+}
+
+// capPool returns the (sorted ascending) pool indices fed to the solver:
+// all of them when the pool fits MaxCandidates, otherwise the top
+// total-weighted-benefit-per-byte slice. Ties keep the earlier candidate.
+func (d *ILPDesigner) capPool(pool []designer.Structure, pair [][]float64, base, weights []float64) []int {
+	keep := make([]int, len(pool))
+	for i := range keep {
+		keep[i] = i
+	}
+	maxCand := d.maxCandidates()
+	if maxCand < 0 || len(keep) <= maxCand {
+		return keep
+	}
+	total := make([]float64, len(pool))
+	for si := range pool {
+		for qi := range base {
+			if b := base[qi] - pair[si][qi]; b > 0 {
+				total[si] += weights[qi] * b
+			}
+		}
+		total[si] /= float64(maxI64(pool[si].SizeBytes(), 1))
+	}
+	sort.SliceStable(keep, func(i, j int) bool { return total[keep[i]] > total[keep[j]] })
+	keep = keep[:maxCand]
+	sort.Ints(keep)
+	return keep
+}

@@ -1,0 +1,364 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"cliffguard/internal/designer"
+	"cliffguard/internal/evalcache"
+	"cliffguard/internal/obs"
+	"cliffguard/internal/sample"
+	"cliffguard/internal/workload"
+)
+
+// Portfolio races k member designers on the same workload and keeps the best
+// design by worst-case cost — the RITA-style "race tuning strategies under a
+// shared budget" idea, with a DBA-bandits-style safety rule: the kept design
+// is never strictly worse than any member's on the scoring set.
+//
+// Members run concurrently under a bounded worker pool; each member is
+// internally sequential, results land in a member-index-aligned slice, and
+// every reduction walks that slice in index order, so the output design is
+// bit-identical at any Parallelism. Scoring shares one evalcache across
+// members keyed by design fingerprint: two members returning the same design
+// are scored once (the single-pass worst-case discipline of the robust
+// loop's incremental evaluator).
+//
+// The scoring set is {w} by default — worst case degenerates to the nominal
+// cost, which is the right semantics when the portfolio runs inside the
+// robust loop (the loop supplies its own Γ-neighborhood evaluation of the
+// winner). Standalone callers can attach a Sampler and set Gamma/Samples to
+// score members on a sampled Γ-neighborhood instead.
+type Portfolio struct {
+	// Members are the raced designers, in priority order: ties in worst-case
+	// cost and fingerprint keep the earliest member.
+	Members []designer.Designer
+	// Cost is the what-if cost model used to score member designs.
+	Cost designer.CostModel
+
+	// Sampler, Gamma and Samples optionally widen the scoring set to a
+	// sampled Γ-neighborhood of the input workload (plus the input itself).
+	// With a nil Sampler or Gamma <= 0 the scoring set is {w}.
+	Sampler *sample.Sampler
+	Gamma   float64
+	Samples int
+	// Seed makes neighborhood sampling deterministic.
+	Seed int64
+
+	// Parallelism bounds the member-invocation and scoring worker pools
+	// (0 or negative = runtime.NumCPU()). Results are bit-identical at any
+	// value.
+	Parallelism int
+	// MemberTimeout bounds each member's Design call (0 = no bound). A
+	// member exceeding it is skipped — counted, never fatal — while the
+	// parent context's cancellation always aborts the whole portfolio.
+	MemberTimeout time.Duration
+
+	// Observer receives one obs.DesignerInvoked event per successful member,
+	// emitted after the race in member-index order (deterministic). nil
+	// disables emission.
+	Observer obs.Observer
+	// Metrics aggregates portfolio counters (runs, member errors/timeouts,
+	// wins per member). nil disables metric updates.
+	Metrics *obs.Metrics
+}
+
+// New returns a Portfolio over the given members with the default scoring
+// set ({w}) and no member timeout.
+func New(cost designer.CostModel, members ...designer.Designer) *Portfolio {
+	return &Portfolio{Members: members, Cost: cost}
+}
+
+// Name implements designer.Designer.
+func (p *Portfolio) Name() string { return "Portfolio" }
+
+// errNoCostableWorkload marks a design whose every scoring workload had no
+// costable query; such members are skipped like erroring ones.
+var errNoCostableWorkload = errors.New("portfolio: no scoring workload is costable under the cost model")
+
+// memberOut is one member's race outcome, index-aligned with Members.
+type memberOut struct {
+	d   *designer.Design
+	err error
+}
+
+// Design implements designer.Designer: race the members, score each distinct
+// returned design's worst case over the scoring set, keep the best.
+func (p *Portfolio) Design(ctx context.Context, w *workload.Workload) (*designer.Design, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if w == nil || w.Len() == 0 {
+		return nil, errors.New("portfolio: empty workload")
+	}
+	if len(p.Members) == 0 {
+		return nil, errors.New("portfolio: no member designers")
+	}
+	if p.Metrics != nil {
+		p.Metrics.PortfolioRuns.Inc()
+	}
+
+	scoring, err := p.scoringSet(w)
+	if err != nil {
+		return nil, err
+	}
+
+	outs := p.race(ctx, w)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Gather in member-index order: emit per-member DesignerInvoked events,
+	// score each distinct fingerprint once, and keep the winner. The winner
+	// is the minimum worst-case cost; ties break to the lexicographically
+	// smaller fingerprint (fixed-width hex, i.e. the smaller uint64), then
+	// to the earlier member.
+	iter := obs.IterationFromContext(ctx)
+	units := evalcache.New()
+	type score struct {
+		cost float64
+		err  error
+	}
+	scores := make(map[uint64]score)
+	bestIdx := -1
+	var bestCost float64
+	var bestFP uint64
+	var firstErr error
+	for i, out := range outs {
+		member := p.Members[i]
+		if out.err != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if p.Metrics != nil {
+				if errors.Is(out.err, context.DeadlineExceeded) {
+					p.Metrics.PortfolioMemberTimeouts.Inc()
+				} else {
+					p.Metrics.PortfolioMemberErrors.Inc()
+				}
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("member %s: %w", member.Name(), out.err)
+			}
+			continue
+		}
+		if p.Observer != nil {
+			p.Observer.OnEvent(obs.DesignerInvoked{
+				Iteration:  iter,
+				Designer:   member.Name(),
+				Queries:    w.Len(),
+				Structures: out.d.Len(),
+				SizeBytes:  out.d.SizeBytes(),
+			})
+		}
+		fp := out.d.Fingerprint()
+		sc, ok := scores[fp]
+		if !ok {
+			c, err := p.worstCase(ctx, scoring, out.d, units)
+			sc = score{cost: c, err: err}
+			scores[fp] = sc
+		}
+		if sc.err != nil {
+			if !errors.Is(sc.err, errNoCostableWorkload) {
+				return nil, sc.err
+			}
+			if p.Metrics != nil {
+				p.Metrics.PortfolioMemberErrors.Inc()
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("member %s: %w", member.Name(), sc.err)
+			}
+			continue
+		}
+		if bestIdx < 0 || sc.cost < bestCost || (sc.cost == bestCost && fp < bestFP) {
+			bestIdx, bestCost, bestFP = i, sc.cost, fp
+		}
+	}
+	if bestIdx < 0 {
+		if firstErr == nil {
+			firstErr = errors.New("no member produced a design")
+		}
+		return nil, fmt.Errorf("portfolio: every member failed: %w", firstErr)
+	}
+	if p.Metrics != nil {
+		p.Metrics.PortfolioWins.Inc(p.Members[bestIdx].Name())
+	}
+	return outs[bestIdx].d, nil
+}
+
+// scoringSet builds the workloads member designs are scored against.
+func (p *Portfolio) scoringSet(w *workload.Workload) ([]*workload.Workload, error) {
+	if p.Sampler == nil || p.Gamma <= 0 {
+		return []*workload.Workload{w}, nil
+	}
+	samples := p.Samples
+	if samples <= 0 {
+		samples = 20
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	neighborhood, err := p.Sampler.Neighborhood(rng, w, p.Gamma, samples)
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: sampling Γ-neighborhood: %w", err)
+	}
+	return append(neighborhood, w), nil
+}
+
+// race invokes every member concurrently under the bounded pool. Each
+// member's Design call runs in a single goroutine under its own
+// timeout-bounded child context; outputs are member-index-aligned.
+func (p *Portfolio) race(ctx context.Context, w *workload.Workload) []memberOut {
+	outs := make([]memberOut, len(p.Members))
+	runOne := func(i int) {
+		mctx := ctx
+		cancel := context.CancelFunc(func() {})
+		if p.MemberTimeout > 0 {
+			mctx, cancel = context.WithTimeout(ctx, p.MemberTimeout)
+		}
+		d, err := p.Members[i].Design(mctx, w)
+		cancel()
+		if err == nil && d == nil {
+			err = errors.New("designer returned a nil design")
+		}
+		outs[i] = memberOut{d: d, err: err}
+	}
+	workers := p.workers(len(p.Members))
+	if workers == 1 {
+		for i := range p.Members {
+			runOne(i)
+		}
+		return outs
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runOne(i)
+			}
+		}()
+	}
+	for i := range p.Members {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return outs
+}
+
+// worstCase scores one design: the maximum normalized workload cost over the
+// scoring set, mirroring the robust loop's single-pass scorer. Workloads
+// with no costable query are skipped; if every workload is uncostable the
+// design is unscorable (errNoCostableWorkload). Per-workload costs are
+// computed in one goroutine each (fixed summation order) and reduced in
+// index order, so the score is bit-identical at any parallelism.
+func (p *Portfolio) worstCase(ctx context.Context, scoring []*workload.Workload, d *designer.Design, units *evalcache.Cache) (float64, error) {
+	fp := d.Fingerprint()
+	type res struct {
+		cost float64
+		err  error
+	}
+	results := make([]res, len(scoring))
+	evalOne := func(i int) {
+		c, err := p.workloadCost(ctx, scoring[i], d, units, fp)
+		results[i] = res{cost: c, err: err}
+	}
+	workers := p.workers(len(scoring))
+	if workers == 1 {
+		for i := range scoring {
+			evalOne(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					evalOne(i)
+				}
+			}()
+		}
+		for i := range scoring {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	worst := math.Inf(-1)
+	costable := false
+	for _, r := range results {
+		if r.err != nil {
+			if errors.Is(r.err, errNoCostableWorkload) {
+				continue
+			}
+			return 0, r.err
+		}
+		costable = true
+		if r.cost > worst {
+			worst = r.cost
+		}
+	}
+	if !costable {
+		return 0, errNoCostableWorkload
+	}
+	return worst, nil
+}
+
+// workloadCost evaluates f(W, D) normalized by costable weight, memoizing
+// unit costs in the shared cache — the same semantics as the robust loop's
+// evaluator: unsupported queries are skipped, a workload with no costable
+// query yields errNoCostableWorkload, hard errors propagate uncached.
+func (p *Portfolio) workloadCost(ctx context.Context, w *workload.Workload, d *designer.Design, units *evalcache.Cache, fp uint64) (float64, error) {
+	var total, weight float64
+	for _, it := range w.Items {
+		if c, unsupported, ok := units.Lookup(it.Q, fp); ok {
+			if !unsupported {
+				total += it.Weight * c
+				weight += it.Weight
+			}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		c, err := p.Cost.Cost(ctx, it.Q, d)
+		if err != nil {
+			if errors.Is(err, designer.ErrUnsupported) {
+				units.Store(it.Q, fp, 0, true)
+				continue
+			}
+			return 0, err
+		}
+		units.Store(it.Q, fp, c, false)
+		total += it.Weight * c
+		weight += it.Weight
+	}
+	if weight == 0 {
+		return 0, errNoCostableWorkload
+	}
+	return total / weight, nil
+}
+
+// workers resolves Parallelism to a pool size for n tasks.
+func (p *Portfolio) workers(n int) int {
+	par := p.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > n {
+		par = n
+	}
+	if par < 1 {
+		par = 1
+	}
+	return par
+}

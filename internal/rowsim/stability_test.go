@@ -1,0 +1,70 @@
+package rowsim
+
+import (
+	"context"
+	"testing"
+
+	"cliffguard/internal/designer"
+	"cliffguard/internal/workload"
+)
+
+// TestCandidatesStability pins candidate generation against map-iteration
+// nondeterminism: 100 invocations over the same workload must produce the
+// identical candidate sequence (same structures, same order), and the
+// designer built on top of it the identical design. The generator iterates
+// slices and uses maps only for dedup, so any future map-keyed loop breaks
+// this immediately.
+func TestCandidatesStability(t *testing.T) {
+	s := testSchema()
+	db := Open(s)
+	d := NewDesigner(db, 64<<20)
+	w := designer.CompressByTemplate(workload.New(
+		q(&workload.Spec{Table: "f", SelectCols: []int{0, 3},
+			Preds: []workload.Pred{{Col: 0, Op: workload.Eq, Lo: 7, Hi: 7, Sel: 0.001}}}),
+		q(&workload.Spec{Table: "f", SelectCols: []int{1, 3},
+			Preds: []workload.Pred{{Col: 1, Op: workload.Eq, Lo: 5, Hi: 5, Sel: 0.01}}}),
+		q(&workload.Spec{Table: "f", SelectCols: []int{2},
+			GroupBy: []int{2},
+			Aggs:    []workload.Agg{{Fn: workload.Count, Col: -1}, {Fn: workload.Sum, Col: 3}}}),
+		q(&workload.Spec{Table: "f", SelectCols: []int{2, 1},
+			GroupBy: []int{2, 1},
+			Aggs:    []workload.Agg{{Fn: workload.Sum, Col: 3}},
+			Preds:   []workload.Pred{{Col: 0, Op: workload.Between, Lo: 1, Hi: 50, Sel: 0.05}}}),
+		q(&workload.Spec{Table: "f", SelectCols: []int{4, 3},
+			Preds: []workload.Pred{{Col: 4, Op: workload.Eq, Lo: 2, Hi: 2, Sel: 0.02}}}),
+	))
+
+	keysOf := func(cands []designer.Structure) []string {
+		keys := make([]string, len(cands))
+		for i, c := range cands {
+			keys[i] = c.Key()
+		}
+		return keys
+	}
+	ref := keysOf(d.Candidates(w))
+	if len(ref) == 0 {
+		t.Fatal("no candidates generated")
+	}
+	refDesign, err := d.Design(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		got := keysOf(d.Candidates(w))
+		if len(got) != len(ref) {
+			t.Fatalf("iteration %d: %d candidates, want %d", i, len(got), len(ref))
+		}
+		for j := range got {
+			if got[j] != ref[j] {
+				t.Fatalf("iteration %d: candidate %d is %q, want %q", i, j, got[j], ref[j])
+			}
+		}
+		design, err := d.Design(context.Background(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if design.Fingerprint() != refDesign.Fingerprint() || design.String() != refDesign.String() {
+			t.Fatalf("iteration %d: design drifted:\n got %s\nwant %s", i, design, refDesign)
+		}
+	}
+}
