@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke bench-sampler bench-eval bench-portfolio
+.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke bench-sampler bench-eval bench-portfolio serve-smoke
 
 # The full local gate: what should pass before every commit.
-ci: vet build race fuzz-smoke apidiff report-check bench-smoke bench-sampler bench-eval bench-portfolio
+ci: vet build race fuzz-smoke apidiff report-check serve-smoke bench-smoke bench-sampler bench-eval bench-portfolio
 
 # Fail on incompatible changes to the public cliffguard package (removed or
 # altered exported declarations vs api/cliffguard.api). Intentional breaks:
@@ -12,10 +12,12 @@ ci: vet build race fuzz-smoke apidiff report-check bench-smoke bench-sampler ben
 apidiff:
 	APIDIFF=$${APIDIFF:-on} sh tools/apidiff.sh
 
-# Accept the current exported surface as the new baseline.
+# Accept the current exported surfaces (Go package + /v1 HTTP route table)
+# as the new baselines.
 api-baseline:
 	LC_ALL=C $(GO) run ./tools/apicheck . > api/cliffguard.api
-	@echo "api/cliffguard.api refreshed; commit it together with the API change"
+	LC_ALL=C $(GO) run ./tools/apicheck -routes > api/http.api
+	@echo "api/cliffguard.api + api/http.api refreshed; commit them together with the API change"
 
 vet:
 	$(GO) vet ./...
@@ -88,6 +90,14 @@ bench-portfolio:
 	@mkdir -p /tmp/cliffguard-bench-portfolio
 	$(GO) run ./cmd/benchrunner -experiment PORTFOLIO -bench-json /tmp/cliffguard-bench-portfolio > /dev/null
 	$(GO) run ./cmd/cliffreport bench -against benchmarks /tmp/cliffguard-bench-portfolio/BENCH_PORTFOLIO.json
+
+# Boot the real cliffguardd binary on a random port and drive the /v1 API
+# end to end: tenant create -> workload -> submit -> poll -> design/trace/
+# report, golden-compared against the in-process library path; cross-tenant
+# shared-cache hits via /v1/statez; SIGTERM drain exits 0 with event streams
+# flushed.
+serve-smoke:
+	$(GO) run ./tools/servesmoke
 
 # Parallel neighborhood-evaluation benchmarks (cold and warm cache).
 bench:

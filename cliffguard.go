@@ -49,6 +49,7 @@ import (
 	"cliffguard/internal/datagen"
 	"cliffguard/internal/designer"
 	"cliffguard/internal/distance"
+	"cliffguard/internal/engine"
 	"cliffguard/internal/obs"
 	"cliffguard/internal/portfolio"
 	"cliffguard/internal/rowsim"
@@ -314,27 +315,49 @@ func GenerateData(s *Schema, maxRows int, seed int64) *Dataset {
 func NewParser(s *Schema) *Parser { return sqlparse.NewParser(s) }
 
 // NewVertica opens a cost-model-only columnar engine over the schema.
-func NewVertica(s *Schema) *VerticaDB { return vertsim.Open(s) }
+//
+// Deprecated: use OpenEngine(EngineSpec{Kind: EngineVertica, Schema: s}),
+// the one spec-driven constructor for every engine. This wrapper routes
+// through it and unwraps the simulator.
+func NewVertica(s *Schema) *VerticaDB {
+	return mustEngine(EngineSpec{Kind: engine.KindVertica, Schema: s}).Unwrap().(*VerticaDB)
+}
 
 // NewVerticaWithData opens a columnar engine whose executor runs against the
 // dataset.
-func NewVerticaWithData(data *Dataset) *VerticaDB { return vertsim.OpenWithData(data) }
+//
+// Deprecated: use OpenEngine(EngineSpec{Kind: EngineVertica, Data: data}).
+func NewVerticaWithData(data *Dataset) *VerticaDB {
+	return mustEngine(EngineSpec{Kind: engine.KindVertica, Data: data}).Unwrap().(*VerticaDB)
+}
 
 // NewVerticaDesigner returns the DBD-style nominal projection designer (the
 // paper's ExistingDesigner for Vertica) with the given storage budget.
+//
+// Deprecated: use Engine.NominalDesigner on an OpenEngine-opened engine.
 func NewVerticaDesigner(db *VerticaDB, budgetBytes int64) Designer {
 	return vertsim.NewDesigner(db, budgetBytes)
 }
 
 // NewRowStore opens a cost-model-only row-store engine over the schema.
-func NewRowStore(s *Schema) *RowStoreDB { return rowsim.Open(s) }
+//
+// Deprecated: use OpenEngine(EngineSpec{Kind: EngineRowStore, Schema: s}).
+func NewRowStore(s *Schema) *RowStoreDB {
+	return mustEngine(EngineSpec{Kind: engine.KindRowStore, Schema: s}).Unwrap().(*RowStoreDB)
+}
 
 // NewRowStoreWithData opens a row-store engine whose executor runs against
 // the dataset.
-func NewRowStoreWithData(data *Dataset) *RowStoreDB { return rowsim.OpenWithData(data) }
+//
+// Deprecated: use OpenEngine(EngineSpec{Kind: EngineRowStore, Data: data}).
+func NewRowStoreWithData(data *Dataset) *RowStoreDB {
+	return mustEngine(EngineSpec{Kind: engine.KindRowStore, Data: data}).Unwrap().(*RowStoreDB)
+}
 
 // NewRowStoreDesigner returns the DBMS-X-style nominal index/matview
 // designer with the given storage budget.
+//
+// Deprecated: use Engine.NominalDesigner on an OpenEngine-opened engine.
 func NewRowStoreDesigner(db *RowStoreDB, budgetBytes int64) Designer {
 	return rowsim.NewDesigner(db, budgetBytes)
 }
@@ -364,12 +387,28 @@ func NewILPDesigner(cost CostModel, provider CandidateProvider, budgetBytes int6
 
 // NewApproxEngine opens the approximate-query engine simulator, whose
 // physical designs are stratified samples.
-func NewApproxEngine(s *Schema) *ApproxDB { return aqesim.Open(s) }
+//
+// Deprecated: use OpenEngine(EngineSpec{Kind: EngineApprox, Schema: s}).
+func NewApproxEngine(s *Schema) *ApproxDB {
+	return mustEngine(EngineSpec{Kind: engine.KindApprox, Schema: s}).Unwrap().(*ApproxDB)
+}
 
 // NewSampleDesigner returns the BlinkDB-style nominal stratified-sample
 // designer with the given storage budget.
+//
+// Deprecated: use Engine.NominalDesigner on an OpenEngine-opened engine.
 func NewSampleDesigner(db *ApproxDB, budgetBytes int64) Designer {
 	return aqesim.NewDesigner(db, budgetBytes)
+}
+
+// mustEngine backs the deprecated engine constructors: their specs are
+// constructed here and can never fail validation.
+func mustEngine(spec EngineSpec) Engine {
+	eng, err := engine.Open(spec)
+	if err != nil {
+		panic(err)
+	}
+	return eng
 }
 
 // NewEuclidean returns the paper's delta_euclidean workload distance for a

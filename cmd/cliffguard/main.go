@@ -71,22 +71,12 @@ func main() {
 	}
 	fmt.Printf("loaded %d queries (%d lines skipped) from %s\n", w.Len(), skipped, *path)
 
-	var (
-		db      cliffguard.CostModel
-		nominal cliffguard.Designer
-	)
-	switch *engine {
-	case "vertica":
-		v := cliffguard.NewVertica(s)
-		db = v
-		nominal = cliffguard.NewVerticaDesigner(v, *budget<<20)
-	case "rowstore":
-		r := cliffguard.NewRowStore(s)
-		db = r
-		nominal = cliffguard.NewRowStoreDesigner(r, *budget<<20)
-	default:
-		log.Fatalf("unknown engine %q (want vertica or rowstore)", *engine)
+	eng, err := cliffguard.OpenEngine(cliffguard.EngineSpec{Kind: *engine, Schema: s})
+	if err != nil {
+		log.Fatal(err)
 	}
+	var db cliffguard.CostModel = eng
+	nominal := eng.NominalDesigner(*budget << 20)
 
 	members, err := buildDesigners(*designers, db, nominal, *budget<<20)
 	if err != nil {
@@ -152,9 +142,7 @@ func main() {
 		observer = cliffguard.MultiObserver(observer, cliffguard.NewProgressReporter(os.Stderr))
 	}
 	if reg != nil {
-		if ins, ok := db.(interface{ Instrument(*cliffguard.Metrics) }); ok {
-			ins.Instrument(reg)
-		}
+		eng.Instrument(reg)
 	}
 
 	start := time.Now()

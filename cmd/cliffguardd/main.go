@@ -1,0 +1,76 @@
+// Command cliffguardd is the multi-tenant robust-design advisor server: a
+// long-running process holding many guard instances (one per tenant), taking
+// workloads and design requests over the versioned /v1 HTTP/JSON API, running
+// designs asynchronously in a bounded global worker pool, and sharing the
+// cross-tenant unit-cost memo between tenants.
+//
+// Quickstart:
+//
+//	cliffguardd -addr :8734 &
+//	curl -s localhost:8734/v1/tenants -d '{"id":"acme","engine":{"kind":"rowstore"}}'
+//	wlgen -workload R1 -out r1.sql
+//	curl -s --data-binary @r1.sql localhost:8734/v1/tenants/acme/workload
+//	curl -s localhost:8734/v1/tenants/acme/runs -d '{"gamma":0.002,"seed":7}'
+//	curl -s localhost:8734/v1/tenants/acme/runs/r0001          # poll status
+//	curl -s localhost:8734/v1/tenants/acme/runs/r0001/report   # when done
+//
+// SIGTERM/SIGINT drains: new submissions are rejected with code "draining",
+// in-flight runs are cancelled, and event streams are flushed before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cliffguard/internal/obs"
+	"cliffguard/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cliffguardd: ")
+
+	var (
+		addr       = flag.String("addr", ":8734", "listen address for the /v1 API (and /metrics, /vars)")
+		workers    = flag.Int("workers", 0, "concurrent design runs across all tenants (0 = NumCPU)")
+		queueDepth = flag.Int("queue-depth", 0, "admitted runs that may wait for a worker (0 = 64)")
+		eventsDir  = flag.String("events-dir", "", "also persist each run's event stream to <dir>/<tenant>-<run>.events.jsonl")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight runs to wind down")
+	)
+	flag.Parse()
+
+	if *eventsDir != "" {
+		if err := os.MkdirAll(*eventsDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	srv := serve.NewServer(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		EventsDir:  *eventsDir,
+		Metrics:    obs.NewMetrics(),
+	})
+	if err := srv.Start(*addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("listening at http://%s/v1 (metrics at /metrics)\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal kills the process the default way
+
+	log.Printf("draining (up to %s): cancelling in-flight runs, flushing streams", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Fatalf("drain incomplete: %v", err)
+	}
+	log.Print("drained cleanly")
+}

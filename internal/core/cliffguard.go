@@ -96,7 +96,17 @@ func (cg *CliffGuard) Design(ctx context.Context, w0 *workload.Workload) (*desig
 // DesignWithTrace runs Algorithm 2 and returns the per-iteration trace. A
 // cancelled ctx aborts the loop promptly (between and inside neighborhood
 // evaluations) with ctx.Err().
+//
+// It is implemented on top of the job-oriented API: Start launches the same
+// loop asynchronously and DesignWithTrace awaits it, so the synchronous and
+// handle-based paths share one implementation and stay bit-identical.
 func (cg *CliffGuard) DesignWithTrace(ctx context.Context, w0 *workload.Workload) (*designer.Design, []Trace, error) {
+	return cg.Start(ctx, w0).Await(context.Background())
+}
+
+// run is the robust loop itself (Algorithm 2); Start executes it on the run
+// goroutine.
+func (cg *CliffGuard) run(ctx context.Context, w0 *workload.Workload) (*designer.Design, []Trace, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

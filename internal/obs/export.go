@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"io"
@@ -235,10 +236,25 @@ func Serve(addr string, m *Metrics) (*MetricsServer, error) {
 	return ms, nil
 }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, dropping in-flight requests. For
+// an orderly stop use Shutdown.
 func (s *MetricsServer) Close() error {
 	if s == nil || s.srv == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops accepting new connections and waits for in-flight scrapes
+// to finish, up to ctx's deadline; past the deadline remaining connections
+// are closed forcibly. It is safe on a nil server and after Close.
+func (s *MetricsServer) Shutdown(ctx context.Context) error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		_ = s.srv.Close()
+		return err
+	}
+	return nil
 }

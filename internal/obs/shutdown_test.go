@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// Shutdown must stop accepting connections while letting in-flight requests
+// complete — the graceful half of the serving layer's drain path.
+func TestMetricsServerShutdown(t *testing.T) {
+	ms, err := Serve("127.0.0.1:0", NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + ms.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics endpoint unreachable before shutdown: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ms.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + ms.Addr + "/metrics"); err == nil {
+		t.Fatal("metrics endpoint still reachable after shutdown")
+	}
+	// Shutdown after shutdown (and on nil) is a no-op, mirroring Close.
+	if err := ms.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	var nilMS *MetricsServer
+	if err := nilMS.Shutdown(ctx); err != nil {
+		t.Fatalf("nil shutdown: %v", err)
+	}
+}
+
+// A nil clock pins envelope timestamps to the zero time so re-rendering the
+// same events yields byte-identical JSONL — the serving layer's /events
+// endpoint depends on this.
+func TestJSONLSinkWithClockDeterministic(t *testing.T) {
+	events := []Event{
+		DesignerInvoked{Designer: "x", Structures: 2, SizeBytes: 64},
+		IterationStart{Iteration: 0, Alpha: 1, WorstCase: 10},
+		NeighborEvaluated{Iteration: 0, Phase: PhaseRank, Index: 0, Cost: 9},
+		MoveAccepted{Iteration: 0, WorstCase: 9},
+		IterationEnd{Iteration: 0, WorstCase: 9},
+	}
+	render := func() []byte {
+		var buf bytes.Buffer
+		sink := NewJSONLSink(&buf).WithClock(nil)
+		for _, e := range events {
+			sink.OnEvent(e)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("pinned-clock renders differ:\n%s\nvs\n%s", a, b)
+	}
+	if bytes.Contains(a, []byte(time.Now().UTC().Format("2006"))) {
+		t.Fatal("pinned-clock stream leaks the current year")
+	}
+	decoded, err := DecodeJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(events) {
+		t.Fatalf("decoded %d events, wrote %d", len(decoded), len(events))
+	}
+	for _, de := range decoded {
+		if !de.TS.IsZero() {
+			t.Fatalf("pinned-clock envelope has non-zero timestamp %v", de.TS)
+		}
+	}
+}

@@ -64,6 +64,21 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw), now: time.Now}
 }
 
+// WithClock replaces the sink's wall clock and returns the sink. A nil clock
+// pins every envelope timestamp to the zero time, making the whole stream a
+// pure function of the events — that is how the serving layer re-renders a
+// recorded run to identical bytes on every request. Set it before the first
+// event.
+func (s *JSONLSink) WithClock(now func() time.Time) *JSONLSink {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now == nil {
+		now = func() time.Time { return time.Time{} }
+	}
+	s.now = now
+	return s
+}
+
 // header writes the stream header once. Callers hold s.mu.
 func (s *JSONLSink) header() {
 	if s.opened || s.err != nil {

@@ -52,6 +52,18 @@ func Load(eventsPath, spansPath string) (*Run, error) {
 	return run, nil
 }
 
+// FromEvents wraps an in-memory event slice (e.g. an obs.Recorder snapshot)
+// as a Run, assigning the 1-based sequence numbers a JSONL sink would have.
+// The resulting Run carries no spans, so its Summary is fully deterministic —
+// the serving layer's /report endpoint is built on this.
+func FromEvents(events []obs.Event) *Run {
+	run := &Run{Events: make([]obs.DecodedEvent, len(events))}
+	for i, ev := range events {
+		run.Events[i] = obs.DecodedEvent{Seq: uint64(i + 1), Event: ev}
+	}
+	return run
+}
+
 // FromReaders is Load over readers (spans may be nil).
 func FromReaders(events, spans io.Reader) (*Run, error) {
 	run := &Run{}

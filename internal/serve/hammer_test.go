@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cliffguard/internal/engine"
+)
+
+// A -race workout of the server's shared state: tenants created, workloads
+// ingested, runs submitted, cancelled, and tenants deleted concurrently,
+// all over one bounded worker pool and one shared unit-cost memo.
+func TestHammerConcurrentTenantLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer test")
+	}
+	srv := NewServer(Config{Workers: runtime.NumCPU(), QueueDepth: 256})
+	sql := testSQL(t)
+	req := RunRequest{Gamma: 0.0008, Samples: 6, Iterations: 2, Seed: 7}
+
+	const workers = 4
+	const rounds = 3
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := fmt.Sprintf("h%d-%d", g, i)
+				tn, err := srv.CreateTenant(id, engine.Spec{Kind: engine.KindRowStore}, 0)
+				if err != nil {
+					t.Errorf("create %s: %v", id, err)
+					return
+				}
+				if _, _, err := tn.Ingest(strings.NewReader(sql)); err != nil {
+					t.Errorf("ingest %s: %v", id, err)
+					return
+				}
+				r1, err := srv.Submit(tn, req)
+				if err != nil {
+					t.Errorf("submit %s: %v", id, err)
+					return
+				}
+				// A second run that gets cancelled mid-flight (or pre-slot).
+				r2, err := srv.Submit(tn, req)
+				if err != nil {
+					t.Errorf("submit2 %s: %v", id, err)
+					return
+				}
+				r2.cancel()
+				waitRun(t, r1)
+				if st := r1.status(); st != StatusDone {
+					t.Errorf("%s run1 = %s: %v", id, st, r1.err())
+					return
+				}
+				waitRun(t, r2)
+				if st := r2.status(); !st.Terminal() {
+					t.Errorf("%s run2 not terminal: %s", id, st)
+					return
+				}
+				// Delete every other tenant while its sibling goroutines
+				// still run; shared-cache entries survive deletion.
+				if i%2 == 0 {
+					if err := srv.DeleteTenant(id); err != nil {
+						t.Errorf("delete %s: %v", id, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Identical rowstore workloads across many tenants: the shared memo must
+	// have produced cross-run hits, and sharing must not have corrupted
+	// results (every surviving run completed StatusDone above).
+	st := srv.shared.Stats()
+	if st.Hits == 0 {
+		t.Error("no shared-cache hits across identical concurrent tenants")
+	}
+	if st.Entries == 0 {
+		t.Error("shared cache empty after hammer")
+	}
+
+	// A distinct engine class must never read the rowstore tenants' memos:
+	// a vertica run on this warm, rowstore-polluted server must produce
+	// exactly the design a vertica run on a fresh, empty server produces.
+	vertDesign := func(s *Server) []StructureInfo {
+		t.Helper()
+		vt, err := s.CreateTenant("vert", engine.Spec{Kind: engine.KindVertica}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := vt.Ingest(strings.NewReader(sql)); err != nil {
+			t.Fatal(err)
+		}
+		vr, err := s.Submit(vt, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitRun(t, vr)
+		if st := vr.status(); st != StatusDone {
+			t.Fatalf("vertica run = %s: %v", st, vr.err())
+		}
+		d, _, err := vr.getHandle().Await(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []StructureInfo
+		for _, st := range d.Structures {
+			out = append(out, StructureInfo{Key: st.Key(), SizeBytes: st.SizeBytes(), Describe: st.Describe()})
+		}
+		return out
+	}
+	warm := vertDesign(srv)
+	cold := vertDesign(NewServer(Config{Workers: runtime.NumCPU()}))
+	if len(warm) != len(cold) {
+		t.Fatalf("warm-server vertica design has %d structures, cold %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i] != cold[i] {
+			t.Fatalf("shared memo leaked across engine classes: structure %d %+v vs %+v", i, warm[i], cold[i])
+		}
+	}
+
+	// Drain cleanly with everything settled.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown after hammer: %v", err)
+	}
+}

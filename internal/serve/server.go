@@ -1,0 +1,488 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cliffguard/internal/engine"
+	"cliffguard/internal/evalcache"
+	"cliffguard/internal/obs"
+	"cliffguard/internal/workload"
+)
+
+// Config configures a Server. Zero values mean defaults.
+type Config struct {
+	// Workers bounds how many runs execute concurrently across ALL tenants
+	// (the global admission pool; default runtime.NumCPU()). Runs beyond it
+	// queue.
+	Workers int
+	// QueueDepth bounds how many admitted runs may wait for a worker slot
+	// (default 64). Submissions beyond it are rejected with "overloaded".
+	QueueDepth int
+	// EventsDir, when set, also persists each run's event stream to
+	// <EventsDir>/<tenant>-<run>.events.jsonl (flushed when the run
+	// finishes and on Shutdown).
+	EventsDir string
+	// Metrics is the process-wide registry every tenant engine and run
+	// shares (default: a fresh registry). The server exposes it at /metrics
+	// and /vars.
+	Metrics *obs.Metrics
+}
+
+// Server is the multi-tenant robust-design advisor: it holds one guard
+// context per tenant (engine + accumulated workload + run history), admits
+// design runs into a bounded global worker pool, shares the cross-tenant
+// unit-cost memo between them, and serves the /v1 HTTP API.
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+	shared  *evalcache.Shared
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	slots      chan struct{}
+	runWG      sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	queued   int
+	tenants  map[string]*tenant
+	order    []string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer builds a server from the config.
+func NewServer(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewMetrics()
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		shared:  evalcache.NewShared(),
+		slots:   make(chan struct{}, cfg.Workers),
+		tenants: map[string]*tenant{},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.metrics.RegisterCache("shared-unitcost", s.shared.Stats)
+	return s
+}
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// tenant is one guard instance: an opened engine, the accumulated workload,
+// and the tenant's run history.
+type tenant struct {
+	id          string
+	spec        engine.Spec
+	eng         engine.Engine
+	budgetBytes int64
+
+	mu      sync.Mutex
+	w       *workload.Workload
+	nextID  int64 // next query ID to assign on ingest
+	skipped int   // unparseable lines dropped across all ingests
+	runs    map[string]*run
+	order   []string
+	nextRun int
+}
+
+// run is one submitted design run of a tenant.
+type run struct {
+	id     string
+	tenant string
+	req    RunRequest
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	handle   *RunHandle // nil while queued (or if admission failed)
+	preErr   error      // error before a handle existed
+	preState RunStatus  // terminal state reached before a handle existed
+
+	sink *obs.JSONLSink // optional EventsDir sink
+	file *os.File
+}
+
+func (r *run) setHandle(h *RunHandle) {
+	r.mu.Lock()
+	r.handle = h
+	r.mu.Unlock()
+}
+
+func (r *run) getHandle() *RunHandle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.handle
+}
+
+func (r *run) preFinish(st RunStatus, err error) {
+	r.mu.Lock()
+	r.preState, r.preErr = st, err
+	r.mu.Unlock()
+}
+
+// status resolves the run's lifecycle state across the queued/admission
+// window and the live handle.
+func (r *run) status() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case r.handle != nil:
+		return r.handle.Status()
+	case r.preState != "":
+		return r.preState
+	default:
+		return StatusQueued
+	}
+}
+
+func (r *run) err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.handle != nil {
+		return r.handle.Err()
+	}
+	return r.preErr
+}
+
+var tenantIDRe = regexp.MustCompile(`^[a-zA-Z0-9_-]{1,64}$`)
+
+// CreateTenant opens a tenant's engine and registers it. The engine is
+// instrumented into the server's shared metrics registry.
+func (s *Server) CreateTenant(id string, spec engine.Spec, budgetBytes int64) (*tenant, error) {
+	if !tenantIDRe.MatchString(id) {
+		return nil, errBadRequest(fmt.Errorf("tenant id %q must match %s", id, tenantIDRe))
+	}
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudgetBytes
+	}
+	eng, err := engine.Open(spec)
+	if err != nil {
+		return nil, errBadRequest(err)
+	}
+	norm, _ := spec.Normalize()
+	t := &tenant{
+		id: id, spec: norm, eng: eng, budgetBytes: budgetBytes,
+		w: &workload.Workload{}, nextID: 1, runs: map[string]*run{},
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errDraining
+	}
+	if _, dup := s.tenants[id]; dup {
+		return nil, errConflict(fmt.Errorf("tenant %q already exists", id))
+	}
+	eng.Instrument(s.metrics)
+	s.tenants[id] = t
+	s.order = append(s.order, id)
+	return t, nil
+}
+
+// Tenant looks a tenant up.
+func (s *Server) Tenant(id string) (*tenant, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return nil, errNotFound(fmt.Errorf("tenant %q not found", id))
+	}
+	return t, nil
+}
+
+// DeleteTenant cancels the tenant's in-flight runs and removes it. Memoized
+// shared-cache entries survive (they are content-keyed and tenant-free).
+func (s *Server) DeleteTenant(id string) error {
+	s.mu.Lock()
+	t, ok := s.tenants[id]
+	if ok {
+		delete(s.tenants, id)
+		for i, v := range s.order {
+			if v == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return errNotFound(fmt.Errorf("tenant %q not found", id))
+	}
+	t.mu.Lock()
+	runs := make([]*run, 0, len(t.runs))
+	for _, r := range t.runs {
+		runs = append(runs, r)
+	}
+	t.mu.Unlock()
+	for _, r := range runs {
+		r.cancel()
+	}
+	return nil
+}
+
+// tenantIDs snapshots tenant IDs in creation order.
+func (s *Server) tenantIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Ingest appends parsed queries from r to the tenant's accumulated workload,
+// continuing the tenant's query-ID sequence. It returns how many queries were
+// added and how many lines were skipped.
+func (t *tenant) Ingest(r io.Reader) (added, skipped int, err error) {
+	t.mu.Lock()
+	firstID := t.nextID
+	t.mu.Unlock()
+	w, skipped, err := ParseWorkload(t.eng.Schema(), r, firstID)
+	if err != nil {
+		return 0, skipped, errBadRequest(err)
+	}
+	t.mu.Lock()
+	t.w.Items = append(t.w.Items, w.Items...)
+	t.nextID = firstID + int64(w.Len()+skipped)
+	t.skipped += skipped
+	t.mu.Unlock()
+	return w.Len(), skipped, nil
+}
+
+// snapshotWorkload returns an immutable snapshot the run may keep.
+func (t *tenant) snapshotWorkload() *workload.Workload {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Clone()
+}
+
+func (t *tenant) workloadInfo() (queries int, skipped int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Len(), t.skipped
+}
+
+func (t *tenant) run(id string) (*run, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.runs[id]
+	if !ok {
+		return nil, errNotFound(fmt.Errorf("run %q not found in tenant %q", id, t.id))
+	}
+	return r, nil
+}
+
+func (t *tenant) runIDs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
+
+// Submit admits a design run for the tenant: it snapshots nothing yet (the
+// workload is cloned when a worker slot frees up), assigns the run ID, and
+// returns immediately. Rejections: errDraining during shutdown, errOverloaded
+// past QueueDepth.
+func (s *Server) Submit(t *tenant, req RunRequest) (*run, error) {
+	if err := req.validate(); err != nil {
+		return nil, errBadRequest(err)
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return nil, errOverloaded
+	}
+	s.queued++
+	s.mu.Unlock()
+
+	t.mu.Lock()
+	if t.w.Len() == 0 {
+		t.mu.Unlock()
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+		return nil, errBadRequest(fmt.Errorf("tenant %q has no workload; POST it first", t.id))
+	}
+	t.nextRun++
+	r := &run{id: fmt.Sprintf("r%04d", t.nextRun), tenant: t.id, req: req}
+	t.runs[r.id] = r
+	t.order = append(t.order, r.id)
+	t.mu.Unlock()
+
+	runCtx, cancel := context.WithCancel(s.baseCtx)
+	r.cancel = cancel
+	s.runWG.Add(1)
+	go s.execute(t, r, runCtx)
+	return r, nil
+}
+
+// execute runs one admitted run to completion on its own goroutine: wait for
+// a worker slot (or cancellation), snapshot the tenant workload, start the
+// guard, and flush the run's file sink when it finishes.
+func (s *Server) execute(t *tenant, r *run, ctx context.Context) {
+	defer s.runWG.Done()
+	defer r.cancel()
+
+	select {
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+		r.preFinish(StatusCancelled, ctx.Err())
+		return
+	case s.slots <- struct{}{}:
+	}
+	s.mu.Lock()
+	s.queued--
+	s.mu.Unlock()
+	defer func() { <-s.slots }()
+
+	spec := RunSpec{
+		Opened:      t.eng,
+		BudgetBytes: t.budgetBytes,
+		Metric:      r.req.Metric,
+		Designers:   r.req.Designers,
+		Options:     r.req.Options().WithMetrics(s.metrics),
+		Workload:    t.snapshotWorkload(),
+		Shared:      s.shared,
+	}
+	if s.cfg.EventsDir != "" {
+		path := filepath.Join(s.cfg.EventsDir, fmt.Sprintf("%s-%s.events.jsonl", t.id, r.id))
+		if f, err := os.Create(path); err == nil {
+			r.mu.Lock()
+			r.file, r.sink = f, obs.NewJSONLSink(f)
+			r.mu.Unlock()
+			spec.Options = spec.Options.WithObserver(r.sink)
+		}
+	}
+	h, err := StartRun(ctx, spec)
+	if err != nil {
+		r.preFinish(StatusFailed, err)
+		s.closeRunSink(r)
+		return
+	}
+	r.setHandle(h)
+	<-h.Done()
+	s.closeRunSink(r)
+}
+
+// closeRunSink flushes and closes the run's EventsDir stream, if any.
+func (s *Server) closeRunSink(r *run) {
+	r.mu.Lock()
+	sink, file := r.sink, r.file
+	r.sink, r.file = nil, nil
+	r.mu.Unlock()
+	if sink != nil {
+		_ = sink.Flush()
+	}
+	if file != nil {
+		_ = file.Close()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server: new submissions are rejected, every in-flight
+// run is cancelled, and the call waits (up to ctx's deadline) for runs to
+// finish and their event streams to flush. Tenant state — engines, workloads,
+// run history — stays listable until the process exits, so a supervisor can
+// scrape /v1/statez for resume bookkeeping during the drain window.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.baseCancel() // cancels every run's context
+
+	done := make(chan struct{})
+	go func() {
+		s.runWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if s.srv != nil {
+		sctx := ctx
+		if err != nil { // deadline already spent; close immediately
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithTimeout(context.Background(), time.Millisecond)
+			defer cancel()
+		}
+		if serr := s.srv.Shutdown(sctx); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// Start binds addr and serves the API until Shutdown. It returns once the
+// listener is bound, so Addr is immediately valid (use ":0" in tests).
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listening on %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound address after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// stateSnapshot captures the listable server state for /v1/statez.
+func (s *Server) stateSnapshot() StateInfo {
+	st := StateInfo{Draining: s.Draining(), Workers: s.cfg.Workers, QueueDepth: s.cfg.QueueDepth}
+	stats := s.shared.Stats()
+	st.SharedCache = SharedCacheInfo{Hits: stats.Hits, Misses: stats.Misses, Entries: stats.Entries}
+	for _, id := range s.tenantIDs() {
+		t, err := s.Tenant(id)
+		if err != nil {
+			continue
+		}
+		ti := s.tenantInfo(t)
+		for _, rid := range t.runIDs() {
+			r, err := t.run(rid)
+			if err != nil {
+				continue
+			}
+			ti.Runs = append(ti.Runs, s.runInfo(r))
+		}
+		st.Tenants = append(st.Tenants, ti)
+	}
+	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].ID < st.Tenants[j].ID })
+	return st
+}

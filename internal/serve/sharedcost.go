@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"cliffguard/internal/designer"
+	"cliffguard/internal/engine"
+	"cliffguard/internal/evalcache"
+	"cliffguard/internal/workload"
+)
+
+// SharedMemo is the process-wide cross-tenant unit-cost memo a RunSpec may
+// carry (see evalcache.Shared for the keying contract).
+type SharedMemo = *evalcache.Shared
+
+// sharedCostModel layers the cross-tenant memo under an engine's cost model.
+// Keys are content-based — (engine class, query content hash, design
+// fingerprint) — so a hit requires the same pure cost function, the same
+// query semantics, and the same design, regardless of which tenant computed
+// the value first. Memoized values are exactly what the engine would return,
+// so runs are bit-identical with or without the memo.
+//
+// designer.ErrUnsupported verdicts are memoized (they are as deterministic as
+// costs); hard errors are returned but never stored.
+type sharedCostModel struct {
+	eng   engine.Engine
+	memo  SharedMemo
+	class uint64
+	// qh memoizes workload.ContentHash by query pointer: a run costs the
+	// same few hundred queries millions of times.
+	qh sync.Map // *workload.Query -> uint64
+}
+
+func newSharedCostModel(eng engine.Engine, memo SharedMemo) *sharedCostModel {
+	return &sharedCostModel{eng: eng, memo: memo, class: eng.Class()}
+}
+
+func (s *sharedCostModel) queryHash(q *workload.Query) uint64 {
+	if v, ok := s.qh.Load(q); ok {
+		return v.(uint64)
+	}
+	h := workload.ContentHash(q)
+	s.qh.Store(q, h)
+	return h
+}
+
+// Cost implements designer.CostModel.
+func (s *sharedCostModel) Cost(ctx context.Context, q *workload.Query, d *designer.Design) (float64, error) {
+	key := evalcache.SharedKey{Class: s.class, Query: s.queryHash(q), Design: d.Fingerprint()}
+	if cost, unsupported, ok := s.memo.Lookup(key); ok {
+		if unsupported {
+			return 0, designer.ErrUnsupported
+		}
+		return cost, nil
+	}
+	cost, err := s.eng.Cost(ctx, q, d)
+	switch {
+	case err == nil:
+		s.memo.Store(key, cost, false)
+	case errors.Is(err, designer.ErrUnsupported):
+		s.memo.Store(key, 0, true)
+	}
+	return cost, err
+}

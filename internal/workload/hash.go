@@ -1,0 +1,106 @@
+package workload
+
+import "math"
+
+// ContentHash returns a canonical 64-bit identity of everything about the
+// query that a deterministic what-if cost model can observe: the anchor
+// table, the four clause column sets, and the full execution Spec
+// (projected columns, aggregates, predicates with operator/bounds/selectivity,
+// grouping, ordering, limit). Two queries with equal content hash identically
+// even when they were parsed by different sessions and carry different IDs or
+// timestamps — which is exactly what lets the serving layer share memoized
+// unit costs across tenants running the same workload.
+//
+// The hash deliberately excludes ID, Timestamp and the original SQL text:
+// none of them reach a cost model, and including them would defeat
+// cross-tenant sharing. It is a pure function (FNV-1a over a canonical byte
+// walk); callers that need it repeatedly should memoize by query pointer.
+func ContentHash(q *Query) uint64 {
+	h := newFNV()
+	if q == nil {
+		return h.sum()
+	}
+	h.colSet(q.Select)
+	h.colSet(q.Where)
+	h.colSet(q.GroupBy)
+	h.colSet(q.OrderBy)
+	if q.Spec == nil {
+		return h.sum()
+	}
+	s := q.Spec
+	h.str(s.Table)
+	h.ints(s.SelectCols)
+	h.int64(int64(len(s.Aggs)))
+	for _, a := range s.Aggs {
+		h.int64(int64(a.Fn))
+		h.int64(int64(a.Col))
+	}
+	h.int64(int64(len(s.Preds)))
+	for _, p := range s.Preds {
+		h.int64(int64(p.Col))
+		h.int64(int64(p.Op))
+		h.int64(p.Lo)
+		h.int64(p.Hi)
+		h.uint64(math.Float64bits(p.Sel))
+	}
+	h.ints(s.GroupBy)
+	h.int64(int64(len(s.OrderBy)))
+	for _, o := range s.OrderBy {
+		h.int64(int64(o.Col))
+		if o.Desc {
+			h.int64(1)
+		} else {
+			h.int64(0)
+		}
+	}
+	h.int64(int64(s.Limit))
+	return h.sum()
+}
+
+// fnv is a tiny incremental FNV-1a hasher with field separators, so adjacent
+// variable-length sections ("ab"+"c" vs "a"+"bc") can never collide by
+// concatenation.
+type fnv struct{ h uint64 }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func newFNV() *fnv { return &fnv{h: fnvOffset64} }
+
+func (f *fnv) byte(b byte) { f.h = (f.h ^ uint64(b)) * fnvPrime64 }
+
+func (f *fnv) sep() { f.byte(0xff) }
+
+func (f *fnv) uint64(v uint64) {
+	for shift := 0; shift < 64; shift += 8 {
+		f.byte(byte(v >> shift))
+	}
+}
+
+func (f *fnv) int64(v int64) { f.uint64(uint64(v)) }
+
+func (f *fnv) str(s string) {
+	for i := 0; i < len(s); i++ {
+		f.byte(s[i])
+	}
+	f.sep()
+}
+
+func (f *fnv) ints(v []int) {
+	f.int64(int64(len(v)))
+	for _, x := range v {
+		f.int64(int64(x))
+	}
+}
+
+func (f *fnv) colSet(s ColSet) {
+	ids := s.IDs()
+	f.int64(int64(len(ids)))
+	for _, id := range ids {
+		f.int64(int64(id))
+	}
+}
+
+func (f *fnv) sum() uint64 { return f.h }

@@ -1,0 +1,82 @@
+package cliffguard
+
+import (
+	"context"
+	"io"
+
+	"cliffguard/internal/engine"
+	"cliffguard/internal/serve"
+)
+
+// The engine facade: one spec-driven constructor for every engine simulator.
+// OpenEngine(EngineSpec{Kind: "rowstore"}) replaces the historical
+// per-engine constructor pairs (NewVertica/NewVerticaWithData, ...), which
+// remain as thin deprecated wrappers over it.
+type (
+	// EngineSpec declares which engine to open (kind, scale, optional
+	// explicit schema or dataset). The zero Kind means "vertica".
+	EngineSpec = engine.Spec
+	// Engine is an opened engine: the cost model plus schema access, the
+	// nominal designer, metrics instrumentation, the cost-model class
+	// fingerprint, and Unwrap to the underlying simulator.
+	Engine = engine.Engine
+)
+
+// Engine kind names accepted by EngineSpec.Kind.
+const (
+	EngineVertica  = engine.KindVertica
+	EngineRowStore = engine.KindRowStore
+	EngineApprox   = engine.KindApprox
+)
+
+// OpenEngine opens the engine the spec names. Aliases ("rowsim", "vertsim",
+// "aqesim", ...) and a zero scale are normalized.
+func OpenEngine(spec EngineSpec) (Engine, error) { return engine.Open(spec) }
+
+// The run API: RunSpec declares a robust-design run (engine, metric,
+// designer portfolio, loop options, workload); StartRun executes it
+// asynchronously and returns a RunHandle with status, cancellation, await,
+// and access to the run's event stream, spans, and report. Guard.Design and
+// Guard.DesignWithTrace are implemented on the same loop, so both paths
+// yield bit-identical designs, traces, and events for the same spec.
+type (
+	// RunSpec declares one robust-design run.
+	RunSpec = serve.RunSpec
+	// RunHandle is a running (or finished) asynchronous design run.
+	RunHandle = serve.RunHandle
+	// RunStatus is a RunHandle lifecycle state.
+	RunStatus = serve.RunStatus
+
+	// AdvisorServer is the multi-tenant robust-design advisor server behind
+	// cmd/cliffguardd: tenants, async runs, the /v1 HTTP API, cross-tenant
+	// unit-cost sharing, and graceful drain (Shutdown).
+	AdvisorServer = serve.Server
+	// ServerConfig configures an AdvisorServer.
+	ServerConfig = serve.Config
+)
+
+// RunHandle lifecycle states.
+const (
+	RunQueued    = serve.StatusQueued
+	RunRunning   = serve.StatusRunning
+	RunDone      = serve.StatusDone
+	RunFailed    = serve.StatusFailed
+	RunCancelled = serve.StatusCancelled
+)
+
+// StartRun validates the spec and launches the run asynchronously.
+func StartRun(ctx context.Context, spec RunSpec) (*RunHandle, error) {
+	return serve.StartRun(ctx, spec)
+}
+
+// NewAdvisorServer builds the multi-tenant advisor server. Start it with
+// Start(addr) (or mount Handler() yourself) and stop it with Shutdown.
+func NewAdvisorServer(cfg ServerConfig) *AdvisorServer { return serve.NewServer(cfg) }
+
+// ParseWorkload parses a SQL-per-line stream (optionally timestamp-tab
+// prefixed, the cmd/wlgen format) against the schema, assigning query IDs
+// sequentially from firstID. It is the shared ingestion path of the
+// cliffguard CLI and the cliffguardd workload endpoint.
+func ParseWorkload(s *Schema, r io.Reader, firstID int64) (*Workload, int, error) {
+	return serve.ParseWorkload(s, r, firstID)
+}

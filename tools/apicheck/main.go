@@ -9,6 +9,13 @@
 // Usage:
 //
 //	apicheck <package-dir>
+//	apicheck -routes
+//
+// With -routes it instead dumps the cliffguardd /v1 HTTP route table (from
+// internal/serve.RouteTable, the same table that registers the mux) as
+// sorted "METHOD PATTERN [request=T] response=T" lines, diffed against
+// api/http.api. A vanished or changed line is an incompatible wire change; a
+// new line is a compatible addition.
 //
 // Test files and files excluded by build constraints we don't evaluate are
 // skipped (only *_test.go is filtered; the packages under api/ review are
@@ -24,11 +31,19 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"cliffguard/internal/serve"
 )
 
 func main() {
+	if len(os.Args) == 2 && os.Args[1] == "-routes" {
+		for _, l := range routeLines() {
+			fmt.Println(l)
+		}
+		return
+	}
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: apicheck <package-dir>")
+		fmt.Fprintln(os.Stderr, "usage: apicheck <package-dir> | apicheck -routes")
 		os.Exit(2)
 	}
 	lines, err := surface(os.Args[1])
@@ -39,6 +54,23 @@ func main() {
 	for _, l := range lines {
 		fmt.Println(l)
 	}
+}
+
+// routeLines renders the /v1 route table one canonical line per endpoint.
+func routeLines() []string {
+	var out []string
+	for _, rt := range serve.RouteTable() {
+		line := rt.Method + " " + rt.Pattern
+		if rt.Request != "" {
+			line += " request=" + rt.Request
+		}
+		line += " response=" + rt.Response
+		out = append(out, line)
+	}
+	// RouteTable is already (pattern, method)-sorted; re-sort lexically so
+	// the baseline diffs with plain comm like the Go surface does.
+	sort.Strings(out)
+	return out
 }
 
 // surface returns the sorted exported declarations of the package in dir.

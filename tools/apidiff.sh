@@ -27,35 +27,46 @@ if [ "${APIDIFF:-on}" = "off" ]; then
 fi
 
 cd "$(dirname "$0")/.."
-baseline="api/cliffguard.api"
-current=$(mktemp)
-trap 'rm -f "$current"' EXIT
 
-go run ./tools/apicheck . > "$current"
+# diff_surface <baseline> <current-dump> <what>
+# FAILs on removed lines, prints additions as a reminder.
+diff_surface() {
+    baseline=$1; current=$2; what=$3
 
-if [ ! -f "$baseline" ]; then
-    echo "apidiff: no baseline at api/cliffguard.api; run 'make api-baseline' to create it" >&2
-    exit 1
-fi
+    if [ ! -f "$baseline" ]; then
+        echo "apidiff: no baseline at $baseline; run 'make api-baseline' to create it" >&2
+        return 1
+    fi
 
-# Sort defensively: a hand-edited baseline must still diff, not crash comm.
-base_sorted=$(mktemp)
-cur_sorted=$(mktemp)
-trap 'rm -f "$current" "$base_sorted" "$cur_sorted"' EXIT
-sort "$baseline" > "$base_sorted"
-sort "$current" > "$cur_sorted"
+    # Sort defensively: a hand-edited baseline must still diff, not crash comm.
+    base_sorted=$(mktemp)
+    cur_sorted=$(mktemp)
+    sort "$baseline" > "$base_sorted"
+    sort "$current" > "$cur_sorted"
 
-removed=$(comm -23 "$base_sorted" "$cur_sorted")
-added=$(comm -13 "$base_sorted" "$cur_sorted")
+    removed=$(comm -23 "$base_sorted" "$cur_sorted")
+    added=$(comm -13 "$base_sorted" "$cur_sorted")
+    rm -f "$base_sorted" "$cur_sorted"
 
-if [ -n "$added" ]; then
-    echo "apidiff: compatible additions (refresh with 'make api-baseline'):"
-    echo "$added" | sed 's/^/  + /'
-fi
-if [ -n "$removed" ]; then
-    echo "apidiff: INCOMPATIBLE changes (removed or altered declarations):" >&2
-    echo "$removed" | sed 's/^/  - /' >&2
-    echo "apidiff: if intentional, document the break and run 'make api-baseline' (or APIDIFF=off for one run)" >&2
-    exit 1
-fi
-echo "apidiff: ok ($(wc -l < "$baseline" | tr -d ' ') declarations)"
+    if [ -n "$added" ]; then
+        echo "apidiff: compatible $what additions (refresh with 'make api-baseline'):"
+        echo "$added" | sed 's/^/  + /'
+    fi
+    if [ -n "$removed" ]; then
+        echo "apidiff: INCOMPATIBLE $what changes (removed or altered lines):" >&2
+        echo "$removed" | sed 's/^/  - /' >&2
+        echo "apidiff: if intentional, document the break and run 'make api-baseline' (or APIDIFF=off for one run)" >&2
+        return 1
+    fi
+    echo "apidiff: $what ok ($(wc -l < "$baseline" | tr -d ' ') lines)"
+}
+
+go_cur=$(mktemp)
+http_cur=$(mktemp)
+trap 'rm -f "$go_cur" "$http_cur"' EXIT
+
+go run ./tools/apicheck . > "$go_cur"
+go run ./tools/apicheck -routes > "$http_cur"
+
+diff_surface api/cliffguard.api "$go_cur" "Go surface"
+diff_surface api/http.api "$http_cur" "HTTP /v1 surface"
