@@ -221,6 +221,15 @@ type (
 	MetricsSnapshot = obs.MetricsSnapshot
 	// LatencyStats summarizes one latency histogram inside a MetricsSnapshot.
 	LatencyStats = obs.LatencyStats
+	// Histogram is a fixed-bucket latency histogram (power-of-two µs buckets).
+	Histogram = obs.Histogram
+	// HistogramSnapshot is a plain-data copy of a Histogram.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// LabeledCounter is a counter family keyed by a single label value.
+	LabeledCounter = obs.LabeledCounter
+	// LabeledHistogram is a Histogram family keyed by a single label value
+	// (service telemetry: per-route latency, per-tenant queue wait).
+	LabeledHistogram = obs.LabeledHistogram
 	// Profiling is the live pprof state wired up by StartProfiling.
 	Profiling = obs.Profiling
 )

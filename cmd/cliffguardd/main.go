@@ -16,15 +16,26 @@
 //
 // SIGTERM/SIGINT drains: new submissions are rejected with code "draining",
 // in-flight runs are cancelled, and event streams are flushed before exit.
+// GET /v1/readyz turns 503 the moment the drain starts, so load balancers
+// stop routing first.
+//
+// Telemetry: every response carries X-Request-Id (inbound IDs and W3C
+// traceparent trace-ids are honored), /metrics and /vars expose per-route and
+// per-tenant service metrics, structured logs go to stderr (-log-level,
+// -log-format), and /v1/debug/requestz + /v1/debug/runz dump the in-memory
+// flight recorder (-flight-depth) for live postmortems.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -32,29 +43,68 @@ import (
 	"cliffguard/internal/serve"
 )
 
+// buildLogger maps the -log-level/-log-format flags to a slog.Logger writing
+// structured access and run-lifecycle records to stderr ("off" discards).
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off":
+		return slog.New(slog.NewTextHandler(io.Discard, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, error or off)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want json or text)", format)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cliffguardd: ")
 
 	var (
-		addr       = flag.String("addr", ":8734", "listen address for the /v1 API (and /metrics, /vars)")
-		workers    = flag.Int("workers", 0, "concurrent design runs across all tenants (0 = NumCPU)")
-		queueDepth = flag.Int("queue-depth", 0, "admitted runs that may wait for a worker (0 = 64)")
-		eventsDir  = flag.String("events-dir", "", "also persist each run's event stream to <dir>/<tenant>-<run>.events.jsonl")
-		drain      = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight runs to wind down")
+		addr         = flag.String("addr", ":8734", "listen address for the /v1 API (and /metrics, /vars)")
+		workers      = flag.Int("workers", 0, "concurrent design runs across all tenants (0 = NumCPU)")
+		queueDepth   = flag.Int("queue-depth", 0, "admitted runs that may wait for a worker (0 = 64)")
+		eventsDir    = flag.String("events-dir", "", "also persist each run's event stream to <dir>/<tenant>-<run>.events.jsonl")
+		drain        = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight runs to wind down")
+		logLevel     = flag.String("log-level", "info", "structured log level: debug, info, warn, error, or off")
+		logFormat    = flag.String("log-format", "json", "structured log format: json or text")
+		maxBodyBytes = flag.Int64("max-body-bytes", 0, "request-body cap on /v1 endpoints in bytes (0 = 32 MiB, <0 = unlimited)")
+		flightDepth  = flag.Int("flight-depth", 0, "flight-recorder ring capacity for /v1/debug/requestz and /v1/debug/runz (0 = 256)")
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *eventsDir != "" {
 		if err := os.MkdirAll(*eventsDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
 	}
 	srv := serve.NewServer(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		EventsDir:  *eventsDir,
-		Metrics:    obs.NewMetrics(),
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		EventsDir:    *eventsDir,
+		Metrics:      obs.NewMetrics(),
+		Logger:       logger,
+		MaxBodyBytes: *maxBodyBytes,
+		FlightDepth:  *flightDepth,
 	})
 	if err := srv.Start(*addr); err != nil {
 		log.Fatal(err)

@@ -9,6 +9,7 @@
 //	cliffreport diff [-check] [-spans-a a.spans] [-spans-b b.spans] old.jsonl new.jsonl
 //	cliffreport check -expect expected_summary.json [-spans run.spans] run.jsonl
 //	cliffreport bench [-against baselines/] [-rel-tol 0.01] BENCH_T1.json...
+//	cliffreport serve-summary [-requestz requestz.json] [-runz runz.json] [-json] metrics.txt
 //
 // `diff -check` and `check` exit non-zero on regression/mismatch, which is
 // how `make ci` gates on run trajectories.
@@ -33,10 +34,11 @@ func usage(stderr io.Writer) int {
 	fmt.Fprintln(stderr, `usage: cliffreport <command> [flags] <args>
 
 commands:
-  summarize   analyze one recorded run (convergence, alpha trajectory, budgets)
-  diff        compare two runs; -check exits non-zero on regression
-  check       verify a run against an expected summary (golden gate)
-  bench       validate BENCH_*.json files; -against gates them on a baseline dir
+  summarize      analyze one recorded run (convergence, alpha trajectory, budgets)
+  diff           compare two runs; -check exits non-zero on regression
+  check          verify a run against an expected summary (golden gate)
+  bench          validate BENCH_*.json files; -against gates them on a baseline dir
+  serve-summary  render a scraped cliffguardd /metrics page (+ flight-recorder dumps)
 
 run 'cliffreport <command> -h' for the command's flags`)
 	return 2
@@ -55,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runCheck(args[1:], stdout, stderr)
 	case "bench":
 		return runBench(args[1:], stdout, stderr)
+	case "serve-summary":
+		return runServeSummary(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stderr)
 		return 0
@@ -184,6 +188,57 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "OK: %s matches %s\n", fs.Arg(0), *expect)
+	return 0
+}
+
+// runServeSummary renders a scraped cliffguardd /metrics page, optionally
+// joined with saved /v1/debug/requestz and /v1/debug/runz envelope dumps.
+func runServeSummary(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("serve-summary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	requestz := fs.String("requestz", "", "saved GET /v1/debug/requestz response to fold in")
+	runz := fs.String("runz", "", "saved GET /v1/debug/runz response to fold in")
+	asJSON := fs.Bool("json", false, "emit the summary as JSON instead of text")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "cliffreport serve-summary: want exactly one scraped metrics.txt argument")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "cliffreport: %v\n", err)
+		return 1
+	}
+	points, err := report.ParsePrometheus(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "cliffreport: %v\n", err)
+		return 1
+	}
+	var reqDump, runDump []byte
+	if *requestz != "" {
+		if reqDump, err = os.ReadFile(*requestz); err != nil {
+			fmt.Fprintf(stderr, "cliffreport: %v\n", err)
+			return 1
+		}
+	}
+	if *runz != "" {
+		if runDump, err = os.ReadFile(*runz); err != nil {
+			fmt.Fprintf(stderr, "cliffreport: %v\n", err)
+			return 1
+		}
+	}
+	s, err := report.SummarizeServe(points, reqDump, runDump)
+	if err != nil {
+		fmt.Fprintf(stderr, "cliffreport: %v\n", err)
+		return 1
+	}
+	if *asJSON {
+		return writeJSON(stdout, s)
+	}
+	_ = report.WriteServeSummaryText(stdout, s)
 	return 0
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 )
 
@@ -23,6 +24,46 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	}
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	// labeledCounter renders a counter family with one label per line;
+	// empty families print nothing (labels only exist once incremented).
+	labeledCounter := func(name, help, label string, c *LabeledCounter) {
+		snap := c.Snapshot()
+		if len(snap) == 0 {
+			return
+		}
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, l := range c.Labels() {
+			fmt.Fprintf(ew, "%s{%s=%q} %d\n", name, label, l, snap[l])
+		}
+	}
+	// histLines renders one labeled histogram series (cumulative le buckets
+	// in seconds, sparse zero buckets elided, +Inf always present).
+	histLines := func(name, labels string, s HistogramSnapshot) {
+		cum := uint64(0)
+		for i, b := range s.Buckets {
+			cum += b
+			if b == 0 && i != histBuckets-1 {
+				continue // sparse output; the +Inf bucket always prints
+			}
+			le := float64(BucketUpperUs(i)) / 1e6
+			fmt.Fprintf(ew, "%s_bucket{%s,le=%q} %d\n", name, labels, trimFloat(le), cum)
+		}
+		fmt.Fprintf(ew, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, s.Count)
+		fmt.Fprintf(ew, "%s_sum{%s} %g\n", name, labels, float64(s.SumUs)/1e6)
+		fmt.Fprintf(ew, "%s_count{%s} %d\n", name, labels, s.Count)
+	}
+	// labeledHist renders a histogram family keyed by one label.
+	labeledHist := func(name, help, label string, lh *LabeledHistogram) {
+		labels := lh.Labels()
+		if len(labels) == 0 {
+			return
+		}
+		snap := lh.Snapshot()
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, l := range labels {
+			histLines(name, fmt.Sprintf("%s=%q", label, l), snap[l])
+		}
 	}
 
 	counter("cliffguard_sampler_draws_total", "Gamma-neighborhood sample draws.", m.SamplerDraws.Load())
@@ -43,30 +84,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter("cliffguard_portfolio_runs_total", "Designer-portfolio invocations.", m.PortfolioRuns.Load())
 	counter("cliffguard_portfolio_member_errors_total", "Portfolio members that returned an error.", m.PortfolioMemberErrors.Load())
 	counter("cliffguard_portfolio_member_timeouts_total", "Portfolio members that exceeded their timeout.", m.PortfolioMemberTimeouts.Load())
-	if wins := m.PortfolioWins.Snapshot(); len(wins) > 0 {
-		fmt.Fprintf(ew, "# HELP cliffguard_portfolio_wins_total Winning designs kept, per member designer.\n# TYPE cliffguard_portfolio_wins_total counter\n")
-		for _, member := range m.PortfolioWins.Labels() {
-			fmt.Fprintf(ew, "cliffguard_portfolio_wins_total{member=%q} %d\n", member, wins[member])
-		}
-	}
+	labeledCounter("cliffguard_portfolio_wins_total", "Winning designs kept, per member designer.", "member", &m.PortfolioWins)
 	gauge("cliffguard_pool_queue_depth", "Neighborhood tasks submitted but not yet picked up.", m.PoolQueueDepth.Load())
 	gauge("cliffguard_pool_workers_busy", "Workers currently evaluating a workload.", m.PoolWorkersBusy.Load())
 
 	hist := func(phase string, h *Histogram) {
-		s := h.Snapshot()
-		name := "cliffguard_phase_latency_seconds"
-		cum := uint64(0)
-		for i, b := range s.Buckets {
-			cum += b
-			if b == 0 && i != histBuckets-1 {
-				continue // sparse output; the +Inf bucket always prints
-			}
-			le := float64(BucketUpperUs(i)) / 1e6
-			fmt.Fprintf(ew, "%s_bucket{phase=%q,le=%q} %d\n", name, phase, trimFloat(le), cum)
-		}
-		fmt.Fprintf(ew, "%s_bucket{phase=%q,le=\"+Inf\"} %d\n", name, phase, s.Count)
-		fmt.Fprintf(ew, "%s_sum{phase=%q} %g\n", name, phase, float64(s.SumUs)/1e6)
-		fmt.Fprintf(ew, "%s_count{phase=%q} %d\n", name, phase, s.Count)
+		histLines("cliffguard_phase_latency_seconds", fmt.Sprintf("phase=%q", phase), h.Snapshot())
 	}
 	fmt.Fprintf(ew, "# HELP cliffguard_phase_latency_seconds Per-phase latency of the robust loop.\n")
 	fmt.Fprintf(ew, "# TYPE cliffguard_phase_latency_seconds histogram\n")
@@ -94,6 +117,41 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	quant("eval", &m.EvalLatency)
 	quant("design", &m.DesignLatency)
 	quant("iteration", &m.IterationLatency)
+
+	// Service-telemetry families (the cliffguardd serving layer). The
+	// request-latency family splits its composite "route|status-class" key
+	// into separate route/status labels at export time.
+	if labels := m.HTTPRequestLatency.Labels(); len(labels) > 0 {
+		snap := m.HTTPRequestLatency.Snapshot()
+		const name = "cliffguard_http_request_latency_seconds"
+		fmt.Fprintf(ew, "# HELP %s /v1 request latency per route and status class.\n# TYPE %s histogram\n", name, name)
+		for _, key := range labels {
+			route, class := SplitServiceKey(key)
+			histLines(name, fmt.Sprintf("route=%q,status=%q", route, class), snap[key])
+		}
+		fmt.Fprintf(ew, "# HELP cliffguard_http_requests_total /v1 requests per route and status class.\n# TYPE cliffguard_http_requests_total counter\n")
+		for _, key := range labels {
+			route, class := SplitServiceKey(key)
+			fmt.Fprintf(ew, "cliffguard_http_requests_total{route=%q,status=%q} %d\n", route, class, snap[key].Count)
+		}
+	}
+	labeledCounter("cliffguard_tenant_runs_total", "Design runs admitted, per tenant.", "tenant", &m.TenantRuns)
+	labeledHist("cliffguard_tenant_queue_wait_seconds", "Admission-to-worker-pickup wait, per tenant.", "tenant", &m.TenantQueueWait)
+	labeledHist("cliffguard_tenant_run_duration_seconds", "Worker pickup to terminal state, per tenant.", "tenant", &m.TenantRunDuration)
+	labeledCounter("cliffguard_admission_rejections_total", "Rejected run submissions, per stable error code.", "code", &m.AdmissionRejections)
+	labeledCounter("cliffguard_shared_unitcost_tenant_hits_total", "Shared unit-cost memo hits, per tenant.", "tenant", &m.SharedHitsByTenant)
+	labeledCounter("cliffguard_shared_unitcost_tenant_misses_total", "Shared unit-cost memo misses, per tenant.", "tenant", &m.SharedMissByTenant)
+	if hits := m.SharedHitsByTenant.Snapshot(); len(hits) > 0 {
+		misses := m.SharedMissByTenant.Snapshot()
+		fmt.Fprintf(ew, "# HELP cliffguard_shared_unitcost_tenant_hit_ratio Shared unit-cost memo hit ratio, per tenant.\n# TYPE cliffguard_shared_unitcost_tenant_hit_ratio gauge\n")
+		for _, tenant := range m.SharedHitsByTenant.Labels() {
+			total := hits[tenant] + misses[tenant]
+			if total == 0 {
+				continue
+			}
+			fmt.Fprintf(ew, "cliffguard_shared_unitcost_tenant_hit_ratio{tenant=%q} %g\n", tenant, float64(hits[tenant])/float64(total))
+		}
+	}
 
 	snaps := m.CacheSnapshots()
 	if len(snaps) > 0 {
@@ -133,6 +191,20 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 
 // trimFloat renders a float without trailing zeros (Prometheus le labels).
 func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+// ServiceKey joins a route and status class into the composite label key
+// used by Metrics.HTTPRequestLatency ("GET /v1/healthz|2xx"). The exporters
+// split it back into separate route/status labels.
+func ServiceKey(route, statusClass string) string { return route + "|" + statusClass }
+
+// SplitServiceKey splits a composite "route|status-class" key; keys without
+// a separator yield an empty status class.
+func SplitServiceKey(key string) (route, statusClass string) {
+	if i := strings.LastIndexByte(key, '|'); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return key, ""
+}
 
 type errWriter struct {
 	w   io.Writer
@@ -195,8 +267,39 @@ func (m *Metrics) ExpvarFunc() expvar.Func {
 			caches[name] = map[string]any{"hits": s.Hits, "misses": s.Misses, "entries": s.Entries}
 		}
 		out["costcache"] = caches
+		if svc := m.serviceExpvar(); len(svc) > 0 {
+			out["service"] = svc
+		}
 		return out
 	}
+}
+
+// serviceExpvar collects the serving-layer families for the expvar dump;
+// empty when the registry never served HTTP traffic (library use).
+func (m *Metrics) serviceExpvar() map[string]any {
+	svc := map[string]any{}
+	if lat := labeledLat(&m.HTTPRequestLatency); len(lat) > 0 {
+		svc["http_request_latency"] = lat
+	}
+	if runs := m.TenantRuns.Snapshot(); len(runs) > 0 {
+		svc["tenant_runs"] = runs
+	}
+	if wait := labeledLat(&m.TenantQueueWait); len(wait) > 0 {
+		svc["tenant_queue_wait"] = wait
+	}
+	if dur := labeledLat(&m.TenantRunDuration); len(dur) > 0 {
+		svc["tenant_run_duration"] = dur
+	}
+	if rej := m.AdmissionRejections.Snapshot(); len(rej) > 0 {
+		svc["admission_rejections"] = rej
+	}
+	if hits := m.SharedHitsByTenant.Snapshot(); len(hits) > 0 {
+		svc["shared_hits_by_tenant"] = hits
+	}
+	if misses := m.SharedMissByTenant.Snapshot(); len(misses) > 0 {
+		svc["shared_misses_by_tenant"] = misses
+	}
+	return svc
 }
 
 // Handler returns an http.Handler serving the Prometheus text format.

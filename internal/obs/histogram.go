@@ -114,6 +114,20 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return float64(BucketUpperUs(histBuckets - 2))
 }
 
+// Latency summarizes the snapshot as LatencyStats (count, mean, and
+// interpolated quantiles, in milliseconds).
+func (s HistogramSnapshot) Latency() LatencyStats {
+	ls := LatencyStats{Count: s.Count}
+	if s.Count == 0 {
+		return ls
+	}
+	ls.MeanMs = float64(s.SumUs) / float64(s.Count) / 1e3
+	ls.P50Ms = s.Quantile(0.5) / 1e3
+	ls.P90Ms = s.Quantile(0.9) / 1e3
+	ls.P99Ms = s.Quantile(0.99) / 1e3
+	return ls
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

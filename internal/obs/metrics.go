@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -68,6 +69,63 @@ func (c *LabeledCounter) Labels() []string {
 	c.mu.Unlock()
 	sort.Strings(labels)
 	return labels
+}
+
+// LabeledHistogram is a latency-histogram family keyed by a string label,
+// mirroring LabeledCounter (e.g. per-tenant queue-wait time). The zero value
+// is ready to use; all methods are safe for concurrent use. Labels are
+// expected to be low-cardinality (tenant IDs, route patterns) — the map is
+// mutex-guarded and every label pins one Histogram for the process lifetime,
+// so callers must never use unbounded request data (paths, query strings) as
+// labels.
+type LabeledHistogram struct {
+	mu sync.Mutex
+	m  map[string]*Histogram
+}
+
+// Observe records one duration under the label.
+func (h *LabeledHistogram) Observe(label string, d time.Duration) {
+	h.get(label).Observe(d)
+}
+
+// get returns the label's histogram, creating it on first use. The returned
+// histogram is shared and lock-free, so repeat observers may cache it.
+func (h *LabeledHistogram) get(label string) *Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.m == nil {
+		h.m = make(map[string]*Histogram)
+	}
+	hist, ok := h.m[label]
+	if !ok {
+		hist = &Histogram{}
+		h.m[label] = hist
+	}
+	return hist
+}
+
+// Labels returns the label set in sorted order (stable export output).
+func (h *LabeledHistogram) Labels() []string {
+	h.mu.Lock()
+	labels := make([]string, 0, len(h.m))
+	for k := range h.m {
+		labels = append(labels, k)
+	}
+	h.mu.Unlock()
+	sort.Strings(labels)
+	return labels
+}
+
+// Snapshot copies every label's histogram counters. Never nil; the map is
+// the caller's.
+func (h *LabeledHistogram) Snapshot() map[string]HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(h.m))
+	for k, v := range h.m {
+		out[k] = v.Snapshot()
+	}
+	return out
 }
 
 // Gauge is an atomic instantaneous value (e.g. a queue depth).
@@ -138,6 +196,20 @@ type Metrics struct {
 	EvalLatency      Histogram // one workload's f(W, D) evaluation
 	DesignLatency    Histogram // one nominal-designer invocation
 	IterationLatency Histogram // one full robust-loop iteration
+
+	// Service telemetry (internal/serve): the cliffguardd HTTP serving layer.
+	// Label-cardinality policy: route labels come from the fixed /v1 route
+	// table ("METHOD /pattern|status-class" composite keys; unmatched
+	// requests collapse to "other"), tenant labels are operator-bounded
+	// tenant IDs, and rejection codes are the fixed admission error codes —
+	// never raw paths, query strings, or request IDs.
+	HTTPRequestLatency  LabeledHistogram // request latency per "METHOD /route|status-class"
+	TenantRuns          LabeledCounter   // design runs admitted, per tenant
+	TenantRunDuration   LabeledHistogram // worker-slot pickup to terminal state, per tenant
+	TenantQueueWait     LabeledHistogram // admission to worker-slot pickup, per tenant
+	AdmissionRejections LabeledCounter   // rejected submissions per stable code ("overloaded", "draining")
+	SharedHitsByTenant  LabeledCounter   // shared unit-cost memo hits, per tenant
+	SharedMissByTenant  LabeledCounter   // shared unit-cost memo misses, per tenant
 
 	mu     sync.Mutex
 	caches map[string]func() CacheStats
@@ -215,6 +287,16 @@ type MetricsSnapshot struct {
 	PortfolioMemberTimeouts uint64            `json:"portfolio_member_timeouts,omitempty"`
 	PortfolioWins           map[string]uint64 `json:"portfolio_wins,omitempty"`
 
+	// Service-telemetry families. Empty (and omitted) for library runs; a
+	// cliffguardd registry carries the server-wide serving-layer state.
+	HTTPRequestLatency  map[string]LatencyStats `json:"http_request_latency,omitempty"`
+	TenantRuns          map[string]uint64       `json:"tenant_runs,omitempty"`
+	TenantRunDuration   map[string]LatencyStats `json:"tenant_run_duration,omitempty"`
+	TenantQueueWait     map[string]LatencyStats `json:"tenant_queue_wait,omitempty"`
+	AdmissionRejections map[string]uint64       `json:"admission_rejections,omitempty"`
+	SharedHitsByTenant  map[string]uint64       `json:"shared_hits_by_tenant,omitempty"`
+	SharedMissByTenant  map[string]uint64       `json:"shared_misses_by_tenant,omitempty"`
+
 	Caches  map[string]CacheStats   `json:"caches,omitempty"`
 	Latency map[string]LatencyStats `json:"latency,omitempty"`
 }
@@ -225,16 +307,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if m == nil {
 		return MetricsSnapshot{}
 	}
-	lat := func(h *Histogram) LatencyStats {
-		s := h.Snapshot()
-		return LatencyStats{
-			Count:  s.Count,
-			MeanMs: h.MeanMs(),
-			P50Ms:  s.Quantile(0.5) / 1e3,
-			P90Ms:  s.Quantile(0.9) / 1e3,
-			P99Ms:  s.Quantile(0.99) / 1e3,
-		}
-	}
+	lat := func(h *Histogram) LatencyStats { return h.Snapshot().Latency() }
 	return MetricsSnapshot{
 		SamplerDraws:         m.SamplerDraws.Load(),
 		SamplerRetries:       m.SamplerRetries.Load(),
@@ -257,6 +330,14 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		PortfolioMemberTimeouts: m.PortfolioMemberTimeouts.Load(),
 		PortfolioWins:           m.PortfolioWins.Snapshot(),
 
+		HTTPRequestLatency:  labeledLat(&m.HTTPRequestLatency),
+		TenantRuns:          m.TenantRuns.Snapshot(),
+		TenantRunDuration:   labeledLat(&m.TenantRunDuration),
+		TenantQueueWait:     labeledLat(&m.TenantQueueWait),
+		AdmissionRejections: m.AdmissionRejections.Snapshot(),
+		SharedHitsByTenant:  m.SharedHitsByTenant.Snapshot(),
+		SharedMissByTenant:  m.SharedMissByTenant.Snapshot(),
+
 		Caches: m.CacheSnapshots(),
 		Latency: map[string]LatencyStats{
 			"sample":    lat(&m.SampleLatency),
@@ -265,6 +346,21 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			"iteration": lat(&m.IterationLatency),
 		},
 	}
+}
+
+// labeledLat summarizes a labeled histogram family into per-label
+// LatencyStats; nil when the family has no labels, so JSON omits it and
+// library-run snapshots stay byte-identical to the pre-telemetry format.
+func labeledLat(h *LabeledHistogram) map[string]LatencyStats {
+	snap := h.Snapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	out := make(map[string]LatencyStats, len(snap))
+	for label, s := range snap {
+		out[label] = s.Latency()
+	}
+	return out
 }
 
 // cacheNames returns the registered cache names in sorted order (stable

@@ -41,6 +41,10 @@ const (
 	MarkDesignerPrefix = "designer:"
 	// MarkNeighborhoodSampled marks the Gamma-neighborhood draw.
 	MarkNeighborhoodSampled = "neighborhood_sampled"
+	// SpanQueueWait covers admission-queue wait: run submission accepted to
+	// worker-slot pickup. Written by the serving layer via RecordSpan, so a
+	// run's span stream links the originating HTTP request to the run loop.
+	SpanQueueWait = "queue_wait"
 )
 
 // SpanRecord is one line of the span stream.
@@ -54,6 +58,10 @@ type SpanRecord struct {
 	DurUs int64 `json:"dur_us,omitempty"`
 	// Metrics is set on the final SpanKindMetrics record only.
 	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
+	// RequestID is the originating HTTP request ID, stamped on every record
+	// once SetRequestID is called (empty for library runs). It lives only in
+	// this side-channel; the canonical event stream never carries it.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // SpanRecorder is an Observer that derives timestamped spans from the event
@@ -89,6 +97,9 @@ type SpanRecorder struct {
 	phaseStart time.Time
 	phaseEnd   time.Time
 
+	// requestID, when set, is stamped on every subsequent record.
+	requestID string
+
 	// now is swappable for tests.
 	now func() time.Time
 }
@@ -115,7 +126,30 @@ func (r *SpanRecorder) write(rec SpanRecord) {
 	if r.err != nil {
 		return
 	}
+	if rec.RequestID == "" {
+		rec.RequestID = r.requestID
+	}
 	r.err = r.enc.Encode(rec)
+}
+
+// SetRequestID stamps all subsequently written records with the originating
+// HTTP request ID. Call it before the first event arrives; it is safe (but
+// pointless) later, and a no-op for the records already written.
+func (r *SpanRecorder) SetRequestID(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.requestID = id
+}
+
+// RecordSpan writes an explicit closed span that was measured outside the
+// event stream (e.g. the serving layer's admission-queue wait). It opens the
+// stream if needed, so spans that precede the first event still land after
+// the header.
+func (r *SpanRecorder) RecordSpan(name string, iter int, start, end time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.header(r.now())
+	r.span(name, iter, start, end)
 }
 
 // span writes a closed span. Callers hold mu.

@@ -1,0 +1,362 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Serve-side reporting: `cliffreport serve-summary` renders a scraped
+// cliffguardd /metrics page (Prometheus text format) plus optional flight-
+// recorder dumps (/v1/debug/requestz, /v1/debug/runz envelopes) into the same
+// text/JSON report shapes as `summarize`. The parser is deliberately small —
+// it reads only what the obs exporter writes — but tolerates the full
+// `name{k="v"} value` line grammar including escaped label values.
+
+// MetricPoint is one sample line of a Prometheus text scrape.
+type MetricPoint struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsePrometheus reads a Prometheus text-format scrape. Comment and blank
+// lines are skipped; malformed sample lines are errors (a truncated scrape
+// should fail loudly, not quietly drop families).
+func ParsePrometheus(r io.Reader) ([]MetricPoint, error) {
+	var out []MetricPoint
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		pt, err := parseMetricLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("report: metrics line %d: %w", line, err)
+		}
+		out = append(out, pt)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("report: reading metrics: %w", err)
+	}
+	return out, nil
+}
+
+// parseMetricLine parses `name{k="v",...} value` (labels optional).
+func parseMetricLine(text string) (MetricPoint, error) {
+	pt := MetricPoint{}
+	rest := text
+	if i := strings.IndexAny(rest, "{ "); i >= 0 && rest[i] == '{' {
+		pt.Name = rest[:i]
+		labels, tail, err := parseLabels(rest[i:])
+		if err != nil {
+			return pt, err
+		}
+		pt.Labels = labels
+		rest = tail
+	} else if i >= 0 {
+		pt.Name = rest[:i]
+		rest = rest[i:]
+	} else {
+		return pt, fmt.Errorf("no value in %q", text)
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may trail the value; the obs exporter never writes one,
+	// but accept (and ignore) it anyway.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return pt, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	pt.Value = v
+	return pt, nil
+}
+
+// parseLabels parses a `{k="v",...}` block and returns the remaining tail.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("unterminated label block in %q", s)
+		}
+		key := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("label %q value is not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("unterminated value for label %q", key)
+			}
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default: // \" and \\ unescape to the char itself
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			case '"':
+				i++
+			default:
+				val.WriteByte(s[i])
+				i++
+				continue
+			}
+			break
+		}
+		labels[key] = val.String()
+	}
+}
+
+// RouteStats aggregates one route × status-class series of the request-
+// latency histogram.
+type RouteStats struct {
+	Route  string  `json:"route"`
+	Status string  `json:"status"`
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// TenantStats aggregates one tenant's serving-side series.
+type TenantStats struct {
+	Tenant            string   `json:"tenant"`
+	Runs              uint64   `json:"runs"`
+	QueueWaitCount    uint64   `json:"queue_wait_count,omitempty"`
+	QueueWaitMeanMs   float64  `json:"queue_wait_mean_ms,omitempty"`
+	RunDurationCount  uint64   `json:"run_duration_count,omitempty"`
+	RunDurationMeanMs float64  `json:"run_duration_mean_ms,omitempty"`
+	SharedHitRatio    *float64 `json:"shared_hit_ratio,omitempty"`
+}
+
+// FlightStats summarizes decoded flight-recorder dumps.
+type FlightStats struct {
+	Requests           int            `json:"requests"`
+	RequestsDropped    uint64         `json:"requests_dropped"`
+	ErrorRequests      int            `json:"error_requests"`
+	Transitions        int            `json:"transitions"`
+	TransitionsDropped uint64         `json:"transitions_dropped"`
+	RunsByState        map[string]int `json:"runs_by_state,omitempty"`
+}
+
+// ServeSummary is the aggregate view `cliffreport serve-summary` renders.
+type ServeSummary struct {
+	Requests   uint64            `json:"requests"`
+	Routes     []RouteStats      `json:"routes"`
+	Tenants    []TenantStats     `json:"tenants"`
+	Rejections map[string]uint64 `json:"rejections,omitempty"`
+	Flight     *FlightStats      `json:"flight,omitempty"`
+}
+
+// flight-dump wire shapes, decoded from the /v1 envelope. Locally declared:
+// report must not import internal/serve (serve imports report).
+type flightEnvelope struct {
+	Schema int             `json:"schema"`
+	Data   json.RawMessage `json:"data"`
+}
+
+type requestzDump struct {
+	Dropped  uint64 `json:"dropped"`
+	Requests []struct {
+		Status int `json:"status"`
+	} `json:"requests"`
+}
+
+type runzDump struct {
+	Dropped     uint64 `json:"dropped"`
+	Transitions []struct {
+		To string `json:"to"`
+	} `json:"transitions"`
+}
+
+func decodeFlightData(raw []byte, v any) error {
+	var env flightEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("report: decoding flight dump: %w", err)
+	}
+	if env.Data == nil {
+		return fmt.Errorf("report: flight dump has no data envelope")
+	}
+	if err := json.Unmarshal(env.Data, v); err != nil {
+		return fmt.Errorf("report: decoding flight dump data: %w", err)
+	}
+	return nil
+}
+
+// SummarizeServe aggregates a parsed /metrics scrape and optional raw
+// requestz/runz envelope dumps (nil = not scraped) into a ServeSummary.
+func SummarizeServe(points []MetricPoint, requestz, runz []byte) (*ServeSummary, error) {
+	s := &ServeSummary{}
+	routeKey := func(l map[string]string) string { return l["route"] + "|" + l["status"] }
+	routes := map[string]*RouteStats{}
+	tenants := map[string]*TenantStats{}
+	tenant := func(l map[string]string) *TenantStats {
+		id := l["tenant"]
+		t := tenants[id]
+		if t == nil {
+			t = &TenantStats{Tenant: id}
+			tenants[id] = t
+		}
+		return t
+	}
+	sums := map[string]float64{} // histogram _sum by series key, for means
+	hits := map[string]float64{}
+	misses := map[string]float64{}
+	for _, pt := range points {
+		switch pt.Name {
+		case "cliffguard_http_request_latency_seconds_count":
+			k := routeKey(pt.Labels)
+			if routes[k] == nil {
+				routes[k] = &RouteStats{Route: pt.Labels["route"], Status: pt.Labels["status"]}
+			}
+			routes[k].Count = uint64(pt.Value)
+			s.Requests += uint64(pt.Value)
+		case "cliffguard_http_request_latency_seconds_sum":
+			sums["route|"+routeKey(pt.Labels)] = pt.Value
+		case "cliffguard_tenant_runs_total":
+			tenant(pt.Labels).Runs = uint64(pt.Value)
+		case "cliffguard_tenant_queue_wait_seconds_count":
+			tenant(pt.Labels).QueueWaitCount = uint64(pt.Value)
+		case "cliffguard_tenant_queue_wait_seconds_sum":
+			sums["wait|"+pt.Labels["tenant"]] = pt.Value
+		case "cliffguard_tenant_run_duration_seconds_count":
+			tenant(pt.Labels).RunDurationCount = uint64(pt.Value)
+		case "cliffguard_tenant_run_duration_seconds_sum":
+			sums["dur|"+pt.Labels["tenant"]] = pt.Value
+		case "cliffguard_admission_rejections_total":
+			if s.Rejections == nil {
+				s.Rejections = map[string]uint64{}
+			}
+			s.Rejections[pt.Labels["code"]] = uint64(pt.Value)
+		case "cliffguard_shared_unitcost_tenant_hits_total":
+			hits[pt.Labels["tenant"]] = pt.Value
+		case "cliffguard_shared_unitcost_tenant_misses_total":
+			misses[pt.Labels["tenant"]] = pt.Value
+		}
+	}
+	for k, r := range routes {
+		if sum, ok := sums["route|"+k]; ok && r.Count > 0 {
+			r.MeanMs = sum / float64(r.Count) * 1e3
+		}
+		s.Routes = append(s.Routes, *r)
+	}
+	sort.Slice(s.Routes, func(i, j int) bool {
+		if s.Routes[i].Route != s.Routes[j].Route {
+			return s.Routes[i].Route < s.Routes[j].Route
+		}
+		return s.Routes[i].Status < s.Routes[j].Status
+	})
+	for id := range hits {
+		tenant(map[string]string{"tenant": id}) // materialize hit-only tenants
+	}
+	for id, t := range tenants {
+		if sum, ok := sums["wait|"+id]; ok && t.QueueWaitCount > 0 {
+			t.QueueWaitMeanMs = sum / float64(t.QueueWaitCount) * 1e3
+		}
+		if sum, ok := sums["dur|"+id]; ok && t.RunDurationCount > 0 {
+			t.RunDurationMeanMs = sum / float64(t.RunDurationCount) * 1e3
+		}
+		if total := hits[id] + misses[id]; total > 0 {
+			ratio := hits[id] / total
+			t.SharedHitRatio = &ratio
+		}
+		s.Tenants = append(s.Tenants, *t)
+	}
+	sort.Slice(s.Tenants, func(i, j int) bool { return s.Tenants[i].Tenant < s.Tenants[j].Tenant })
+
+	if requestz != nil || runz != nil {
+		s.Flight = &FlightStats{}
+		if requestz != nil {
+			var d requestzDump
+			if err := decodeFlightData(requestz, &d); err != nil {
+				return nil, err
+			}
+			s.Flight.Requests = len(d.Requests)
+			s.Flight.RequestsDropped = d.Dropped
+			for _, r := range d.Requests {
+				if r.Status >= 400 {
+					s.Flight.ErrorRequests++
+				}
+			}
+		}
+		if runz != nil {
+			var d runzDump
+			if err := decodeFlightData(runz, &d); err != nil {
+				return nil, err
+			}
+			s.Flight.Transitions = len(d.Transitions)
+			s.Flight.TransitionsDropped = d.Dropped
+			for _, tr := range d.Transitions {
+				if s.Flight.RunsByState == nil {
+					s.Flight.RunsByState = map[string]int{}
+				}
+				s.Flight.RunsByState[tr.To]++
+			}
+		}
+	}
+	return s, nil
+}
+
+// WriteServeSummaryText renders a ServeSummary for humans, in the same style
+// as WriteSummaryText.
+func WriteServeSummaryText(w io.Writer, s *ServeSummary) error {
+	p := func(format string, args ...any) {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+	p("serve summary (%d requests)", s.Requests)
+	if len(s.Routes) > 0 {
+		p("  routes:")
+		for _, r := range s.Routes {
+			p("    %-44s %s  n=%-6d mean=%.3fms", r.Route, r.Status, r.Count, r.MeanMs)
+		}
+	}
+	for _, t := range s.Tenants {
+		p("  tenant %-11s runs=%d", t.Tenant, t.Runs)
+		if t.QueueWaitCount > 0 {
+			p("    queue wait      n=%d mean=%.3fms", t.QueueWaitCount, t.QueueWaitMeanMs)
+		}
+		if t.RunDurationCount > 0 {
+			p("    run duration    n=%d mean=%.3fms", t.RunDurationCount, t.RunDurationMeanMs)
+		}
+		if t.SharedHitRatio != nil {
+			p("    shared memo     %.1f%% hits", *t.SharedHitRatio*100)
+		}
+	}
+	for _, code := range sortedKeys(s.Rejections) {
+		p("  rejections %-7s %d", code, s.Rejections[code])
+	}
+	if s.Flight != nil {
+		p("  flight recorder   %d requests (%d dropped, %d errors), %d run transitions (%d dropped)",
+			s.Flight.Requests, s.Flight.RequestsDropped, s.Flight.ErrorRequests,
+			s.Flight.Transitions, s.Flight.TransitionsDropped)
+		for _, st := range sortedKeys(s.Flight.RunsByState) {
+			p("    state %-11s %d", st, s.Flight.RunsByState[st])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// The flight recorder: two bounded ring buffers — the last N HTTP requests
+// and the last N run state transitions — kept in memory for live postmortems
+// via GET /v1/debug/requestz and /v1/debug/runz. Memory is bounded by
+// Config.FlightDepth per ring; once full, each append overwrites the oldest
+// record and bumps the dropped counter, so the debug dump always says how
+// much history it is missing.
+
+// flightRing is a fixed-capacity append-only ring. The zero value is unusable;
+// make one with newFlightRing.
+type flightRing[T any] struct {
+	mu      sync.Mutex
+	buf     []T
+	seq     uint64 // total records ever appended
+	dropped uint64 // records overwritten
+}
+
+func newFlightRing[T any](capacity int) *flightRing[T] {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &flightRing[T]{buf: make([]T, 0, capacity)}
+}
+
+// add appends one record, overwriting the oldest past capacity.
+func (r *flightRing[T]) add(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.dropped++
+	copy(r.buf, r.buf[1:])
+	r.buf[len(r.buf)-1] = v
+}
+
+// snapshot returns the retained records oldest-first plus ring bookkeeping.
+func (r *flightRing[T]) snapshot() (records []T, capacity int, total, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]T(nil), r.buf...), cap(r.buf), r.seq, r.dropped
+}
+
+// RequestRecord is one entry of the request flight recorder.
+type RequestRecord struct {
+	Time      time.Time `json:"time"`
+	RequestID string    `json:"request_id"`
+	Method    string    `json:"method"`
+	Path      string    `json:"path"`
+	Route     string    `json:"route"`
+	Tenant    string    `json:"tenant,omitempty"`
+	Status    int       `json:"status"`
+	Code      string    `json:"code,omitempty"` // stable error code on failures
+	DurUs     int64     `json:"dur_us"`
+	Bytes     int64     `json:"bytes"`
+}
+
+// RunTransition is one entry of the run-lifecycle flight recorder: a run
+// moving between lifecycle states ("" -> queued -> running -> done/...).
+type RunTransition struct {
+	Time      time.Time `json:"time"`
+	RequestID string    `json:"request_id,omitempty"`
+	Tenant    string    `json:"tenant"`
+	Run       string    `json:"run"`
+	From      string    `json:"from,omitempty"`
+	To        string    `json:"to"`
+	Detail    string    `json:"detail,omitempty"` // e.g. queue-wait duration, error
+}
+
+// RequestzInfo is the response of GET /v1/debug/requestz.
+type RequestzInfo struct {
+	Capacity int             `json:"capacity"`
+	Total    uint64          `json:"total"`
+	Dropped  uint64          `json:"dropped"`
+	Requests []RequestRecord `json:"requests"`
+}
+
+// RunzInfo is the response of GET /v1/debug/runz.
+type RunzInfo struct {
+	Capacity    int             `json:"capacity"`
+	Total       uint64          `json:"total"`
+	Dropped     uint64          `json:"dropped"`
+	Transitions []RunTransition `json:"transitions"`
+}
+
+// recordTransition appends a run state transition and mirrors it to the
+// lifecycle log.
+func (s *Server) recordTransition(tr RunTransition) {
+	tr.Time = time.Now()
+	s.transitions.add(tr)
+	attrs := []any{"tenant", tr.Tenant, "run", tr.Run, "from", tr.From, "to", tr.To}
+	if tr.RequestID != "" {
+		attrs = append(attrs, "request_id", tr.RequestID)
+	}
+	if tr.Detail != "" {
+		attrs = append(attrs, "detail", tr.Detail)
+	}
+	s.logger.Info("run", attrs...)
+}

@@ -24,7 +24,10 @@ type Route struct {
 // re-sorts for the baseline diff.
 var routes = []Route{
 	{Method: "GET", Pattern: "/v1/healthz", Response: "HealthInfo", handler: (*Server).handleHealth},
+	{Method: "GET", Pattern: "/v1/readyz", Response: "ReadyInfo", handler: (*Server).handleReady},
 	{Method: "GET", Pattern: "/v1/statez", Response: "StateInfo", handler: (*Server).handleState},
+	{Method: "GET", Pattern: "/v1/debug/requestz", Response: "RequestzInfo", handler: (*Server).handleRequestz},
+	{Method: "GET", Pattern: "/v1/debug/runz", Response: "RunzInfo", handler: (*Server).handleRunz},
 	{Method: "GET", Pattern: "/v1/tenants", Response: "TenantList", handler: (*Server).handleTenantList},
 	{Method: "POST", Pattern: "/v1/tenants", Request: "TenantSpec", Response: "TenantInfo", handler: (*Server).handleTenantCreate},
 	{Method: "GET", Pattern: "/v1/tenants/{tenant}", Response: "TenantInfo", handler: (*Server).handleTenantGet},
@@ -57,24 +60,42 @@ func RouteTable() []Route {
 
 // Handler returns the server's full HTTP handler: the /v1 API plus the
 // observability surface (/metrics Prometheus text, /vars expvar JSON) over
-// the server's shared registry.
+// the server's shared registry, all behind the telemetry middleware
+// (request IDs, per-route metrics, access log, flight recorder).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, rt := range routes {
 		rt := rt
-		mux.HandleFunc(rt.Method+" "+rt.Pattern, func(w http.ResponseWriter, r *http.Request) {
+		label := rt.Method + " " + rt.Pattern
+		mux.HandleFunc(label, func(w http.ResponseWriter, r *http.Request) {
+			st := stateFrom(r.Context())
+			if st != nil {
+				st.route = label
+				st.tenant = r.PathValue("tenant")
+			}
 			if err := rt.handler(s, w, r); err != nil {
+				if st != nil {
+					_, st.code = httpStatus(err)
+				}
 				writeError(w, err)
 			}
 		})
 	}
-	mux.Handle("GET /metrics", s.metrics.Handler())
+	obsRoute := func(label string, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if st := stateFrom(r.Context()); st != nil {
+				st.route = label
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+	mux.Handle("GET /metrics", obsRoute("GET /metrics", s.metrics.Handler()))
 	fn := s.metrics.ExpvarFunc()
-	mux.HandleFunc("GET /vars", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("GET /vars", obsRoute("GET /vars", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		fmt.Fprintln(w, fn.String())
-	})
-	return mux
+	})))
+	return s.telemetry(mux)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
@@ -86,6 +107,41 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
 		status = "draining"
 	}
 	writeData(w, http.StatusOK, HealthInfo{Status: status, Tenants: n, Draining: draining})
+	return nil
+}
+
+// handleReady is the readiness probe: 200 while the server can accept new
+// work, 503 with a stable code ("draining" or "saturated") once it cannot,
+// so load balancers stop routing before a SIGTERM drain completes.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) error {
+	s.mu.Lock()
+	draining, queued := s.draining, s.queued
+	s.mu.Unlock()
+	if draining {
+		return errDraining
+	}
+	if queued >= s.cfg.QueueDepth {
+		return errSaturated
+	}
+	writeData(w, http.StatusOK, ReadyInfo{
+		Ready: true, Workers: s.cfg.Workers, QueueDepth: s.cfg.QueueDepth, Queued: queued,
+	})
+	return nil
+}
+
+func (s *Server) handleRequestz(w http.ResponseWriter, r *http.Request) error {
+	records, capacity, total, dropped := s.requests.snapshot()
+	writeData(w, http.StatusOK, RequestzInfo{
+		Capacity: capacity, Total: total, Dropped: dropped, Requests: records,
+	})
+	return nil
+}
+
+func (s *Server) handleRunz(w http.ResponseWriter, r *http.Request) error {
+	records, capacity, total, dropped := s.transitions.snapshot()
+	writeData(w, http.StatusOK, RunzInfo{
+		Capacity: capacity, Total: total, Dropped: dropped, Transitions: records,
+	})
 	return nil
 }
 
@@ -110,7 +166,8 @@ func (s *Server) tenantInfo(t *tenant) TenantInfo {
 func (s *Server) runInfo(r *run) RunInfo {
 	info := RunInfo{
 		ID: r.id, Tenant: r.tenant, Status: string(r.status()),
-		Gamma: r.req.Gamma, Seed: r.req.Seed,
+		RequestID: r.requestID,
+		Gamma:     r.req.Gamma, Seed: r.req.Seed,
 		Designers: r.req.Designers, Metric: r.req.Metric,
 	}
 	if err := r.err(); err != nil {
@@ -222,7 +279,7 @@ func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) error {
 	if err := decodeJSON(r.Body, &req); err != nil {
 		return err
 	}
-	run, err := s.Submit(t, req)
+	run, err := s.submit(t, req, requestIDFrom(r.Context()))
 	if err != nil {
 		return err
 	}
@@ -294,11 +351,11 @@ func (s *Server) handleRunDesign(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) error {
-	_, h, err := s.finishedRun(r)
+	run, h, err := s.finishedRun(r)
 	if err != nil {
 		return err
 	}
-	info := TraceInfo{Trace: []TracePoint{}}
+	info := TraceInfo{RequestID: run.requestID, Trace: []TracePoint{}}
 	for _, tr := range h.Traces() {
 		info.Trace = append(info.Trace, TracePoint{
 			Iteration: tr.Iteration, Alpha: tr.Alpha,

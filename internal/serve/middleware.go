@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"time"
+
+	"cliffguard/internal/obs"
+)
+
+// RequestIDHeader is the request-ID header accepted inbound and set on every
+// response (including errors and non-/v1 paths like /metrics).
+const RequestIDHeader = "X-Request-Id"
+
+// requestState is the per-request telemetry scratchpad, threaded through the
+// handler chain via context. The outer middleware allocates it; the per-route
+// closures fill in the route pattern, tenant, and error code (the outer layer
+// cannot read r.Pattern — ServeMux serves handlers a copied request).
+type requestState struct {
+	id     string // assigned request ID
+	route  string // "METHOD /v1/..." route-table pattern, or "other"
+	tenant string // {tenant} path value, when the route has one
+	code   string // stable error code when the handler failed
+}
+
+type stateKey struct{}
+
+// stateFrom returns the request's telemetry state, or nil outside the
+// middleware (direct Handler() use in tests still works).
+func stateFrom(ctx context.Context) *requestState {
+	st, _ := ctx.Value(stateKey{}).(*requestState)
+	return st
+}
+
+// requestIDFrom returns the request ID assigned to ctx ("" outside the
+// middleware).
+func requestIDFrom(ctx context.Context) string {
+	if st := stateFrom(ctx); st != nil {
+		return st.id
+	}
+	return ""
+}
+
+// inboundIDRe bounds accepted inbound request IDs: printable, header-safe,
+// and short enough to log. Anything else is replaced, not echoed.
+var inboundIDRe = regexp.MustCompile(`^[a-zA-Z0-9_.:/=+-]{1,128}$`)
+
+// traceparentRe matches the W3C traceparent header; capture group 1 is the
+// 32-hex trace-id, which we adopt as the request ID so distributed traces
+// and our span streams share an identifier.
+var traceparentRe = regexp.MustCompile(`^[0-9a-f]{2}-([0-9a-f]{32})-[0-9a-f]{16}-[0-9a-f]{2}$`)
+
+// newRequestID generates a W3C-trace-id-compatible 32-hex-digit random ID.
+func newRequestID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a timestamp
+		// keeps telemetry usable rather than panicking the serving path.
+		return fmt.Sprintf("%032x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// resolveRequestID picks the request ID: a sane inbound X-Request-Id wins,
+// then the trace-id of an inbound W3C traceparent, then a fresh random ID.
+func resolveRequestID(r *http.Request) string {
+	if id := r.Header.Get(RequestIDHeader); id != "" && inboundIDRe.MatchString(id) {
+		return id
+	}
+	if m := traceparentRe.FindStringSubmatch(r.Header.Get("traceparent")); m != nil {
+		return m[1]
+	}
+	return newRequestID()
+}
+
+// statusWriter captures the response status and size for the access log and
+// the per-route latency metric.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// statusClass buckets an HTTP status for the metric label ("2xx", ...).
+func statusClass(status int) string {
+	if status < 100 || status > 599 {
+		return "other"
+	}
+	return fmt.Sprintf("%dxx", status/100)
+}
+
+// telemetry wraps the route mux with the service-telemetry middleware:
+// request-ID assignment/propagation, body bounding, per-route × status-class
+// latency metrics, the access log, and the request flight recorder.
+func (s *Server) telemetry(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		st := &requestState{id: resolveRequestID(r), route: "other"}
+		w.Header().Set(RequestIDHeader, st.id)
+		if r.Body != nil && s.cfg.MaxBodyBytes > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), stateKey{}, st)))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		dur := time.Since(start)
+		s.metrics.HTTPRequestLatency.Observe(obs.ServiceKey(st.route, statusClass(status)), dur)
+		s.requests.add(RequestRecord{
+			Time: start, RequestID: st.id, Method: r.Method, Path: r.URL.Path,
+			Route: st.route, Tenant: st.tenant, Status: status, Code: st.code,
+			DurUs: dur.Microseconds(), Bytes: sw.bytes,
+		})
+		level := slog.LevelInfo
+		switch {
+		case status >= 500:
+			level = slog.LevelError
+		case status >= 400:
+			level = slog.LevelWarn
+		}
+		attrs := []any{
+			slog.String("request_id", st.id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", st.route),
+			slog.Int("status", status),
+			slog.Int64("dur_us", dur.Microseconds()),
+			slog.Int64("bytes", sw.bytes),
+		}
+		if st.tenant != "" {
+			attrs = append(attrs, slog.String("tenant", st.tenant))
+		}
+		if st.code != "" {
+			attrs = append(attrs, slog.String("code", st.code))
+		}
+		s.logger.Log(r.Context(), level, "request", attrs...)
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"cliffguard/internal/core"
 	"cliffguard/internal/designer"
@@ -63,6 +64,18 @@ type RunSpec struct {
 	// keep the raw engine; values are identical either way, so designs stay
 	// bit-identical). The server installs its process-wide memo here.
 	Shared SharedMemo
+
+	// Telemetry context, set by the server. All three ride only the span
+	// side-channel, logs, and metric labels — never the canonical event
+	// stream, so runs stay bit-identical with or without them.
+	//
+	// Tenant labels the run's shared-memo hits/misses in the metrics
+	// registry; RequestID stamps every span record with the originating HTTP
+	// request; a non-zero EnqueuedAt makes StartRun open the span stream
+	// with an obs.SpanQueueWait span (admission to worker pickup).
+	Tenant     string
+	RequestID  string
+	EnqueuedAt time.Time
 }
 
 // resolveMetric maps a metric name to the distance metric.
@@ -155,6 +168,14 @@ func StartRun(ctx context.Context, spec RunSpec) (*RunHandle, error) {
 
 	h := &RunHandle{rec: &obs.Recorder{}, spans: &bytes.Buffer{}, done: make(chan struct{})}
 	h.spanRec = obs.NewSpanRecorder(h.spans)
+	if spec.RequestID != "" {
+		h.spanRec.SetRequestID(spec.RequestID)
+	}
+	if !spec.EnqueuedAt.IsZero() {
+		// The serving layer's admission wait, recorded before any event so
+		// the span stream reads request -> queue -> run in order.
+		h.spanRec.RecordSpan(obs.SpanQueueWait, -1, spec.EnqueuedAt, time.Now())
+	}
 
 	opts := spec.Options
 	opts.Portfolio = members[1:]
@@ -165,7 +186,11 @@ func StartRun(ctx context.Context, spec RunSpec) (*RunHandle, error) {
 	// when one is installed; the designers see the raw engine either way.
 	var cost designer.CostModel = eng
 	if spec.Shared != nil {
-		cost = newSharedCostModel(eng, spec.Shared)
+		sc := newSharedCostModel(eng, spec.Shared)
+		if spec.Tenant != "" {
+			sc.tenant, sc.metrics = spec.Tenant, opts.Metrics
+		}
+		cost = sc
 	}
 
 	sampler := sample.New(metric, sample.NewMutator(eng.Schema()))

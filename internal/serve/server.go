@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -18,6 +19,14 @@ import (
 	"cliffguard/internal/evalcache"
 	"cliffguard/internal/obs"
 	"cliffguard/internal/workload"
+)
+
+// Defaults for the telemetry-related Config knobs.
+const (
+	// DefaultMaxBodyBytes is Config.MaxBodyBytes when zero (32 MiB).
+	DefaultMaxBodyBytes int64 = 32 << 20
+	// DefaultFlightDepth is Config.FlightDepth when zero.
+	DefaultFlightDepth = 256
 )
 
 // Config configures a Server. Zero values mean defaults.
@@ -37,6 +46,15 @@ type Config struct {
 	// shares (default: a fresh registry). The server exposes it at /metrics
 	// and /vars.
 	Metrics *obs.Metrics
+	// Logger receives structured access and run-lifecycle records (default:
+	// discard). Every record carries the request ID and tenant when known.
+	Logger *slog.Logger
+	// MaxBodyBytes bounds request bodies on every /v1 endpoint (default
+	// 32 MiB; negative disables). Oversized bodies get a 413 envelope.
+	MaxBodyBytes int64
+	// FlightDepth is the per-ring capacity of the flight recorder (last N
+	// requests, last N run transitions; default 256).
+	FlightDepth int
 }
 
 // Server is the multi-tenant robust-design advisor: it holds one guard
@@ -47,6 +65,11 @@ type Server struct {
 	cfg     Config
 	metrics *obs.Metrics
 	shared  *evalcache.Shared
+	logger  *slog.Logger
+
+	// Flight recorder rings (see flight.go).
+	requests    *flightRing[RequestRecord]
+	transitions *flightRing[RunTransition]
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -74,12 +97,24 @@ func NewServer(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewMetrics()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.FlightDepth <= 0 {
+		cfg.FlightDepth = DefaultFlightDepth
+	}
 	s := &Server{
-		cfg:     cfg,
-		metrics: cfg.Metrics,
-		shared:  evalcache.NewShared(),
-		slots:   make(chan struct{}, cfg.Workers),
-		tenants: map[string]*tenant{},
+		cfg:         cfg,
+		metrics:     cfg.Metrics,
+		shared:      evalcache.NewShared(),
+		logger:      cfg.Logger,
+		requests:    newFlightRing[RequestRecord](cfg.FlightDepth),
+		transitions: newFlightRing[RunTransition](cfg.FlightDepth),
+		slots:       make(chan struct{}, cfg.Workers),
+		tenants:     map[string]*tenant{},
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.metrics.RegisterCache("shared-unitcost", s.shared.Stats)
@@ -112,6 +147,11 @@ type run struct {
 	tenant string
 	req    RunRequest
 	cancel context.CancelFunc
+
+	// requestID is the HTTP request that submitted the run ("" for direct
+	// Submit calls); enqueuedAt anchors the queue-wait span and metric.
+	requestID  string
+	enqueuedAt time.Time
 
 	mu       sync.Mutex
 	handle   *RunHandle // nil while queued (or if admission failed)
@@ -299,16 +339,24 @@ func (t *tenant) runIDs() []string {
 // returns immediately. Rejections: errDraining during shutdown, errOverloaded
 // past QueueDepth.
 func (s *Server) Submit(t *tenant, req RunRequest) (*run, error) {
+	return s.submit(t, req, "")
+}
+
+// submit is Submit plus the originating HTTP request ID (the handler path);
+// the ID rides only the telemetry side-channels, never the run itself.
+func (s *Server) submit(t *tenant, req RunRequest, requestID string) (*run, error) {
 	if err := req.validate(); err != nil {
 		return nil, errBadRequest(err)
 	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.metrics.AdmissionRejections.Inc(errDraining.code)
 		return nil, errDraining
 	}
 	if s.queued >= s.cfg.QueueDepth {
 		s.mu.Unlock()
+		s.metrics.AdmissionRejections.Inc(errOverloaded.code)
 		return nil, errOverloaded
 	}
 	s.queued++
@@ -323,11 +371,18 @@ func (s *Server) Submit(t *tenant, req RunRequest) (*run, error) {
 		return nil, errBadRequest(fmt.Errorf("tenant %q has no workload; POST it first", t.id))
 	}
 	t.nextRun++
-	r := &run{id: fmt.Sprintf("r%04d", t.nextRun), tenant: t.id, req: req}
+	r := &run{
+		id: fmt.Sprintf("r%04d", t.nextRun), tenant: t.id, req: req,
+		requestID: requestID, enqueuedAt: time.Now(),
+	}
 	t.runs[r.id] = r
 	t.order = append(t.order, r.id)
 	t.mu.Unlock()
 
+	s.metrics.TenantRuns.Inc(t.id)
+	s.recordTransition(RunTransition{
+		RequestID: requestID, Tenant: t.id, Run: r.id, To: string(StatusQueued),
+	})
 	runCtx, cancel := context.WithCancel(s.baseCtx)
 	r.cancel = cancel
 	s.runWG.Add(1)
@@ -348,6 +403,10 @@ func (s *Server) execute(t *tenant, r *run, ctx context.Context) {
 		s.queued--
 		s.mu.Unlock()
 		r.preFinish(StatusCancelled, ctx.Err())
+		s.recordTransition(RunTransition{
+			RequestID: r.requestID, Tenant: t.id, Run: r.id,
+			From: string(StatusQueued), To: string(StatusCancelled),
+		})
 		return
 	case s.slots <- struct{}{}:
 	}
@@ -355,6 +414,15 @@ func (s *Server) execute(t *tenant, r *run, ctx context.Context) {
 	s.queued--
 	s.mu.Unlock()
 	defer func() { <-s.slots }()
+
+	pickedUp := time.Now()
+	wait := pickedUp.Sub(r.enqueuedAt)
+	s.metrics.TenantQueueWait.Observe(t.id, wait)
+	s.recordTransition(RunTransition{
+		RequestID: r.requestID, Tenant: t.id, Run: r.id,
+		From: string(StatusQueued), To: string(StatusRunning),
+		Detail: fmt.Sprintf("queue_wait=%s", wait.Round(time.Microsecond)),
+	})
 
 	spec := RunSpec{
 		Opened:      t.eng,
@@ -364,6 +432,9 @@ func (s *Server) execute(t *tenant, r *run, ctx context.Context) {
 		Options:     r.req.Options().WithMetrics(s.metrics),
 		Workload:    t.snapshotWorkload(),
 		Shared:      s.shared,
+		Tenant:      t.id,
+		RequestID:   r.requestID,
+		EnqueuedAt:  r.enqueuedAt,
 	}
 	if s.cfg.EventsDir != "" {
 		path := filepath.Join(s.cfg.EventsDir, fmt.Sprintf("%s-%s.events.jsonl", t.id, r.id))
@@ -378,11 +449,25 @@ func (s *Server) execute(t *tenant, r *run, ctx context.Context) {
 	if err != nil {
 		r.preFinish(StatusFailed, err)
 		s.closeRunSink(r)
+		s.metrics.TenantRunDuration.Observe(t.id, time.Since(pickedUp))
+		s.recordTransition(RunTransition{
+			RequestID: r.requestID, Tenant: t.id, Run: r.id,
+			From: string(StatusRunning), To: string(StatusFailed), Detail: err.Error(),
+		})
 		return
 	}
 	r.setHandle(h)
 	<-h.Done()
 	s.closeRunSink(r)
+	s.metrics.TenantRunDuration.Observe(t.id, time.Since(pickedUp))
+	final := RunTransition{
+		RequestID: r.requestID, Tenant: t.id, Run: r.id,
+		From: string(StatusRunning), To: string(h.Status()),
+	}
+	if err := h.Err(); err != nil {
+		final.Detail = err.Error()
+	}
+	s.recordTransition(final)
 }
 
 // closeRunSink flushes and closes the run's EventsDir stream, if any.

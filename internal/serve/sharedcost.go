@@ -8,6 +8,7 @@ import (
 	"cliffguard/internal/designer"
 	"cliffguard/internal/engine"
 	"cliffguard/internal/evalcache"
+	"cliffguard/internal/obs"
 	"cliffguard/internal/workload"
 )
 
@@ -28,6 +29,11 @@ type sharedCostModel struct {
 	eng   engine.Engine
 	memo  SharedMemo
 	class uint64
+	// tenant/metrics, when both set, attribute memo hits and misses to the
+	// owning tenant (SharedHitsByTenant/SharedMissByTenant). Two atomic adds
+	// per cost call at worst — cheap next to the cost model underneath.
+	tenant  string
+	metrics *obs.Metrics
 	// qh memoizes workload.ContentHash by query pointer: a run costs the
 	// same few hundred queries millions of times.
 	qh sync.Map // *workload.Query -> uint64
@@ -50,10 +56,16 @@ func (s *sharedCostModel) queryHash(q *workload.Query) uint64 {
 func (s *sharedCostModel) Cost(ctx context.Context, q *workload.Query, d *designer.Design) (float64, error) {
 	key := evalcache.SharedKey{Class: s.class, Query: s.queryHash(q), Design: d.Fingerprint()}
 	if cost, unsupported, ok := s.memo.Lookup(key); ok {
+		if s.metrics != nil && s.tenant != "" {
+			s.metrics.SharedHitsByTenant.Inc(s.tenant)
+		}
 		if unsupported {
 			return 0, designer.ErrUnsupported
 		}
 		return cost, nil
+	}
+	if s.metrics != nil && s.tenant != "" {
+		s.metrics.SharedMissByTenant.Inc(s.tenant)
 	}
 	cost, err := s.eng.Cost(ctx, q, d)
 	switch {

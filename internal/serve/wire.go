@@ -60,10 +60,22 @@ var (
 		status: http.StatusTooManyRequests, code: "overloaded",
 		err: errors.New("run queue is full; retry later"),
 	}
+	// errSaturated is /v1/readyz's "stop routing here" verdict while the
+	// admission queue is full but the server is otherwise healthy.
+	errSaturated = &apiError{
+		status: http.StatusServiceUnavailable, code: "saturated",
+		err: errors.New("admission queue is saturated; back off"),
+	}
 )
 
-// httpStatus maps an error to its HTTP status and stable code.
+// httpStatus maps an error to its HTTP status and stable code. A body larger
+// than Config.MaxBodyBytes surfaces as *http.MaxBytesError from the reader
+// (often wrapped by a bad_request); it wins so clients see 413, not 400.
 func httpStatus(err error) (int, string) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge, "body_too_large"
+	}
 	var ae *apiError
 	if errors.As(err, &ae) {
 		return ae.status, ae.code
@@ -159,6 +171,9 @@ type RunInfo struct {
 	Tenant string `json:"tenant"`
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
+	// RequestID is the HTTP request that submitted the run (empty for runs
+	// submitted through the library API).
+	RequestID string `json:"request_id,omitempty"`
 
 	Gamma     float64  `json:"gamma"`
 	Seed      int64    `json:"seed"`
@@ -195,7 +210,9 @@ type TracePoint struct {
 
 // TraceInfo is the response of GET .../runs/{run}/trace.
 type TraceInfo struct {
-	Trace []TracePoint `json:"trace"`
+	// RequestID is the HTTP request that submitted the run, when known.
+	RequestID string       `json:"request_id,omitempty"`
+	Trace     []TracePoint `json:"trace"`
 }
 
 // SharedCacheInfo summarizes the cross-tenant unit-cost memo.
@@ -220,6 +237,16 @@ type HealthInfo struct {
 	Status   string `json:"status"` // "ok" or "draining"
 	Tenants  int    `json:"tenants"`
 	Draining bool   `json:"draining"`
+}
+
+// ReadyInfo is the response of GET /v1/readyz when the server is routable.
+// While draining or saturated, readyz instead returns a 503 envelope with
+// the stable code "draining" or "saturated".
+type ReadyInfo struct {
+	Ready      bool `json:"ready"`
+	Workers    int  `json:"workers"`
+	QueueDepth int  `json:"queue_depth"`
+	Queued     int  `json:"queued"`
 }
 
 // writeData writes a success envelope.

@@ -9,10 +9,14 @@
 //     (the bit-identical determinism contract of the serving layer);
 //  3. create a second tenant with the identical workload, run it, and require
 //     the shared unit-cost memo to report cross-tenant hits via /v1/statez;
-//  4. submit a long run, send SIGTERM, and require a clean drain (exit 0)
+//  4. scrape /metrics and require the service telemetry families (per-route
+//     request latency, per-tenant runs and queue wait) plus a populated
+//     /v1/debug/requestz flight ring; every /v1 response along the way must
+//     have carried an X-Request-Id, and an inbound ID must echo back;
+//  5. submit a long run, send SIGTERM, and require a clean drain (exit 0)
 //     within the drain timeout.
 //
-// Run via `make serve-smoke`. Exit status 0 means all four passed.
+// Run via `make serve-smoke`. Exit status 0 means all five passed.
 package main
 
 import (
@@ -157,7 +161,13 @@ func run() error {
 	}
 	fmt.Printf("servesmoke: cross-tenant shared hits %v -> %v\n", before, after)
 
-	// 4. SIGTERM during a long run drains cleanly (exit 0, events flushed).
+	// 4. Service telemetry: metric families in a real scrape, request IDs on
+	// every response, and a populated flight recorder.
+	if err := checkTelemetry(base); err != nil {
+		return err
+	}
+
+	// 5. SIGTERM during a long run drains cleanly (exit 0, events flushed).
 	long, _ := json.Marshal(map[string]any{
 		"gamma": 0.0008, "samples": 40, "iterations": 1000, "seed": 7,
 	})
@@ -254,6 +264,65 @@ func compareWithLibrary(sql string, design, trace map[string]any) error {
 	return nil
 }
 
+// checkTelemetry asserts the observability contract on the live daemon: the
+// service metric families show up in a real /metrics scrape, an inbound
+// X-Request-Id echoes back verbatim, and the flight recorder captured the
+// traffic this smoke test generated.
+func checkTelemetry(base string) error {
+	req, err := http.NewRequest("GET", base+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Request-Id", "servesmoke-echo-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "servesmoke-echo-1" {
+		return fmt.Errorf("inbound request ID not echoed: got %q", got)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	page, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for _, family := range []string{
+		`cliffguard_http_request_latency_seconds_count{route="POST /v1/tenants/{tenant}/runs",status="2xx"}`,
+		`cliffguard_http_requests_total{route="GET /v1/healthz",status="2xx"}`,
+		`cliffguard_tenant_runs_total{tenant="smoke-a"}`,
+		`cliffguard_tenant_queue_wait_seconds_count{tenant="smoke-a"}`,
+		`cliffguard_tenant_run_duration_seconds_count{tenant="smoke-b"}`,
+	} {
+		if !strings.Contains(string(page), family) {
+			return fmt.Errorf("/metrics scrape missing %q", family)
+		}
+	}
+
+	dump, err := get(base + "/v1/debug/requestz")
+	if err != nil {
+		return err
+	}
+	reqs, _ := dump["requests"].([]any)
+	if len(reqs) == 0 {
+		return fmt.Errorf("flight recorder /v1/debug/requestz is empty: %v", dump)
+	}
+	for _, r := range reqs {
+		rec, _ := r.(map[string]any)
+		if id, _ := rec["request_id"].(string); id == "" {
+			return fmt.Errorf("flight-recorded request without a request ID: %v", rec)
+		}
+	}
+	fmt.Printf("servesmoke: telemetry ok (%d flight-recorded requests, service metric families present)\n", len(reqs))
+	return nil
+}
+
 func asFloat(v any) float64 {
 	f, _ := v.(float64)
 	return f
@@ -323,6 +392,9 @@ func do(method, url, contentType, body string) (map[string]any, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		return nil, fmt.Errorf("%s %s: response has no X-Request-Id header", method, url)
+	}
 	var env struct {
 		Schema int            `json:"schema"`
 		Data   map[string]any `json:"data"`
