@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke bench-sampler bench-eval bench-portfolio serve-smoke
+.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke bench-sampler bench-eval bench-portfolio bench-scale serve-smoke
 
 # The full local gate: what should pass before every commit.
-ci: vet build race fuzz-smoke apidiff report-check serve-smoke bench-smoke bench-sampler bench-eval bench-portfolio
+ci: vet build race fuzz-smoke apidiff report-check serve-smoke bench-smoke bench-sampler bench-eval bench-portfolio bench-scale
 
 # Fail on incompatible changes to the public cliffguard package (removed or
 # altered exported declarations vs api/cliffguard.api). Intentional breaks:
@@ -90,6 +90,18 @@ bench-portfolio:
 	@mkdir -p /tmp/cliffguard-bench-portfolio
 	$(GO) run ./cmd/benchrunner -experiment PORTFOLIO -bench-json /tmp/cliffguard-bench-portfolio > /dev/null
 	$(GO) run ./cmd/cliffreport bench -against benchmarks /tmp/cliffguard-bench-portfolio/BENCH_PORTFOLIO.json
+
+# Gate million-query scale: re-run the SCALE experiment (a 1M-statement log
+# streamed through the template-compressing ingestion, then the same
+# fixed-seed robust design under the pooled evaluator and the shard-fanout
+# evaluator at 1/2/4 shards) and require its deterministic compression
+# counters, the fold-identity bit, and the shard-equivalence bits to match
+# the checked-in benchmarks/BENCH_SCALE.json (ingest/design wall-clock and
+# memory are informational).
+bench-scale:
+	@mkdir -p /tmp/cliffguard-bench-scale
+	$(GO) run ./cmd/benchrunner -experiment SCALE -bench-json /tmp/cliffguard-bench-scale > /dev/null
+	$(GO) run ./cmd/cliffreport bench -against benchmarks /tmp/cliffguard-bench-scale/BENCH_SCALE.json
 
 # Boot the real cliffguardd binary on a random port and drive the /v1 API
 # end to end: tenant create -> workload -> submit -> poll -> design/trace/

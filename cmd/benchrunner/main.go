@@ -10,8 +10,9 @@
 // Experiment IDs: T1, F5, F6, F7a, F7b, F7c, F8, F9, F10, F11, F12, F13,
 // F14, F15a, F15b, F16, plus ABL (this reproduction's CliffGuard loop
 // ablation; see DESIGN.md Section 5), SAMPLER (the closed-form landing fast
-// path), EVAL (the incremental-evaluation fast path), and PORTFOLIO (the
-// designer race: advisor vs AutoAdmin vs ILP-exact).
+// path), EVAL (the incremental-evaluation fast path), PORTFOLIO (the
+// designer race: advisor vs AutoAdmin vs ILP-exact), and SCALE (the
+// million-query streaming-ingestion and shard-fanout experiment).
 package main
 
 import (
@@ -219,7 +220,7 @@ func main() {
 	}
 
 	order := []string{"T1", "F5", "F6", "F7a", "F7b", "F7c", "F8", "F9",
-		"F10", "F11", "F12", "F13", "F14", "F15a", "F15b", "F16", "ABL", "SAMPLER", "EVAL", "PORTFOLIO"}
+		"F10", "F11", "F12", "F13", "F14", "F15a", "F15b", "F16", "ABL", "SAMPLER", "EVAL", "PORTFOLIO", "SCALE"}
 	want := make(map[string]bool)
 	if *exps == "all" {
 		for _, id := range order {
@@ -454,6 +455,30 @@ func (r *runner) run(id string) (map[string]float64, map[string]float64) {
 		vals["ilp_nodes"] = float64(res.ILPNodes)
 		info = map[string]float64{
 			"p1_ms": res.P1Ms, "pn_ms": res.PNMs, "overhead_ms": res.OverheadMs,
+		}
+	case "SCALE":
+		res, err := bench.ScaleBench(r.set("R1"), r.gammaV, r.seed)
+		fail(err)
+		bench.PrintScale(out, res)
+		r.csvOut(id, func(w *os.File) error { return bench.WriteScaleCSV(w, res) })
+		vals["log_lines"] = float64(res.LogLines)
+		vals["base_lines"] = float64(res.BaseLines)
+		vals["streamed"] = float64(res.Streamed)
+		vals["skipped"] = float64(res.Skipped)
+		vals["templates"] = float64(res.Templates)
+		vals["frozen_len"] = float64(res.FrozenLen)
+		vals["compression"] = res.Compression
+		vals["fold_identical"] = b2f(res.FoldIdentical)
+		vals["counters_match"] = b2f(res.CountersMatch)
+		vals["shard1_match"] = b2f(res.Shard1Match)
+		vals["shard2_match"] = b2f(res.Shard2Match)
+		vals["shard4_match"] = b2f(res.Shard4Match)
+		vals["iterations"] = float64(res.Iterations)
+		vals["pooled_cost_calls"] = float64(res.PooledCostCalls)
+		vals["shard_cost_calls"] = float64(res.ShardCostCalls)
+		info = map[string]float64{
+			"ingest_ms": res.IngestMs, "design_ms": res.DesignMs,
+			"heap_mb": res.HeapMB, "sys_mb": res.SysMB,
 		}
 	default:
 		log.Fatalf("unknown experiment %q", id)

@@ -1,10 +1,15 @@
 // Command cliffguard runs the robust designer (or the nominal designer, for
-// comparison) over a SQL workload file and prints the recommended physical
+// comparison) over a SQL workload and prints the recommended physical
 // design.
 //
-// The workload file contains one query per line, optionally preceded by an
-// RFC3339 timestamp and a tab (the format cmd/wlgen emits). Lines starting
-// with "--" and blank lines are ignored.
+// -workload accepts a query-log file (SQL statements, optionally preceded by
+// an RFC3339 timestamp and a tab — the format cmd/wlgen emits — with
+// multi-line ';'-terminated statements also accepted) or a workload
+// directory (schema.sql plus queries/ or queries.sql, in which case the DDL
+// overrides -scale). Lines starting with "--" and blank lines are ignored.
+// Either way the log streams through the template-compressing ingestion
+// path: duplicate statements fold into single weighted items, so memory
+// stays proportional to the number of distinct templates, not log lines.
 //
 // Usage:
 //
@@ -13,7 +18,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -32,7 +36,7 @@ func main() {
 	log.SetPrefix("cliffguard: ")
 
 	var (
-		path    = flag.String("workload", "", "workload file (one SQL query per line; required)")
+		path    = flag.String("workload", "", "workload: a SQL query-log file, or a directory with schema.sql + queries/ (required)")
 		engine  = flag.String("engine", "vertica", "engine: vertica (projections) or rowstore (indices+matviews)")
 		gamma   = flag.Float64("gamma", 0.002, "robustness knob Gamma (0 = nominal design)")
 		budget  = flag.Int64("budget", 2560, "storage budget in MiB")
@@ -41,6 +45,7 @@ func main() {
 		samples = flag.Int("samples", 40, "Gamma-neighborhood sample count")
 		iters   = flag.Int("iterations", 12, "robust-move iterations")
 		par     = flag.Int("parallelism", 0, "neighborhood-evaluation workers (0 = NumCPU)")
+		shards  = flag.Int("shards", 0, "shard-fanout neighborhood evaluation: contiguous shards with private unit-cost memos (0 = pooled -parallelism workers; any value is bit-identical)")
 		verbose = flag.Bool("v", false, "print the per-iteration trace")
 		outJSON = flag.String("out", "", "also write the design as JSON to this file")
 
@@ -64,12 +69,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	s := cliffguard.Warehouse(*scale)
-	w, skipped, err := loadWorkload(s, *path)
+	// The metrics registry is created before ingestion so the streaming
+	// parser's ingest_* counters land on the same /metrics surface as the
+	// run's; the listener itself starts later, which is fine — counters are
+	// cumulative.
+	var reg *cliffguard.Metrics
+	if *metrics != "" || *spans != "" {
+		reg = cliffguard.NewMetrics()
+	}
+
+	s, w, st, err := loadWorkload(*path, *scale, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("loaded %d queries (%d lines skipped) from %s\n", w.Len(), skipped, *path)
+	fmt.Printf("loaded %d queries as %d templates (%d skipped) from %s\n",
+		st.Streamed, w.Len(), st.Skipped, *path)
 
 	eng, err := cliffguard.OpenEngine(cliffguard.EngineSpec{Kind: *engine, Schema: s})
 	if err != nil {
@@ -102,13 +116,9 @@ func main() {
 		fmt.Printf("pprof at http://%s/debug/pprof/\n", prof.Addr)
 	}
 
-	// Instrumentation: a metrics registry whenever any consumer wants it (the
-	// span recorder snapshots it into its stream), an optional JSONL event
-	// sink, an optional span side-channel, and a terminal progress reporter.
-	var reg *cliffguard.Metrics
-	if *metrics != "" || *spans != "" {
-		reg = cliffguard.NewMetrics()
-	}
+	// Instrumentation: the registry created above ingestion, an optional
+	// JSONL event sink, an optional span side-channel, and a terminal
+	// progress reporter.
 	if *metrics != "" {
 		srv, err := cliffguard.ServeMetrics(*metrics, reg)
 		if err != nil {
@@ -161,8 +171,8 @@ func main() {
 	} else {
 		opts := cliffguard.Options{
 			Gamma: *gamma, Samples: *samples, Iterations: *iters, Seed: *seed,
-			Parallelism: *par,
-			Portfolio:   members[1:], MemberTimeout: *memberTimeout,
+			Parallelism: *par, Shards: *shards,
+			Portfolio: members[1:], MemberTimeout: *memberTimeout,
 		}.WithObserver(observer).WithMetrics(reg)
 		guard, gerr := cliffguard.New(members[0], db, s, opts)
 		if gerr != nil {
@@ -284,50 +294,19 @@ func writeDesignJSON(path, engine string, gamma float64, d *cliffguard.Design, b
 	return f.Close()
 }
 
-// loadWorkload parses a SQL-per-line file against the schema. Unparseable
-// lines are counted and skipped (mirroring the paper's treatment of R1's
-// non-conforming queries).
-func loadWorkload(s *cliffguard.Schema, path string) (*cliffguard.Workload, int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
+// loadWorkload streams the workload through the template-compressing
+// ingestion path (unparseable statements are counted and skipped, mirroring
+// the paper's treatment of R1's non-conforming queries): a workload
+// directory carries its own schema.sql, a bare log file parses against the
+// -scale warehouse schema. A non-nil reg receives the ingest_* counters.
+func loadWorkload(path string, scale int64, reg *cliffguard.Metrics) (*cliffguard.Schema, *cliffguard.Workload, cliffguard.IngestStats, error) {
+	opts := cliffguard.IngestOptions{FirstID: 1, Metrics: reg}
+	if cliffguard.IsWorkloadDir(path) {
+		return cliffguard.LoadWorkloadDir(path, opts)
 	}
-	defer f.Close()
-
-	parser := cliffguard.NewParser(s)
-	w := &cliffguard.Workload{}
-	skipped := 0
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var id int64
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "--") {
-			continue
-		}
-		ts := time.Time{}
-		sql := line
-		if i := strings.IndexByte(line, '\t'); i > 0 {
-			if parsed, err := time.Parse(time.RFC3339, line[:i]); err == nil {
-				ts = parsed
-				sql = line[i+1:]
-			}
-		}
-		id++
-		q, err := parser.ParseAt(sql, id, ts)
-		if err != nil {
-			skipped++
-			continue
-		}
-		w.Add(q, 1)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, err
-	}
-	if w.Len() == 0 {
-		return nil, skipped, fmt.Errorf("no parseable queries in %s", path)
-	}
-	return w, skipped, nil
+	s := cliffguard.Warehouse(scale)
+	w, st, err := cliffguard.IngestFile(s, path, opts)
+	return s, w, st, err
 }
 
 func safeRatio(a, b float64) float64 {

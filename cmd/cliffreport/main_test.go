@@ -7,10 +7,23 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"cliffguard/internal/obs"
 	"cliffguard/internal/report"
 )
+
+// fakeClock advances 1ms per reading from a fixed base, so every recording
+// produces identical span durations — the diff -check wall-clock gate must
+// see 0% drift between two runs of record(), regardless of scheduler noise.
+func fakeClock() func() time.Time {
+	t0 := time.Unix(1700000000, 0).UTC()
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Millisecond)
+	}
+}
 
 // record writes a small run's event and span streams into dir and returns
 // their paths. finalCost lets tests inject a worst-case regression.
@@ -36,7 +49,7 @@ func record(t *testing.T, dir, name string, finalCost float64) (eventsPath, span
 		t.Fatal(err)
 	}
 	sink := obs.NewJSONLSink(ef)
-	rec := obs.NewSpanRecorder(sf)
+	rec := obs.NewSpanRecorder(sf).WithClock(fakeClock())
 	for _, ev := range events {
 		sink.OnEvent(ev)
 		rec.OnEvent(ev)

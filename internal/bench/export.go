@@ -218,3 +218,31 @@ func WritePortfolioCSV(w io.Writer, r *PortfolioResult) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// WriteScaleCSV exports the SCALE million-query streaming-ingestion and
+// shard-fanout experiment.
+func WriteScaleCSV(w io.Writer, r *ScaleResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "log_lines", "base_lines",
+		"streamed", "skipped", "templates", "frozen_len", "compression",
+		"fold_identical", "counters_match",
+		"shard1_match", "shard2_match", "shard4_match", "iterations",
+		"pooled_cost_calls", "shard_cost_calls",
+		"ingest_ms", "design_ms", "heap_mb", "sys_mb"}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{
+		r.Workload, strconv.Itoa(r.LogLines), strconv.Itoa(r.BaseLines),
+		strconv.Itoa(r.Streamed), strconv.Itoa(r.Skipped),
+		strconv.Itoa(r.Templates), strconv.Itoa(r.FrozenLen), f(r.Compression),
+		strconv.FormatBool(r.FoldIdentical), strconv.FormatBool(r.CountersMatch),
+		strconv.FormatBool(r.Shard1Match), strconv.FormatBool(r.Shard2Match),
+		strconv.FormatBool(r.Shard4Match), strconv.Itoa(r.Iterations),
+		strconv.FormatUint(r.PooledCostCalls, 10), strconv.FormatUint(r.ShardCostCalls, 10),
+		f(r.IngestMs), f(r.DesignMs), f(r.HeapMB), f(r.SysMB),
+	}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -131,8 +131,13 @@ func (cg *CliffGuard) run(ctx context.Context, w0 *workload.Workload) (*designer
 
 	// Line 2: sample the Gamma-neighborhood. The sampler fans its draws
 	// across the same worker budget as neighborhood evaluation; results are
-	// bit-identical at any parallelism (per-draw RNG substreams).
-	cg.Sampler.Parallelism = opts.Parallelism
+	// bit-identical at any parallelism (per-draw RNG substreams). In sharded
+	// mode the shard count IS the worker budget, so it drives the sampler too.
+	if opts.Shards > 0 {
+		cg.Sampler.Parallelism = opts.Shards
+	} else {
+		cg.Sampler.Parallelism = opts.Parallelism
+	}
 	sampleStart := em.clock()
 	neighborhood, err := cg.Sampler.Neighborhood(rng, w0, opts.Gamma, opts.Samples)
 	if err != nil {
@@ -190,7 +195,7 @@ func (cg *CliffGuard) run(ctx context.Context, w0 *workload.Workload) (*designer
 
 		// Robust local move: merge and re-design. The move reads the same
 		// unit-cost memo the ranking pass just filled.
-		moved := cg.moveWorkload(ctx, w0, moveTargets, d, alpha, ev.units)
+		moved := cg.moveWorkload(ctx, w0, moveTargets, d, alpha, ev.moveMemo())
 		cand, err := cg.invokeNominal(ctx, em, nominal, iter, moved)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: nominal design on moved workload: %w", err)

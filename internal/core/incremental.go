@@ -42,22 +42,50 @@ import (
 // 2 x |distinct queries| regardless of iteration count.
 type runEval struct {
 	cg     *CliffGuard
-	units  *evalcache.Cache          // nil when the fast path is disabled
-	scores map[uint64][]evalResult   // design fingerprint -> index-aligned pass results
+	units  *evalcache.Cache        // nil when the fast path is disabled or sharded
+	scores map[uint64][]evalResult // design fingerprint -> index-aligned pass results
+
+	// Sharded mode (Options.Shards > 0): one private unit-cost memo per
+	// shard worker instead of the shared units cache. shards is the
+	// configured count; shardUnits is nil when the fast path is disabled
+	// (the sharded fan-out still runs, uncached).
+	shards     int
+	shardUnits []*evalcache.Cache
 }
 
 // newRunEval builds the run's evaluator. With DisableEvalFastPath both
 // caches stay nil and score degenerates to the legacy full pass.
 func (cg *CliffGuard) newRunEval(opts Options) *runEval {
-	re := &runEval{cg: cg}
+	re := &runEval{cg: cg, shards: opts.Shards}
 	if !opts.DisableEvalFastPath {
-		re.units = evalcache.New()
 		re.scores = make(map[uint64][]evalResult)
-		if opts.Metrics != nil {
-			opts.Metrics.RegisterCache("evalcache", re.units.Stats)
+		if re.shards > 0 {
+			re.shardUnits = make([]*evalcache.Cache, re.shards)
+			for k := range re.shardUnits {
+				re.shardUnits[k] = evalcache.New()
+			}
+			if opts.Metrics != nil {
+				opts.Metrics.RegisterCache("evalcache", shardStats(re.shardUnits))
+			}
+		} else {
+			re.units = evalcache.New()
+			if opts.Metrics != nil {
+				opts.Metrics.RegisterCache("evalcache", re.units.Stats)
+			}
 		}
 	}
 	return re
+}
+
+// moveMemo returns the unit-cost memo moveWorkload should read: the shared
+// cache, or shard 0's private memo in sharded mode. A sharded memo holds only
+// shard 0's queries, so some lookups miss and recompute — bit-identical
+// either way, because memoized costs are the exact model outputs.
+func (re *runEval) moveMemo() *evalcache.Cache {
+	if re.shardUnits != nil {
+		return re.shardUnits[0]
+	}
+	return re.units
 }
 
 // score evaluates the neighborhood under d, replaying the memoized pass when
@@ -71,7 +99,12 @@ func (re *runEval) score(ctx context.Context, neighborhood []*workload.Workload,
 			return cached
 		}
 	}
-	res := re.cg.evalNeighborhood(ctx, neighborhood, d, em, iter, phase, re.units)
+	var res []evalResult
+	if re.shards > 0 {
+		res = re.cg.evalNeighborhoodSharded(ctx, neighborhood, d, em, iter, phase, re.shardUnits, re.shards)
+	} else {
+		res = re.cg.evalNeighborhood(ctx, neighborhood, d, em, iter, phase, re.units)
+	}
 	if re.scores != nil && cacheableResults(res) {
 		re.scores[d.Fingerprint()] = res
 	}
@@ -103,7 +136,7 @@ func (re *runEval) replay(results []evalResult, em emitter, iter int, phase stri
 // retain applies the two-generation eviction: only the incumbent's and the
 // latest candidate's fingerprints survive the iteration boundary.
 func (re *runEval) retain(incumbent, candidate *designer.Design) {
-	if re.units == nil {
+	if re.scores == nil {
 		return
 	}
 	fpI, fpC := incumbent.Fingerprint(), candidate.Fingerprint()
@@ -112,7 +145,12 @@ func (re *runEval) retain(incumbent, candidate *designer.Design) {
 			delete(re.scores, fp)
 		}
 	}
-	re.units.Retain(fpI, fpC)
+	if re.units != nil {
+		re.units.Retain(fpI, fpC)
+	}
+	for _, c := range re.shardUnits {
+		c.Retain(fpI, fpC)
+	}
 }
 
 // cacheableResults reports whether a pass may be memoized: per-workload

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"strconv"
+	"sync"
+
+	"cliffguard/internal/designer"
+	"cliffguard/internal/evalcache"
+	"cliffguard/internal/obs"
+	"cliffguard/internal/workload"
+)
+
+// The shard-fanout neighborhood evaluator (Options.Shards > 0). Where the
+// pooled evaluator (parallel.go) feeds one index channel to Parallelism
+// workers sharing a single unit-cost memo, the sharded evaluator statically
+// partitions the neighborhood into Shards contiguous index ranges and gives
+// each shard its own goroutine AND its own private *evalcache.Cache:
+//
+//   - No cross-shard lock traffic: a shard's memo is touched by exactly one
+//     goroutine, so even the evalcache's striped RLocks are uncontended.
+//     At million-query scale the pooled evaluator's shared-cache lookups
+//     become the dominant synchronization cost; the sharded layout removes
+//     them entirely.
+//   - Static partition, not work stealing: shard k owns [k*n/S, (k+1)*n/S).
+//     Sampled neighbors are statistically interchangeable (each is an i.i.d.
+//     draw from the same Gamma-ball), so contiguous ranges balance within
+//     one workload's cost of each other and nothing is gained by dynamic
+//     dispatch.
+//
+// Determinism is identical to the pooled path, for the same reasons: each
+// workload's cost sum is accumulated in item order inside one goroutine,
+// results land in an index-aligned slice, and every reduction walks that
+// slice in index order. Memoized unit costs are the exact float64s the pure
+// cost model returns, so a memo hit and a model call are interchangeable
+// bit-for-bit — which is why designs, traces, and per-pass event multisets
+// are bit-identical at ANY shard count, and to the pooled evaluator.
+// core/shard_test.go pins this.
+//
+// The only observable difference is instrumentation volume: with S private
+// memos a query shared by workloads in different shards is costed up to S
+// times (CostModelCalls grows accordingly), and ShardEvals counts evaluations
+// per shard index.
+
+// shardRange returns shard k's half-open index range over n items:
+// [k*n/S, (k+1)*n/S). Ranges are contiguous, cover [0, n) exactly, and
+// differ in size by at most one.
+func shardRange(k, n, shards int) (lo, hi int) {
+	return k * n / shards, (k + 1) * n / shards
+}
+
+// evalNeighborhoodSharded evaluates the neighborhood with one goroutine per
+// shard, each walking its contiguous index range sequentially against its
+// own unit-cost memo. shardUnits is index-aligned with the shard count and
+// may be nil (fast path disabled) — individual caches are then nil too and
+// every evaluation calls the cost model.
+func (cg *CliffGuard) evalNeighborhoodSharded(ctx context.Context, neighborhood []*workload.Workload, d *designer.Design, em emitter, iter int, phase string, shardUnits []*evalcache.Cache, shards int) []evalResult {
+	fp := d.Fingerprint()
+	n := len(neighborhood)
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	res := make([]evalResult, n)
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		lo, hi := shardRange(k, n, shards)
+		var units *evalcache.Cache
+		if shardUnits != nil {
+			units = shardUnits[k]
+		}
+		wg.Add(1)
+		go func(k, lo, hi int, units *evalcache.Cache) {
+			defer wg.Done()
+			label := strconv.Itoa(k)
+			for i := lo; i < hi; i++ {
+				res[i] = cg.evalOne(ctx, neighborhood[i], d, em, iter, phase, i, units, fp)
+				if em.met != nil {
+					em.met.ShardEvals.Inc(label)
+				}
+			}
+		}(k, lo, hi, units)
+	}
+	wg.Wait()
+	return res
+}
+
+// shardStats aggregates the per-shard caches' stats into one CacheStats in
+// the shape obs.Metrics.RegisterCache consumes, so a sharded run's
+// "evalcache" entry reports totals across all private memos.
+func shardStats(shardUnits []*evalcache.Cache) func() obs.CacheStats {
+	return func() obs.CacheStats {
+		var out obs.CacheStats
+		for _, c := range shardUnits {
+			st := c.Stats()
+			out.Hits += st.Hits
+			out.Misses += st.Misses
+			out.Entries += st.Entries
+			out.Shards = append(out.Shards, st.Shards...)
+		}
+		return out
+	}
+}

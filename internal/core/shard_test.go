@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"cliffguard/internal/obs"
+)
+
+// TestShardedDeterminism is the sharded evaluator's acceptance test: for a
+// fixed seed, DesignWithTrace must produce bit-identical designs and traces
+// at Shards 1, 2, 3, and NumCPU — and identical to the pooled evaluator at
+// Parallelism 1 (the canonical sequential reference).
+func TestShardedDeterminism(t *testing.T) {
+	s := testSchema()
+	rng := rand.New(rand.NewSource(21))
+	w := testWorkload(s, rng, 12)
+
+	run := func(opts Options) (map[string]bool, []Trace) {
+		opts.Gamma, opts.Samples, opts.Iterations, opts.Seed = 0.003, 10, 5, 99
+		cg, _ := newGuard(s, opts)
+		d, traces, err := cg.DesignWithTrace(context.Background(), w)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		return d.Keys(), traces
+	}
+
+	refKeys, refTraces := run(Options{Parallelism: 1})
+	if len(refTraces) == 0 {
+		t.Fatal("reference run produced no trace")
+	}
+	for _, shards := range []int{1, 2, 3, runtime.NumCPU()} {
+		keys, traces := run(Options{Shards: shards})
+		if len(keys) != len(refKeys) {
+			t.Fatalf("shards=%d: %d structures, want %d", shards, len(keys), len(refKeys))
+		}
+		for k := range refKeys {
+			if !keys[k] {
+				t.Fatalf("shards=%d: design missing structure %s", shards, k)
+			}
+		}
+		if len(traces) != len(refTraces) {
+			t.Fatalf("shards=%d: %d traces, want %d", shards, len(traces), len(refTraces))
+		}
+		for i := range traces {
+			// Bit-identical floats: per-workload sums run in item order inside
+			// one goroutine and reductions walk the index-aligned slice, so
+			// the float sequence is the same at any shard count.
+			if traces[i] != refTraces[i] {
+				t.Fatalf("shards=%d: trace %d = %+v, want %+v", shards, i, traces[i], refTraces[i])
+			}
+		}
+	}
+
+	// The fast-path escape hatch composes with sharding: still bit-identical.
+	keys, traces := run(Options{Shards: 3, DisableEvalFastPath: true})
+	if len(keys) != len(refKeys) || len(traces) != len(refTraces) {
+		t.Fatalf("shards=3 uncached: %d structures / %d traces, want %d / %d",
+			len(keys), len(traces), len(refKeys), len(refTraces))
+	}
+	for i := range traces {
+		if traces[i] != refTraces[i] {
+			t.Fatalf("shards=3 uncached: trace %d = %+v, want %+v", i, traces[i], refTraces[i])
+		}
+	}
+}
+
+// TestShardedEventsAndMetrics checks the instrumentation of a sharded run:
+// the per-pass NeighborEvaluated multiset matches a Parallelism-1 pooled run
+// exactly (index-ordered comparison after grouping), ShardEvals splits the
+// evaluations across exactly Shards labels, and the registered "evalcache"
+// stats aggregate the per-shard memos.
+func TestShardedEventsAndMetrics(t *testing.T) {
+	s := testSchema()
+	rng := rand.New(rand.NewSource(22))
+	w := testWorkload(s, rng, 10)
+
+	type evkey struct {
+		iter  int
+		phase string
+		index int
+	}
+	collect := func(opts Options) (map[evkey]obs.NeighborEvaluated, *obs.Metrics) {
+		opts.Gamma, opts.Samples, opts.Iterations, opts.Seed = 0.003, 8, 3, 7
+		met := obs.NewMetrics()
+		rec := &obs.Recorder{}
+		opts.Observer = rec
+		opts.Metrics = met
+		cg, _ := newGuard(s, opts)
+		if _, _, err := cg.DesignWithTrace(context.Background(), w); err != nil {
+			t.Fatal(err)
+		}
+		events := make(map[evkey]obs.NeighborEvaluated)
+		for _, ev := range rec.Events() {
+			if ne, ok := ev.(obs.NeighborEvaluated); ok {
+				events[evkey{ne.Iteration, ne.Phase, ne.Index}] = ne
+			}
+		}
+		return events, met
+	}
+
+	refEvents, _ := collect(Options{Parallelism: 1})
+	const shards = 3
+	gotEvents, met := collect(Options{Shards: shards})
+
+	if len(gotEvents) != len(refEvents) {
+		t.Fatalf("sharded run emitted %d distinct NeighborEvaluated keys, want %d", len(gotEvents), len(refEvents))
+	}
+	for k, ref := range refEvents {
+		if got, ok := gotEvents[k]; !ok || got != ref {
+			t.Fatalf("event %+v = %+v, want %+v", k, gotEvents[k], ref)
+		}
+	}
+
+	snap := met.Snapshot()
+	if len(snap.ShardEvals) == 0 {
+		t.Fatal("sharded run recorded no ShardEvals")
+	}
+	var shardTotal uint64
+	for label, n := range snap.ShardEvals {
+		k, err := strconv.Atoi(label)
+		if err != nil || k < 0 || k >= shards {
+			t.Fatalf("unexpected shard label %q", label)
+		}
+		shardTotal += n
+	}
+	// Every live (non-replayed) pass evaluates the whole neighborhood on the
+	// shards, so the ShardEvals total is a positive multiple of the
+	// neighborhood size (Samples + the target itself), bounded by the overall
+	// evaluation count (which additionally includes replayed passes).
+	neighborhoodSize := uint64(8 + 1)
+	if shardTotal == 0 || shardTotal%neighborhoodSize != 0 || shardTotal > snap.NeighborsEvaluated {
+		t.Fatalf("ShardEvals total %d, want a positive multiple of %d at most %d",
+			shardTotal, neighborhoodSize, snap.NeighborsEvaluated)
+	}
+	cs, ok := snap.Caches["evalcache"]
+	if !ok {
+		t.Fatal("sharded run did not register the aggregated evalcache stats")
+	}
+	if cs.Hits+cs.Misses == 0 {
+		t.Fatal("aggregated evalcache stats recorded no traffic")
+	}
+}
+
+// TestShardedRace hammers the sharded evaluator under -race: concurrent
+// shard workers writing disjoint slice ranges, private memos, and shared
+// metrics/observer sinks.
+func TestShardedRace(t *testing.T) {
+	s := testSchema()
+	rng := rand.New(rand.NewSource(23))
+	w := testWorkload(s, rng, 10)
+
+	for _, shards := range []int{1, 4, runtime.NumCPU()} {
+		met := obs.NewMetrics()
+		cg, _ := newGuard(s, Options{
+			Gamma: 0.003, Samples: 12, Iterations: 3, Seed: 5,
+			Shards: shards, Metrics: met,
+			Observer: &obs.Recorder{},
+		})
+		if _, _, err := cg.DesignWithTrace(context.Background(), w); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+	}
+}
+
+// TestShardRange pins the contiguous partition: ranges cover [0, n) exactly,
+// in order, and differ in size by at most one.
+func TestShardRange(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{10, 3}, {10, 1}, {10, 10}, {7, 4}, {1, 1}, {16, 5},
+	} {
+		next := 0
+		minSz, maxSz := tc.n+1, -1
+		for k := 0; k < tc.shards; k++ {
+			lo, hi := shardRange(k, tc.n, tc.shards)
+			if lo != next {
+				t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", tc.n, tc.shards, k, lo, next)
+			}
+			if sz := hi - lo; sz < minSz {
+				minSz = sz
+			} else if sz > maxSz {
+				maxSz = sz
+			}
+			next = hi
+		}
+		if next != tc.n {
+			t.Fatalf("n=%d shards=%d: ranges end at %d, want %d", tc.n, tc.shards, next, tc.n)
+		}
+		if maxSz >= 0 && maxSz-minSz > 1 {
+			t.Fatalf("n=%d shards=%d: shard sizes span [%d, %d], want spread <= 1", tc.n, tc.shards, minSz, maxSz)
+		}
+	}
+}

@@ -1,0 +1,467 @@
+// Package ingest is the streaming, template-compressed workload ingestion
+// path: it scans SQL query logs (a reader, a file, or a directory of log
+// files) in one pass, parses each statement against a schema, and folds
+// duplicate queries into single weighted workload items keyed by
+// workload.Query.FoldKey. Resident memory is O(distinct statements), not
+// O(log lines) — the property that makes million-query logs tractable
+// (ROADMAP item 5).
+//
+// Folding is exact, not approximate: FoldKey captures the full execution
+// Spec (literals and selectivities included), and the workload package's
+// two-phase frequency normalization makes a folded workload's FrozenVector
+// bit-identical to the naive one-item-per-line workload's. Every ingestion
+// consumer (the cliffguard CLI, serve.ParseWorkload, the cliffguardd
+// workload endpoint) routes through this package, so the server-vs-library
+// bit-identity guarantee is preserved by construction.
+//
+// The statement grammar is a superset of the cmd/wlgen log format:
+//
+//   - one statement per line, optionally prefixed by an RFC3339 timestamp
+//     and a tab (the wlgen format), with or without a trailing ';'
+//   - multi-line statements terminated by a line ending in ';'
+//   - blank lines and '--' comments are skipped anywhere
+//
+// Multi-line statements require the ';' terminator; an unterminated
+// accumulation (flushed by a blank line, a line that parses standalone, the
+// statement-size cap, or EOF) reverts to line-oriented interpretation and
+// each buffered line counts as one skipped statement, exactly as the legacy
+// line-per-query parser would have counted it.
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cliffguard/internal/obs"
+	"cliffguard/internal/schema"
+	"cliffguard/internal/sqlparse"
+	"cliffguard/internal/workload"
+)
+
+// DefaultMaxStatementBytes caps one statement's text (and one line's length)
+// when Options.MaxStatementBytes is zero. It matches the 1MiB scanner buffer
+// the serving layer has always used, so a query that loads over HTTP also
+// loads from a file.
+const DefaultMaxStatementBytes = 1 << 20
+
+// textMemoCap bounds the exact-text memo that lets repeated log lines skip
+// the parser entirely. When full, new texts are still parsed and folded —
+// only the parse shortcut stops growing, keeping the memo deterministic.
+const textMemoCap = 1 << 16
+
+// Options configures one ingestion pass.
+type Options struct {
+	// FirstID is the query ID assigned to the first statement attempt. IDs
+	// advance by one per attempted statement (parsed or skipped), matching
+	// the historical per-line numbering; a folded duplicate keeps the ID of
+	// its first occurrence.
+	FirstID int64
+	// MaxStatementBytes caps one statement's byte length (0 means
+	// DefaultMaxStatementBytes).
+	MaxStatementBytes int
+	// NoFold disables duplicate folding: every parsed statement becomes its
+	// own weight-1 item, reproducing the legacy naive workload exactly. The
+	// equivalence tests and memory-comparison benches use it.
+	NoFold bool
+	// Metrics receives the ingest_* counters when non-nil.
+	Metrics *obs.Metrics
+}
+
+func (o Options) maxBytes() int {
+	if o.MaxStatementBytes <= 0 {
+		return DefaultMaxStatementBytes
+	}
+	return o.MaxStatementBytes
+}
+
+// Stats summarizes one ingestion pass.
+type Stats struct {
+	// Streamed counts statements that parsed successfully, before folding:
+	// the total weight added to the workload.
+	Streamed int
+	// Templates counts distinct folded items: the workload's length. With
+	// NoFold it equals Streamed.
+	Templates int
+	// Skipped counts statements that failed to parse.
+	Skipped int
+}
+
+// Attempts returns the number of statement attempts (IDs consumed):
+// Streamed + Skipped.
+func (st Stats) Attempts() int { return st.Streamed + st.Skipped }
+
+// NoQueriesError reports an ingestion pass that produced an empty workload.
+type NoQueriesError struct{ Skipped int }
+
+func (e *NoQueriesError) Error() string {
+	return fmt.Sprintf("ingest: no parseable queries (%d statements skipped)", e.Skipped)
+}
+
+// Reader streams one SQL log from r. See the package comment for the
+// statement grammar.
+func Reader(s *schema.Schema, r io.Reader, opts Options) (*workload.Workload, Stats, error) {
+	f := newFolder(s, opts)
+	if err := f.consume(r); err != nil {
+		return nil, Stats{}, err
+	}
+	return f.finish()
+}
+
+// File streams one SQL log file.
+func File(s *schema.Schema, path string, opts Options) (*workload.Workload, Stats, error) {
+	rd, err := os.Open(path)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("ingest: %w", err)
+	}
+	defer rd.Close()
+	w, st, err := Reader(s, rd, opts)
+	if err != nil {
+		return nil, st, fmt.Errorf("ingest: %s: %w", path, err)
+	}
+	return w, st, nil
+}
+
+// Dir streams every regular, non-hidden file in dir (sorted by name) as one
+// concatenated log: query IDs and folding run across file boundaries.
+func Dir(s *schema.Schema, dir string, opts Options) (*workload.Workload, Stats, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("ingest: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, Stats{}, fmt.Errorf("ingest: no log files in %s", dir)
+	}
+	f := newFolder(s, opts)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		rd, err := os.Open(path)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("ingest: %w", err)
+		}
+		err = f.consume(rd)
+		rd.Close()
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("ingest: %s: %w", path, err)
+		}
+	}
+	return f.finish()
+}
+
+// Load ingests a workload directory in the schema.sql convention:
+//
+//	dir/schema.sql    CREATE TABLE statements (sqlparse.ParseSchema dialect)
+//	dir/queries/      log files, ingested in sorted name order, or
+//	dir/queries.sql   a single log file
+//
+// It returns the parsed schema alongside the folded workload.
+func Load(dir string, opts Options) (*schema.Schema, *workload.Workload, Stats, error) {
+	ddl, err := os.ReadFile(filepath.Join(dir, "schema.sql"))
+	if err != nil {
+		return nil, nil, Stats{}, fmt.Errorf("ingest: %w", err)
+	}
+	s, err := sqlparse.ParseSchema(string(ddl))
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
+	qdir := filepath.Join(dir, "queries")
+	if fi, err := os.Stat(qdir); err == nil && fi.IsDir() {
+		w, st, err := Dir(s, qdir, opts)
+		return s, w, st, err
+	}
+	qfile := filepath.Join(dir, "queries.sql")
+	if _, err := os.Stat(qfile); err != nil {
+		return nil, nil, Stats{}, fmt.Errorf("ingest: %s has neither queries/ nor queries.sql", dir)
+	}
+	w, st, err := File(s, qfile, opts)
+	return s, w, st, err
+}
+
+// IsWorkloadDir reports whether path is a directory in the Load layout
+// (contains a schema.sql). The CLI uses it to pick between File and Load.
+func IsWorkloadDir(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, "schema.sql"))
+	return err == nil
+}
+
+// entry is one folded workload item under construction. The final Workload
+// is assembled once, after streaming, so weights are never mutated behind a
+// live frozen-vector cache.
+type entry struct {
+	q      *workload.Query
+	weight float64
+}
+
+// folder is the streaming fold state shared across the readers of one pass.
+type folder struct {
+	parser *sqlparse.Parser
+	opts   Options
+	nextID int64
+
+	entries []entry
+	foldIdx map[string]int // Query.FoldKey -> entries index
+	// textMemo short-circuits the parser for exact duplicate statement
+	// texts: index into entries, or -1 for texts known not to parse.
+	textMemo map[string]int
+
+	stats Stats
+}
+
+func newFolder(s *schema.Schema, opts Options) *folder {
+	f := &folder{
+		parser: sqlparse.NewParser(s),
+		opts:   opts,
+		nextID: opts.FirstID,
+	}
+	if !opts.NoFold {
+		f.foldIdx = make(map[string]int)
+		f.textMemo = make(map[string]int)
+	}
+	return f
+}
+
+func (f *folder) allocID() int64 { id := f.nextID; f.nextID++; return id }
+
+func (f *folder) memoize(text string, idx int) {
+	if f.textMemo != nil && len(f.textMemo) < textMemoCap {
+		f.textMemo[text] = idx
+	}
+}
+
+// skip records one unparseable statement attempt (consuming its ID).
+func (f *folder) skip() {
+	f.allocID()
+	f.stats.Skipped++
+	if m := f.opts.Metrics; m != nil {
+		m.IngestParseSkips.Inc()
+	}
+}
+
+// adopt folds an already-parsed query into the entry set, consuming one ID.
+// text is the statement's exact source (the memo key).
+func (f *folder) adopt(q *workload.Query, text string, ts time.Time) {
+	id := f.allocID()
+	q.ID = id
+	q.Timestamp = ts
+	f.stats.Streamed++
+	if m := f.opts.Metrics; m != nil {
+		m.IngestQueriesStreamed.Inc()
+	}
+	if f.opts.NoFold {
+		f.entries = append(f.entries, entry{q: q, weight: 1})
+		return
+	}
+	key := q.FoldKey()
+	if i, ok := f.foldIdx[key]; ok {
+		f.entries[i].weight++
+		f.memoize(text, i)
+		if m := f.opts.Metrics; m != nil {
+			m.IngestTemplatesCompressed.Inc()
+		}
+		return
+	}
+	i := len(f.entries)
+	f.entries = append(f.entries, entry{q: q, weight: 1})
+	f.foldIdx[key] = i
+	f.memoize(text, i)
+}
+
+// memoGood reports whether text is memoized as a parseable statement, and
+// which entry it folds into. Bad-text memo hits are not reported: only
+// attempt (which knows the text is a complete statement) may act on them —
+// a probe seeing a previously-failed line must still treat it as a possible
+// multi-line statement head.
+func (f *folder) memoGood(text string) (int, bool) {
+	if f.textMemo == nil {
+		return 0, false
+	}
+	i, ok := f.textMemo[text]
+	if !ok || i < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// foldHit folds one more occurrence into an existing entry, consuming an ID.
+func (f *folder) foldHit(i int) {
+	f.allocID()
+	f.entries[i].weight++
+	f.stats.Streamed++
+	if m := f.opts.Metrics; m != nil {
+		m.IngestQueriesStreamed.Inc()
+		m.IngestTemplatesCompressed.Inc()
+	}
+}
+
+// attempt parses one complete statement text, folding or skipping it.
+func (f *folder) attempt(text string, ts time.Time) {
+	if f.textMemo != nil {
+		if i, ok := f.textMemo[text]; ok {
+			if i < 0 {
+				f.skip()
+			} else {
+				f.foldHit(i)
+			}
+			return
+		}
+	}
+	q, err := f.parser.Parse(text)
+	if err != nil {
+		f.memoizeBad(text)
+		f.skip()
+		return
+	}
+	f.adopt(q, text, ts)
+}
+
+func (f *folder) memoizeBad(text string) {
+	if f.textMemo != nil && len(f.textMemo) < textMemoCap {
+		f.textMemo[text] = -1
+	}
+}
+
+// splitTimestamp strips the optional wlgen "RFC3339<TAB>" prefix.
+func splitTimestamp(line string) (time.Time, string) {
+	if i := strings.IndexByte(line, '\t'); i > 0 {
+		if ts, err := time.Parse(time.RFC3339, line[:i]); err == nil {
+			return ts, line[i+1:]
+		}
+	}
+	return time.Time{}, line
+}
+
+// consume streams one reader through the statement scanner. See the package
+// comment for the grammar; the scanner state is the pending multi-line
+// buffer, empty between statements.
+func (f *folder) consume(r io.Reader) error {
+	max := f.opts.maxBytes()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), max)
+
+	var buf []string // pending unterminated statement lines
+	var bufTS time.Time
+	bufBytes := 0
+	// flushAsSkips abandons the pending buffer: no terminator appeared, so
+	// each buffered line is retroactively one failed line-oriented attempt.
+	flushAsSkips := func() {
+		for range buf {
+			f.skip()
+		}
+		buf, bufBytes = nil, 0
+	}
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			flushAsSkips()
+			continue
+		}
+		if strings.HasPrefix(line, "--") {
+			continue
+		}
+		if len(buf) == 0 {
+			ts, sql := splitTimestamp(line)
+			if body, ok := strings.CutSuffix(sql, ";"); ok {
+				f.attempt(strings.TrimSpace(body), ts)
+				continue
+			}
+			// Single-line compatibility probe: the wlgen format has no
+			// terminators, so a line that parses on its own is a statement.
+			if i, ok := f.memoGood(sql); ok {
+				f.foldHit(i)
+				continue
+			}
+			if q, err := f.parser.Parse(sql); err == nil {
+				f.adopt(q, sql, ts)
+				continue
+			}
+			// Not standalone-parseable: begin a multi-line accumulation.
+			buf = append(buf, sql)
+			bufTS = ts
+			bufBytes = len(sql)
+			continue
+		}
+		// Accumulating: a ';' line completes the statement.
+		if body, ok := strings.CutSuffix(line, ";"); ok {
+			pending := append(buf, strings.TrimSpace(body))
+			buf, bufBytes = nil, 0
+			text := strings.TrimSpace(strings.Join(pending, "\n"))
+			if i, ok := f.memoGood(text); ok {
+				f.foldHit(i)
+				continue
+			}
+			if q, err := f.parser.Parse(text); err == nil {
+				f.adopt(q, text, bufTS)
+				continue
+			}
+			f.memoizeBad(text)
+			// The joined text is not a statement: revert to line-oriented
+			// interpretation so a garbage head can't swallow a parseable
+			// terminator line. The accumulated lines each failed their
+			// standalone probes (skips); the terminator line gets its own
+			// attempt.
+			for range pending[:len(pending)-1] {
+				f.skip()
+			}
+			ts, sql := splitTimestamp(line)
+			body = strings.TrimSpace(strings.TrimSuffix(sql, ";"))
+			f.attempt(body, ts)
+			continue
+		}
+		// Resync probe: a line that parses standalone means the pending
+		// buffer was garbage, not the head of a multi-line statement — flush
+		// it as per-line skips so one bad line can't swallow the rest of a
+		// terminator-less log.
+		ts, sql := splitTimestamp(line)
+		if i, ok := f.memoGood(sql); ok {
+			flushAsSkips()
+			f.foldHit(i)
+			continue
+		}
+		if q, err := f.parser.Parse(sql); err == nil {
+			flushAsSkips()
+			f.adopt(q, sql, ts)
+			continue
+		}
+		buf = append(buf, line)
+		bufBytes += len(line) + 1
+		if bufBytes > max {
+			flushAsSkips()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("ingest: reading workload: %w", err)
+	}
+	flushAsSkips()
+	return nil
+}
+
+// finish assembles the folded workload and final stats.
+func (f *folder) finish() (*workload.Workload, Stats, error) {
+	f.stats.Templates = len(f.entries)
+	if len(f.entries) == 0 {
+		return nil, f.stats, &NoQueriesError{Skipped: f.stats.Skipped}
+	}
+	w := &workload.Workload{}
+	for _, e := range f.entries {
+		w.Add(e.q, e.weight)
+	}
+	return w, f.stats, nil
+}

@@ -1,0 +1,441 @@
+package ingest_test
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/iotest"
+	"time"
+
+	"cliffguard/internal/ingest"
+	"cliffguard/internal/obs"
+	"cliffguard/internal/schema"
+	"cliffguard/internal/sqlparse"
+	"cliffguard/internal/workload"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustNew([]schema.TableDef{{
+		Name: "t", Rows: 100000, Fact: true,
+		Columns: []schema.ColumnDef{
+			{Name: "a", Type: schema.Int64, Cardinality: 100},
+			{Name: "b", Type: schema.Int64, Cardinality: 1000},
+			{Name: "c", Type: schema.Int64, Cardinality: 50},
+			{Name: "d", Type: schema.Int64, Cardinality: 10},
+		},
+	}})
+}
+
+// legacyParse replicates the historical serve.ParseWorkload line-per-query
+// algorithm: the naive reference the streaming path must match.
+func legacyParse(t *testing.T, s *schema.Schema, input string, firstID int64) (*workload.Workload, int) {
+	t.Helper()
+	parser := sqlparse.NewParser(s)
+	w := &workload.Workload{}
+	skipped := 0
+	sc := bufio.NewScanner(strings.NewReader(input))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	id := firstID - 1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		ts := time.Time{}
+		sql := line
+		if i := strings.IndexByte(line, '\t'); i > 0 {
+			if parsed, err := time.Parse(time.RFC3339, line[:i]); err == nil {
+				ts = parsed
+				sql = line[i+1:]
+			}
+		}
+		id++
+		q, err := parser.ParseAt(sql, id, ts)
+		if err != nil {
+			skipped++
+			continue
+		}
+		w.Add(q, 1)
+	}
+	return w, skipped
+}
+
+// randomLog renders a deterministic log with heavy duplication: nDistinct
+// statement shapes repeated across nLines lines, some timestamped, some with
+// trailing semicolons, plus interleaved comments and garbage.
+func randomLog(seed int64, nDistinct, nLines int) string {
+	rng := rand.New(rand.NewSource(seed))
+	cols := []string{"a", "b", "c", "d"}
+	distinct := make([]string, nDistinct)
+	for i := range distinct {
+		sel := cols[rng.Intn(len(cols))]
+		pred := cols[rng.Intn(len(cols))]
+		distinct[i] = fmt.Sprintf("SELECT %s FROM t WHERE %s = %d", sel, pred, rng.Intn(40))
+	}
+	var b strings.Builder
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < nLines; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			b.WriteString("-- comment line\n")
+			continue
+		case 1:
+			b.WriteString("\n")
+			continue
+		case 2:
+			b.WriteString("THIS IS NOT SQL AT ALL\n")
+			continue
+		}
+		sql := distinct[rng.Intn(nDistinct)]
+		if rng.Intn(3) == 0 {
+			b.WriteString(base.Add(time.Duration(i) * time.Minute).Format(time.RFC3339))
+			b.WriteByte('\t')
+		}
+		b.WriteString(sql)
+		if rng.Intn(4) == 0 {
+			b.WriteByte(';')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestNoFoldMatchesLegacy pins NoFold ingestion to the historical naive
+// parser: identical items, weights, IDs, timestamps and skip counts.
+func TestNoFoldMatchesLegacy(t *testing.T) {
+	s := testSchema(t)
+	for seed := int64(1); seed <= 5; seed++ {
+		log := randomLog(seed, 7, 400)
+		want, wantSkipped := legacyParse(t, s, log, 100)
+		got, st, err := ingest.Reader(s, strings.NewReader(log), ingest.Options{FirstID: 100, NoFold: true})
+		if err != nil {
+			t.Fatalf("seed %d: Reader: %v", seed, err)
+		}
+		if st.Skipped != wantSkipped {
+			t.Errorf("seed %d: skipped = %d, want %d", seed, st.Skipped, wantSkipped)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("seed %d: len = %d, want %d", seed, got.Len(), want.Len())
+		}
+		for i := range want.Items {
+			g, w := got.Items[i], want.Items[i]
+			if g.Weight != w.Weight {
+				t.Errorf("seed %d item %d: weight %v != %v", seed, i, g.Weight, w.Weight)
+			}
+			if g.Q.ID != w.Q.ID {
+				t.Errorf("seed %d item %d: ID %d != %d", seed, i, g.Q.ID, w.Q.ID)
+			}
+			if !g.Q.Timestamp.Equal(w.Q.Timestamp) {
+				t.Errorf("seed %d item %d: ts %v != %v", seed, i, g.Q.Timestamp, w.Q.Timestamp)
+			}
+			if g.Q.FoldKey() != w.Q.FoldKey() {
+				t.Errorf("seed %d item %d: fold key mismatch", seed, i)
+			}
+		}
+	}
+}
+
+// TestFoldedFrozenBitIdentical is the compressed-vs-naive property test: a
+// folded workload's frozen frequency vectors must be bit-identical to the
+// naive one-item-per-line workload's, under every clause mask and the
+// separate representation.
+func TestFoldedFrozenBitIdentical(t *testing.T) {
+	s := testSchema(t)
+	for seed := int64(1); seed <= 8; seed++ {
+		log := randomLog(seed, 6, 500)
+		naive, _, err := ingest.Reader(s, strings.NewReader(log), ingest.Options{FirstID: 1, NoFold: true})
+		if err != nil {
+			t.Fatalf("seed %d: naive: %v", seed, err)
+		}
+		folded, st, err := ingest.Reader(s, strings.NewReader(log), ingest.Options{FirstID: 1})
+		if err != nil {
+			t.Fatalf("seed %d: folded: %v", seed, err)
+		}
+		if st.Templates >= st.Streamed && st.Streamed > 6 {
+			t.Errorf("seed %d: no compression: %d templates / %d streamed", seed, st.Templates, st.Streamed)
+		}
+		if folded.Len() != st.Templates {
+			t.Errorf("seed %d: len %d != templates %d", seed, folded.Len(), st.Templates)
+		}
+		if nw, fw := naive.TotalWeight(), folded.TotalWeight(); nw != fw {
+			t.Errorf("seed %d: total weight %v != %v", seed, nw, fw)
+		}
+		for _, m := range []workload.ClauseMask{workload.MaskSWGO, workload.MaskWhere, workload.MaskSelect | workload.MaskGroupBy} {
+			nf, ff := naive.Frozen(m), folded.Frozen(m)
+			if len(nf.Keys) != len(ff.Keys) {
+				t.Fatalf("seed %d mask %v: key count %d != %d", seed, m, len(nf.Keys), len(ff.Keys))
+			}
+			for i := range nf.Keys {
+				if nf.Keys[i] != ff.Keys[i] {
+					t.Fatalf("seed %d mask %v: key[%d] %q != %q", seed, m, i, nf.Keys[i], ff.Keys[i])
+				}
+				if nf.Freqs[i] != ff.Freqs[i] {
+					t.Errorf("seed %d mask %v: freq[%q] %v != %v (not bit-identical)",
+						seed, m, nf.Keys[i], nf.Freqs[i], ff.Freqs[i])
+				}
+				if !nf.Sets[i].Equal(ff.Sets[i]) {
+					t.Errorf("seed %d mask %v: set[%q] mismatch", seed, m, nf.Keys[i])
+				}
+			}
+		}
+		ns, fs := naive.FrozenSeparate(), folded.FrozenSeparate()
+		if len(ns.Keys) != len(fs.Keys) {
+			t.Fatalf("seed %d separate: key count %d != %d", seed, len(ns.Keys), len(fs.Keys))
+		}
+		for i := range ns.Keys {
+			if ns.Freqs[i] != fs.Freqs[i] {
+				t.Errorf("seed %d separate: freq[%q] %v != %v", seed, ns.Keys[i], ns.Freqs[i], fs.Freqs[i])
+			}
+		}
+	}
+}
+
+// TestChunkingInvariance pins the scanner's independence from read chunk
+// sizes: one-byte reads, half-reads and a single read must fold identically.
+func TestChunkingInvariance(t *testing.T) {
+	s := testSchema(t)
+	log := randomLog(3, 5, 200)
+	ref, refSt, err := ingest.Reader(s, strings.NewReader(log), ingest.Options{FirstID: 1})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	readers := map[string]io.Reader{
+		"one_byte":  iotest.OneByteReader(strings.NewReader(log)),
+		"half":      iotest.HalfReader(strings.NewReader(log)),
+		"data_errs": iotest.DataErrReader(strings.NewReader(log)),
+	}
+	for name, r := range readers {
+		w, st, err := ingest.Reader(s, r, ingest.Options{FirstID: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st != refSt {
+			t.Errorf("%s: stats %+v != %+v", name, st, refSt)
+		}
+		if w.Len() != ref.Len() {
+			t.Fatalf("%s: len %d != %d", name, w.Len(), ref.Len())
+		}
+		for i := range ref.Items {
+			if w.Items[i].Weight != ref.Items[i].Weight || w.Items[i].Q.ID != ref.Items[i].Q.ID {
+				t.Errorf("%s item %d: (%v,%d) != (%v,%d)", name, i,
+					w.Items[i].Weight, w.Items[i].Q.ID, ref.Items[i].Weight, ref.Items[i].Q.ID)
+			}
+		}
+	}
+}
+
+// TestMultiLineStatements covers ';'-terminated statements spanning lines,
+// interleaved with single-line wlgen-format queries.
+func TestMultiLineStatements(t *testing.T) {
+	s := testSchema(t)
+	log := strings.Join([]string{
+		"SELECT a FROM t WHERE b = 1",
+		"SELECT a,",
+		"       b",
+		"FROM t",
+		"WHERE c = 2;",
+		"-- a comment inside the stream",
+		"2025-03-01T00:00:00Z\tSELECT c FROM t WHERE d = 3",
+		"SELECT d",
+		"FROM t;",
+	}, "\n")
+	w, st, err := ingest.Reader(s, strings.NewReader(log), ingest.Options{FirstID: 1, NoFold: true})
+	if err != nil {
+		t.Fatalf("Reader: %v", err)
+	}
+	if st.Streamed != 4 || st.Skipped != 0 {
+		t.Fatalf("stats = %+v, want 4 streamed, 0 skipped", st)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("len = %d, want 4", w.Len())
+	}
+	// The multi-line statement is one attempt: IDs are 1,2,3,4.
+	for i, wantID := range []int64{1, 2, 3, 4} {
+		if w.Items[i].Q.ID != wantID {
+			t.Errorf("item %d ID = %d, want %d", i, w.Items[i].Q.ID, wantID)
+		}
+	}
+	// The timestamped single-line query kept its timestamp.
+	if ts := w.Items[2].Q.Timestamp; ts.IsZero() {
+		t.Errorf("timestamped query lost its timestamp")
+	}
+	// The 2-column multi-line select parsed both columns.
+	if got := w.Items[1].Q.Select.Len(); got != 2 {
+		t.Errorf("multi-line select size = %d, want 2", got)
+	}
+}
+
+// TestGarbageResync pins the resync probe: garbage lines (no terminator)
+// must not swallow subsequent parseable single-line queries, and each
+// garbage line counts as one skip, as the legacy parser counted them.
+func TestGarbageResync(t *testing.T) {
+	s := testSchema(t)
+	log := strings.Join([]string{
+		"GARBAGE ONE",
+		"GARBAGE TWO",
+		"SELECT a FROM t WHERE b = 1",
+		"MORE GARBAGE",
+		"SELECT c FROM t WHERE d = 2",
+	}, "\n")
+	w, st, err := ingest.Reader(s, strings.NewReader(log), ingest.Options{FirstID: 1, NoFold: true})
+	if err != nil {
+		t.Fatalf("Reader: %v", err)
+	}
+	if st.Streamed != 2 || st.Skipped != 3 {
+		t.Fatalf("stats = %+v, want 2 streamed, 3 skipped", st)
+	}
+	// Legacy ID accounting: garbage consumes IDs 1,2; first query is ID 3;
+	// more garbage is 4; second query is 5.
+	if w.Items[0].Q.ID != 3 || w.Items[1].Q.ID != 5 {
+		t.Errorf("IDs = %d,%d, want 3,5", w.Items[0].Q.ID, w.Items[1].Q.ID)
+	}
+	want, wantSkipped := legacyParse(t, s, log, 1)
+	if wantSkipped != st.Skipped || want.Len() != w.Len() {
+		t.Errorf("legacy disagreement: legacy (%d items, %d skipped) vs ingest (%d, %d)",
+			want.Len(), wantSkipped, w.Len(), st.Skipped)
+	}
+}
+
+// TestLongLine is the buffer-alignment regression: a ~300KiB single-line
+// query must ingest from both a reader and a file (the CLI path used to cap
+// lines at bufio's 64KiB default).
+func TestLongLine(t *testing.T) {
+	s := testSchema(t)
+	// Interior whitespace keeps the line ~300KiB after TrimSpace; the lexer
+	// skips it, so the query still parses.
+	var b strings.Builder
+	b.WriteString("SELECT a FROM t WHERE b =")
+	b.WriteString(strings.Repeat(" ", 300*1024))
+	b.WriteString("1\nSELECT c FROM t WHERE d = 2\n")
+	log := b.String()
+
+	w, st, err := ingest.Reader(s, strings.NewReader(log), ingest.Options{FirstID: 1})
+	if err != nil {
+		t.Fatalf("Reader: %v", err)
+	}
+	if st.Streamed != 2 || w.Len() != 2 {
+		t.Fatalf("reader path: stats %+v len %d, want 2 streamed", st, w.Len())
+	}
+
+	path := filepath.Join(t.TempDir(), "long.sql")
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, st2, err := ingest.File(s, path, ingest.Options{FirstID: 1})
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	if st2 != st || w2.Len() != w.Len() {
+		t.Errorf("file path differs from reader path: %+v vs %+v", st2, st)
+	}
+}
+
+// TestDirAndLoad covers the directory layouts: a log directory ingested in
+// sorted name order, and the schema.sql + queries/ workload-dir convention.
+func TestDirAndLoad(t *testing.T) {
+	s := testSchema(t)
+	dir := t.TempDir()
+	logs := filepath.Join(dir, "queries")
+	if err := os.Mkdir(logs, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Named so sorted order differs from creation order.
+	os.WriteFile(filepath.Join(logs, "b.sql"), []byte("SELECT c FROM t WHERE d = 2\n"), 0o644)
+	os.WriteFile(filepath.Join(logs, "a.sql"), []byte("SELECT a FROM t WHERE b = 1\n"), 0o644)
+	os.WriteFile(filepath.Join(logs, ".hidden"), []byte("SELECT a FROM t\n"), 0o644)
+
+	w, st, err := ingest.Dir(s, logs, ingest.Options{FirstID: 1})
+	if err != nil {
+		t.Fatalf("Dir: %v", err)
+	}
+	if st.Streamed != 2 || w.Len() != 2 {
+		t.Fatalf("stats = %+v len %d, want 2 (hidden file must be ignored)", st, w.Len())
+	}
+	// a.sql ingests first: its query holds ID 1.
+	if w.Items[0].Q.ID != 1 || w.Items[0].Q.Where.Len() != 1 {
+		t.Errorf("first item not from a.sql: %v", w.Items[0].Q)
+	}
+
+	ddl := "CREATE TABLE t (a BIGINT CARDINALITY 100, b BIGINT CARDINALITY 1000, c BIGINT CARDINALITY 50, d BIGINT CARDINALITY 10) ROWS 100000 FACT;\n"
+	if err := os.WriteFile(filepath.Join(dir, "schema.sql"), []byte(ddl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !ingest.IsWorkloadDir(dir) {
+		t.Fatalf("IsWorkloadDir(%s) = false, want true", dir)
+	}
+	s2, w2, st2, err := ingest.Load(dir, ingest.Options{FirstID: 1})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if s2.NumColumns() != 4 {
+		t.Errorf("loaded schema has %d columns, want 4", s2.NumColumns())
+	}
+	if st2.Streamed != 2 || w2.Len() != 2 {
+		t.Errorf("Load stats = %+v len %d, want 2", st2, w2.Len())
+	}
+}
+
+// TestStatsAndCounters wires a metrics registry through an ingestion pass
+// and checks the three ingest counters against the returned stats.
+func TestStatsAndCounters(t *testing.T) {
+	s := testSchema(t)
+	m := obs.NewMetrics()
+	log := strings.Join([]string{
+		"SELECT a FROM t WHERE b = 1",
+		"SELECT a FROM t WHERE b = 1",
+		"SELECT a FROM t WHERE b = 1",
+		"SELECT c FROM t WHERE d = 2",
+		"NOT SQL",
+		"",
+	}, "\n")
+	w, st, err := ingest.Reader(s, strings.NewReader(log), ingest.Options{FirstID: 1, Metrics: m})
+	if err != nil {
+		t.Fatalf("Reader: %v", err)
+	}
+	if st.Streamed != 4 || st.Templates != 2 || st.Skipped != 1 {
+		t.Fatalf("stats = %+v, want {4 2 1}", st)
+	}
+	if w.Len() != 2 || w.TotalWeight() != 4 {
+		t.Fatalf("workload = %d items weight %v, want 2 items weight 4", w.Len(), w.TotalWeight())
+	}
+	if w.Items[0].Weight != 3 {
+		t.Errorf("folded weight = %v, want 3", w.Items[0].Weight)
+	}
+	if got := m.IngestQueriesStreamed.Load(); got != 4 {
+		t.Errorf("IngestQueriesStreamed = %d, want 4", got)
+	}
+	if got := m.IngestTemplatesCompressed.Load(); got != 2 {
+		t.Errorf("IngestTemplatesCompressed = %d, want 2 (folds, not templates)", got)
+	}
+	if got := m.IngestParseSkips.Load(); got != 1 {
+		t.Errorf("IngestParseSkips = %d, want 1", got)
+	}
+	snap := m.Snapshot()
+	if snap.IngestQueriesStreamed != 4 || snap.IngestParseSkips != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+// TestNoQueriesError pins the typed empty-workload error the serving layer
+// re-formats into its legacy message.
+func TestNoQueriesError(t *testing.T) {
+	s := testSchema(t)
+	_, st, err := ingest.Reader(s, strings.NewReader("junk\nmore junk\n"), ingest.Options{FirstID: 1})
+	var nq *ingest.NoQueriesError
+	if err == nil {
+		t.Fatalf("expected error")
+	}
+	if !errors.As(err, &nq) {
+		t.Fatalf("error %T is not NoQueriesError", err)
+	}
+	if nq.Skipped != 2 || st.Skipped != 2 {
+		t.Errorf("skipped = %d / %d, want 2", nq.Skipped, st.Skipped)
+	}
+}

@@ -81,6 +81,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter("cliffguard_moves_accepted_total", "Improving robust local moves.", m.MovesAccepted.Load())
 	counter("cliffguard_moves_rejected_total", "Non-improving robust local moves.", m.MovesRejected.Load())
 	counter("cliffguard_iterations_completed_total", "Completed robust-loop iterations.", m.IterationsCompleted.Load())
+	counter("cliffguard_ingest_queries_streamed_total", "Statements parsed off the ingestion stream, pre-fold.", m.IngestQueriesStreamed.Load())
+	counter("cliffguard_ingest_templates_compressed_total", "Parsed statements folded into an existing weighted item.", m.IngestTemplatesCompressed.Load())
+	counter("cliffguard_ingest_parse_skips_total", "Ingested statements that failed to parse.", m.IngestParseSkips.Load())
+	labeledCounter("cliffguard_shard_evals_total", "Per-workload evaluations, per evaluator shard.", "shard", &m.ShardEvals)
 	counter("cliffguard_portfolio_runs_total", "Designer-portfolio invocations.", m.PortfolioRuns.Load())
 	counter("cliffguard_portfolio_member_errors_total", "Portfolio members that returned an error.", m.PortfolioMemberErrors.Load())
 	counter("cliffguard_portfolio_member_timeouts_total", "Portfolio members that exceeded their timeout.", m.PortfolioMemberTimeouts.Load())
@@ -247,6 +251,12 @@ func (m *Metrics) ExpvarFunc() expvar.Func {
 			"moves_accepted":         m.MovesAccepted.Load(),
 			"moves_rejected":         m.MovesRejected.Load(),
 			"iterations_completed":   m.IterationsCompleted.Load(),
+			"ingest": map[string]any{
+				"queries_streamed":     m.IngestQueriesStreamed.Load(),
+				"templates_compressed": m.IngestTemplatesCompressed.Load(),
+				"parse_skips":          m.IngestParseSkips.Load(),
+			},
+			"shard_evals": m.ShardEvals.Snapshot(),
 			"portfolio": map[string]any{
 				"runs":            m.PortfolioRuns.Load(),
 				"member_errors":   m.PortfolioMemberErrors.Load(),

@@ -181,6 +181,14 @@ type Metrics struct {
 	MovesRejected       Counter
 	IterationsCompleted Counter
 
+	// Streaming ingestion (internal/ingest).
+	IngestQueriesStreamed     Counter // statements parsed off the stream, pre-fold
+	IngestTemplatesCompressed Counter // parsed statements folded into an existing weighted item
+	IngestParseSkips          Counter // statements that failed to parse
+
+	// Sharded evaluator (internal/core, Options.Shards > 0).
+	ShardEvals LabeledCounter // per-workload evaluations, per shard index
+
 	// Designer-portfolio activity (internal/portfolio).
 	PortfolioRuns           Counter        // portfolio Design invocations
 	PortfolioMemberErrors   Counter        // member designers that returned an error
@@ -282,6 +290,14 @@ type MetricsSnapshot struct {
 	MovesRejected        uint64 `json:"moves_rejected"`
 	IterationsCompleted  uint64 `json:"iterations_completed"`
 
+	// Ingestion and shard-fanout families. Zero (and omitted) for runs that
+	// never stream a workload or shard the evaluator, so pre-existing
+	// snapshots keep their exact shape.
+	IngestQueriesStreamed     uint64            `json:"ingest_queries_streamed,omitempty"`
+	IngestTemplatesCompressed uint64            `json:"ingest_templates_compressed,omitempty"`
+	IngestParseSkips          uint64            `json:"ingest_parse_skips,omitempty"`
+	ShardEvals                map[string]uint64 `json:"shard_evals,omitempty"`
+
 	PortfolioRuns           uint64            `json:"portfolio_runs,omitempty"`
 	PortfolioMemberErrors   uint64            `json:"portfolio_member_errors,omitempty"`
 	PortfolioMemberTimeouts uint64            `json:"portfolio_member_timeouts,omitempty"`
@@ -324,6 +340,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		MovesAccepted:        m.MovesAccepted.Load(),
 		MovesRejected:        m.MovesRejected.Load(),
 		IterationsCompleted:  m.IterationsCompleted.Load(),
+
+		IngestQueriesStreamed:     m.IngestQueriesStreamed.Load(),
+		IngestTemplatesCompressed: m.IngestTemplatesCompressed.Load(),
+		IngestParseSkips:          m.IngestParseSkips.Load(),
+		ShardEvals:                m.ShardEvals.Snapshot(),
 
 		PortfolioRuns:           m.PortfolioRuns.Load(),
 		PortfolioMemberErrors:   m.PortfolioMemberErrors.Load(),

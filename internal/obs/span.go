@@ -111,6 +111,20 @@ func NewSpanRecorder(w io.Writer) *SpanRecorder {
 	return &SpanRecorder{bw: bw, enc: json.NewEncoder(bw), now: time.Now}
 }
 
+// WithClock replaces the recorder's wall clock and returns the recorder. A
+// nil clock pins every timestamp to the zero time, making span durations a
+// pure function of the events — tests that gate wall-clock columns use this
+// to keep two recordings bit-comparable. Set it before the first event.
+func (r *SpanRecorder) WithClock(now func() time.Time) *SpanRecorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if now == nil {
+		now = func() time.Time { return time.Time{} }
+	}
+	r.now = now
+	return r
+}
+
 // header writes the stream header and stamps the run start. Callers hold mu.
 func (r *SpanRecorder) header(now time.Time) {
 	if r.opened || r.err != nil {

@@ -152,7 +152,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) error {
 
 // tenantInfo renders a tenant (without its run list).
 func (s *Server) tenantInfo(t *tenant) TenantInfo {
-	queries, skipped := t.workloadInfo()
+	queries, skipped, _ := t.workloadInfo()
 	return TenantInfo{
 		ID:        t.id,
 		Engine:    EngineSpecWire{Kind: t.spec.Kind, Scale: t.spec.Scale},
@@ -233,8 +233,8 @@ func (s *Server) handleWorkloadGet(w http.ResponseWriter, r *http.Request) error
 	if err != nil {
 		return err
 	}
-	queries, skipped := t.workloadInfo()
-	writeData(w, http.StatusOK, WorkloadInfo{Queries: queries, Skipped: skipped})
+	queries, skipped, templates := t.workloadInfo()
+	writeData(w, http.StatusOK, WorkloadInfo{Queries: queries, Skipped: skipped, Templates: templates})
 	return nil
 }
 
@@ -250,8 +250,8 @@ func (s *Server) handleWorkloadPost(w http.ResponseWriter, r *http.Request) erro
 	if err != nil {
 		return err
 	}
-	queries, skipped := t.workloadInfo()
-	writeData(w, http.StatusOK, WorkloadInfo{Queries: queries, Skipped: skipped, Added: added})
+	queries, skipped, templates := t.workloadInfo()
+	writeData(w, http.StatusOK, WorkloadInfo{Queries: queries, Skipped: skipped, Templates: templates, Added: added})
 	return nil
 }
 

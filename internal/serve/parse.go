@@ -1,60 +1,40 @@
 package serve
 
 import (
-	"bufio"
+	"errors"
 	"fmt"
 	"io"
-	"strings"
-	"time"
 
+	"cliffguard/internal/ingest"
 	"cliffguard/internal/schema"
-	"cliffguard/internal/sqlparse"
 	"cliffguard/internal/workload"
 )
 
-// ParseWorkload parses a SQL-per-line stream (the cmd/wlgen format: one query
-// per line, optionally preceded by an RFC3339 timestamp and a tab) against
-// the schema. Blank lines, "--" comments and unparseable lines are skipped
-// and counted; query IDs are assigned sequentially from firstID.
+// ParseWorkload parses a SQL query log from r against the schema via the
+// streaming template-compressed ingestion path (internal/ingest): duplicate
+// statements fold into single weighted items, so resident memory is
+// O(distinct statements). The input grammar is a superset of the cmd/wlgen
+// SQL-per-line format — multi-line ';'-terminated statements, optional
+// RFC3339+tab timestamps, blank lines and "--" comments; unparseable
+// statements are skipped and counted. Query IDs advance sequentially from
+// firstID per attempted statement, so numbering matches the historical
+// line-per-query parser.
 //
 // This is the single ingestion path shared by the cliffguard CLI, the
 // cliffguardd workload endpoint, and the smoke driver — so a workload
 // submitted over HTTP and one loaded from a file are structurally identical,
-// query for query, which the bit-identical server-vs-library guarantee
-// depends on.
+// item for item, which the bit-identical server-vs-library guarantee
+// depends on. Folding preserves that guarantee: the workload package's
+// two-phase frequency normalization makes a folded workload's FrozenVector
+// bit-identical to the naive one-item-per-line workload's.
 func ParseWorkload(s *schema.Schema, r io.Reader, firstID int64) (*workload.Workload, int, error) {
-	parser := sqlparse.NewParser(s)
-	w := &workload.Workload{}
-	skipped := 0
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	id := firstID - 1
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "--") {
-			continue
+	w, st, err := ingest.Reader(s, r, ingest.Options{FirstID: firstID})
+	if err != nil {
+		var nq *ingest.NoQueriesError
+		if errors.As(err, &nq) {
+			return nil, nq.Skipped, fmt.Errorf("serve: no parseable queries (%d lines skipped)", nq.Skipped)
 		}
-		ts := time.Time{}
-		sql := line
-		if i := strings.IndexByte(line, '\t'); i > 0 {
-			if parsed, err := time.Parse(time.RFC3339, line[:i]); err == nil {
-				ts = parsed
-				sql = line[i+1:]
-			}
-		}
-		id++
-		q, err := parser.ParseAt(sql, id, ts)
-		if err != nil {
-			skipped++
-			continue
-		}
-		w.Add(q, 1)
-	}
-	if err := sc.Err(); err != nil {
 		return nil, 0, fmt.Errorf("serve: reading workload: %w", err)
 	}
-	if w.Len() == 0 {
-		return nil, skipped, fmt.Errorf("serve: no parseable queries (%d lines skipped)", skipped)
-	}
-	return w, skipped, nil
+	return w, st.Skipped, nil
 }

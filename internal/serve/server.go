@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -17,6 +18,7 @@ import (
 
 	"cliffguard/internal/engine"
 	"cliffguard/internal/evalcache"
+	"cliffguard/internal/ingest"
 	"cliffguard/internal/obs"
 	"cliffguard/internal/workload"
 )
@@ -132,13 +134,16 @@ type tenant struct {
 	eng         engine.Engine
 	budgetBytes int64
 
-	mu      sync.Mutex
-	w       *workload.Workload
-	nextID  int64 // next query ID to assign on ingest
-	skipped int   // unparseable lines dropped across all ingests
-	runs    map[string]*run
-	order   []string
-	nextRun int
+	mu       sync.Mutex
+	w        *workload.Workload
+	nextID   int64 // next query ID to assign on ingest
+	streamed int   // parsed statements across all ingests (pre-fold weight)
+	skipped  int   // unparseable statements dropped across all ingests
+	runs     map[string]*run
+	order    []string
+	nextRun  int
+
+	metrics *obs.Metrics // server registry; receives the ingest_* counters
 }
 
 // run is one submitted design run of a tenant.
@@ -223,6 +228,7 @@ func (s *Server) CreateTenant(id string, spec engine.Spec, budgetBytes int64) (*
 	t := &tenant{
 		id: id, spec: norm, eng: eng, budgetBytes: budgetBytes,
 		w: &workload.Workload{}, nextID: 1, runs: map[string]*run{},
+		metrics: s.metrics,
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -286,23 +292,31 @@ func (s *Server) tenantIDs() []string {
 	return append([]string(nil), s.order...)
 }
 
-// Ingest appends parsed queries from r to the tenant's accumulated workload,
-// continuing the tenant's query-ID sequence. It returns how many queries were
-// added and how many lines were skipped.
+// Ingest streams parsed queries from r into the tenant's accumulated
+// workload via the template-compressed ingestion path, continuing the
+// tenant's query-ID sequence (IDs advance per attempted statement, parsed or
+// skipped). It returns how many statements parsed and how many were skipped;
+// duplicates within one submission fold into weighted items, so the
+// workload's item count can be smaller than added.
 func (t *tenant) Ingest(r io.Reader) (added, skipped int, err error) {
 	t.mu.Lock()
 	firstID := t.nextID
 	t.mu.Unlock()
-	w, skipped, err := ParseWorkload(t.eng.Schema(), r, firstID)
+	w, st, err := ingest.Reader(t.eng.Schema(), r, ingest.Options{FirstID: firstID, Metrics: t.metrics})
 	if err != nil {
-		return 0, skipped, errBadRequest(err)
+		var nq *ingest.NoQueriesError
+		if errors.As(err, &nq) {
+			return 0, nq.Skipped, errBadRequest(fmt.Errorf("serve: no parseable queries (%d lines skipped)", nq.Skipped))
+		}
+		return 0, 0, errBadRequest(err)
 	}
 	t.mu.Lock()
 	t.w.Items = append(t.w.Items, w.Items...)
-	t.nextID = firstID + int64(w.Len()+skipped)
-	t.skipped += skipped
+	t.nextID = firstID + int64(st.Attempts())
+	t.streamed += st.Streamed
+	t.skipped += st.Skipped
 	t.mu.Unlock()
-	return w.Len(), skipped, nil
+	return st.Streamed, st.Skipped, nil
 }
 
 // snapshotWorkload returns an immutable snapshot the run may keep.
@@ -312,10 +326,13 @@ func (t *tenant) snapshotWorkload() *workload.Workload {
 	return t.w.Clone()
 }
 
-func (t *tenant) workloadInfo() (queries int, skipped int) {
+// workloadInfo snapshots the tenant's ingestion accounting: queries is the
+// number of parsed statements (the pre-fold count, preserving the field's
+// historical meaning), templates the number of folded workload items.
+func (t *tenant) workloadInfo() (queries, skipped, templates int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.w.Len(), t.skipped
+	return t.streamed, t.skipped, t.w.Len()
 }
 
 func (t *tenant) run(id string) (*run, error) {

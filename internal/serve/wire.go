@@ -115,11 +115,14 @@ type TenantList struct {
 }
 
 // WorkloadInfo describes a tenant's accumulated workload (and, on ingest,
-// the delta just added).
+// the delta just added). Queries counts parsed statements (its historical
+// meaning); Templates counts the folded weighted items actually resident,
+// so Queries-Templates is the compression the streaming ingestion achieved.
 type WorkloadInfo struct {
-	Queries int `json:"queries"`
-	Skipped int `json:"skipped"`
-	Added   int `json:"added,omitempty"`
+	Queries   int `json:"queries"`
+	Skipped   int `json:"skipped"`
+	Templates int `json:"templates,omitempty"`
+	Added     int `json:"added,omitempty"`
 }
 
 // RunRequest is the request body of POST /v1/tenants/{tenant}/runs: the wire
@@ -131,6 +134,7 @@ type RunRequest struct {
 	Iterations    int      `json:"iterations,omitempty"`
 	Seed          int64    `json:"seed,omitempty"`
 	Parallelism   int      `json:"parallelism,omitempty"`
+	Shards        int      `json:"shards,omitempty"`
 	TopFraction   float64  `json:"top_fraction,omitempty"`
 	Metric        string   `json:"metric,omitempty"`
 	Designers     []string `json:"designers,omitempty"`
@@ -160,8 +164,8 @@ func (r RunRequest) Options() core.Options {
 	}
 	return core.Options{
 		Gamma: r.Gamma, Samples: r.Samples, Iterations: r.Iterations,
-		Seed: r.Seed, Parallelism: r.Parallelism, TopFraction: r.TopFraction,
-		MemberTimeout: mt,
+		Seed: r.Seed, Parallelism: r.Parallelism, Shards: r.Shards,
+		TopFraction: r.TopFraction, MemberTimeout: mt,
 	}
 }
 

@@ -1,0 +1,224 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cliffguard/internal/schema"
+)
+
+// DefaultTableRows is the row count assumed for a CREATE TABLE statement with
+// no ROWS annotation. The engine models need a positive cardinality for every
+// table; logs exported without statistics still have to load.
+const DefaultTableRows = 1_000_000
+
+// ParseSchema parses a schema.sql document — a sequence of CREATE TABLE
+// statements in the dialect the workload-directory layout uses — into a
+// schema.Schema. The grammar is:
+//
+//	CREATE TABLE name (
+//	    col TYPE [CARDINALITY n],
+//	    ...
+//	) [ROWS n] [FACT];
+//
+// TYPE is one of BIGINT/INT/INTEGER (int64), DOUBLE/FLOAT/REAL (float64), or
+// VARCHAR[(n)]/TEXT/STRING (dictionary-coded string). CARDINALITY, ROWS and
+// FACT are CliffGuard extensions carrying the statistics the cost models
+// need; CARDINALITY defaults to the table's row count and ROWS to
+// DefaultTableRows. Statements are ';'-terminated; '--' comments are allowed
+// anywhere. Global column IDs are assigned in declaration order, exactly as
+// schema.New does.
+func ParseSchema(ddl string) (*schema.Schema, error) {
+	toks, err := lex(ddl)
+	if err != nil {
+		return nil, err
+	}
+	d := &ddlParser{src: ddl, toks: toks}
+	var defs []schema.TableDef
+	for !d.at(tokEOF) {
+		def, err := d.createTable()
+		if err != nil {
+			return nil, err
+		}
+		defs = append(defs, def)
+	}
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("sqlparse: schema has no CREATE TABLE statements")
+	}
+	return schema.New(defs)
+}
+
+// ddlParser walks the token stream of a schema document. The lexer's keyword
+// table is SELECT-oriented (CREATE, TABLE, ROWS… lex as plain identifiers),
+// so DDL words are matched case-insensitively against token text rather than
+// by token kind.
+type ddlParser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (d *ddlParser) cur() token  { return d.toks[d.i] }
+func (d *ddlParser) next() token { t := d.toks[d.i]; d.i++; return t }
+
+func (d *ddlParser) at(k tokenKind) bool { return d.cur().kind == k }
+
+// atWord reports whether the current token is the given word (any case),
+// whether the lexer classified it as identifier or keyword.
+func (d *ddlParser) atWord(w string) bool {
+	t := d.cur()
+	return (t.kind == tokIdent || t.kind == tokKeyword) && strings.EqualFold(t.text, w)
+}
+
+func (d *ddlParser) expectWord(w string) error {
+	if !d.atWord(w) {
+		return d.errf("expected %s, got %q", w, d.cur().text)
+	}
+	d.i++
+	return nil
+}
+
+func (d *ddlParser) expectSymbol(s string) error {
+	t := d.cur()
+	if t.kind != tokSymbol || t.text != s {
+		return d.errf("expected %q, got %q", s, t.text)
+	}
+	d.i++
+	return nil
+}
+
+// name consumes an identifier (or a token the SELECT lexer classified as a
+// keyword — column names like "count" are legal in DDL). Keyword tokens are
+// upper-cased by the lexer, so the original spelling is recovered from the
+// source to preserve declared case.
+func (d *ddlParser) name() (string, error) {
+	t := d.cur()
+	if t.kind != tokIdent && t.kind != tokKeyword {
+		return "", d.errf("expected identifier, got %q", t.text)
+	}
+	d.i++
+	if t.kind == tokKeyword {
+		return d.src[t.pos : t.pos+len(t.text)], nil
+	}
+	return t.text, nil
+}
+
+func (d *ddlParser) number() (int64, error) {
+	t := d.cur()
+	if t.kind != tokNumber {
+		return 0, d.errf("expected number, got %q", t.text)
+	}
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, d.errf("bad integer %q", t.text)
+	}
+	d.i++
+	return n, nil
+}
+
+func (d *ddlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: schema at offset %d: %s", d.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (d *ddlParser) createTable() (schema.TableDef, error) {
+	var def schema.TableDef
+	if err := d.expectWord("CREATE"); err != nil {
+		return def, err
+	}
+	if err := d.expectWord("TABLE"); err != nil {
+		return def, err
+	}
+	name, err := d.name()
+	if err != nil {
+		return def, err
+	}
+	def.Name = name
+	if err := d.expectSymbol("("); err != nil {
+		return def, err
+	}
+	for {
+		col, err := d.columnDef()
+		if err != nil {
+			return def, err
+		}
+		def.Columns = append(def.Columns, col)
+		if t := d.cur(); t.kind == tokSymbol && t.text == "," {
+			d.i++
+			continue
+		}
+		break
+	}
+	if err := d.expectSymbol(")"); err != nil {
+		return def, err
+	}
+	def.Rows = DefaultTableRows
+	for {
+		switch {
+		case d.atWord("ROWS"):
+			d.i++
+			n, err := d.number()
+			if err != nil {
+				return def, err
+			}
+			if n <= 0 {
+				return def, d.errf("table %q: ROWS must be positive", def.Name)
+			}
+			def.Rows = n
+		case d.atWord("FACT"):
+			d.i++
+			def.Fact = true
+		default:
+			if err := d.expectSymbol(";"); err != nil {
+				return def, err
+			}
+			return def, nil
+		}
+	}
+}
+
+func (d *ddlParser) columnDef() (schema.ColumnDef, error) {
+	var col schema.ColumnDef
+	name, err := d.name()
+	if err != nil {
+		return col, err
+	}
+	col.Name = name
+	tw, err := d.name()
+	if err != nil {
+		return col, err
+	}
+	switch strings.ToUpper(tw) {
+	case "BIGINT", "INT", "INTEGER":
+		col.Type = schema.Int64
+	case "DOUBLE", "FLOAT", "REAL":
+		col.Type = schema.Float64
+	case "VARCHAR", "TEXT", "STRING":
+		col.Type = schema.String
+		// Optional length, e.g. VARCHAR(64): parsed and ignored — the model
+		// widths are fixed per type.
+		if t := d.cur(); t.kind == tokSymbol && t.text == "(" {
+			d.i++
+			if _, err := d.number(); err != nil {
+				return col, err
+			}
+			if err := d.expectSymbol(")"); err != nil {
+				return col, err
+			}
+		}
+	default:
+		return col, d.errf("unknown column type %q", tw)
+	}
+	if d.atWord("CARDINALITY") {
+		d.i++
+		n, err := d.number()
+		if err != nil {
+			return col, err
+		}
+		if n <= 0 {
+			return col, d.errf("column %q: CARDINALITY must be positive", col.Name)
+		}
+		col.Cardinality = n
+	}
+	return col, nil
+}

@@ -169,7 +169,8 @@ func (w *Workload) invalidateFrozen() { w.frozen.Store(nil) }
 
 // buildFrozen flattens VectorWithSets into key-sorted slices. The map
 // accumulation below must stay byte-for-byte the arithmetic of
-// VectorWithSets: frozen and map-based distances are asserted bit-identical.
+// VectorWithSets (two-phase: raw weights summed per key, divided once):
+// frozen and map-based distances are asserted bit-identical.
 func (w *Workload) buildFrozen(m ClauseMask) *FrozenVector {
 	total := w.TotalWeight()
 	fv := &FrozenVector{}
@@ -181,10 +182,13 @@ func (w *Workload) buildFrozen(m ClauseMask) *FrozenVector {
 	for _, it := range w.Items {
 		cols := it.Q.MaskedColumns(m)
 		key := cols.Key()
-		freqs[key] += it.Weight / total
+		freqs[key] += it.Weight
 		if _, ok := sets[key]; !ok {
 			sets[key] = cols
 		}
+	}
+	for k := range freqs {
+		freqs[k] /= total
 	}
 	fv.Keys = make([]string, 0, len(freqs))
 	for k := range freqs {
@@ -211,12 +215,15 @@ func (w *Workload) buildFrozenSeparate() *FrozenSeparateVector {
 	sets := make(map[string][numClauses]ColSet, len(w.Items))
 	for _, it := range w.Items {
 		key := it.Q.SeparateKey()
-		freqs[key] += it.Weight / total
+		freqs[key] += it.Weight
 		if _, ok := sets[key]; !ok {
 			sets[key] = [numClauses]ColSet{
 				it.Q.Select, it.Q.Where, it.Q.GroupBy, it.Q.OrderBy,
 			}
 		}
+	}
+	for k := range freqs {
+		freqs[k] /= total
 	}
 	fv.Keys = make([]string, 0, len(freqs))
 	for k := range freqs {

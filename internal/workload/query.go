@@ -9,7 +9,9 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -259,6 +261,70 @@ func (q *Query) TemplateKey(m ClauseMask) string {
 // (delta_separate, Section 5): clause sets are kept distinct.
 func (q *Query) SeparateKey() string {
 	return q.Select.Key() + "|" + q.Where.Key() + "|" + q.GroupBy.Key() + "|" + q.OrderBy.Key()
+}
+
+// FoldKey returns the full structural identity of the query: two queries with
+// equal FoldKeys are indistinguishable to every downstream consumer — same
+// template under any clause mask, same SeparateKey, and same cost under any
+// engine model (the Spec carries all literals and selectivities). The
+// streaming ingestion path (internal/ingest) folds duplicate log lines into
+// one weighted item keyed by FoldKey; anything weaker (e.g. TemplateKey,
+// which drops predicates and literals) would merge queries with different
+// costs and break the compressed-vs-naive equivalence.
+//
+// Queries without a Spec fall back to SeparateKey prefixed so the two key
+// spaces cannot collide. Timestamps and IDs are deliberately excluded: folding
+// across them is the point.
+func (q *Query) FoldKey() string {
+	if q.Spec == nil {
+		return "nospec|" + q.SeparateKey()
+	}
+	s := q.Spec
+	var b strings.Builder
+	b.WriteString(s.Table)
+	b.WriteString("|s")
+	for _, c := range s.SelectCols {
+		b.WriteString(strconv.Itoa(c))
+		b.WriteByte(',')
+	}
+	b.WriteString("|a")
+	for _, a := range s.Aggs {
+		b.WriteString(strconv.Itoa(int(a.Fn)))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(a.Col))
+		b.WriteByte(',')
+	}
+	b.WriteString("|p")
+	for _, p := range s.Preds {
+		b.WriteString(strconv.Itoa(p.Col))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(int(p.Op)))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(p.Lo, 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(p.Hi, 10))
+		b.WriteByte(':')
+		// Selectivity is keyed by its exact bit pattern: two predicates fold
+		// only if their float64 Sel values are identical.
+		b.WriteString(strconv.FormatUint(math.Float64bits(p.Sel), 16))
+		b.WriteByte(',')
+	}
+	b.WriteString("|g")
+	for _, c := range s.GroupBy {
+		b.WriteString(strconv.Itoa(c))
+		b.WriteByte(',')
+	}
+	b.WriteString("|o")
+	for _, o := range s.OrderBy {
+		b.WriteString(strconv.Itoa(o.Col))
+		if o.Desc {
+			b.WriteByte('d')
+		}
+		b.WriteByte(',')
+	}
+	b.WriteString("|l")
+	b.WriteString(strconv.Itoa(s.Limit))
+	return b.String()
 }
 
 // String renders a one-line summary of the query.

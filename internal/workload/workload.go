@@ -94,6 +94,14 @@ func (w *Workload) Scale(f float64) *Workload {
 // the given clause mask: template key -> fraction of total weight. This is
 // the paper's V_W (Section 5), represented sparsely; the key doubles as the
 // identity of the column subset.
+//
+// Frequencies are computed in two phases: raw weights are summed per key in
+// item order, then each per-key sum is divided by the total weight once.
+// For integer weights both phases are exact float64 arithmetic, so a
+// template-compressed workload (one item of weight n per duplicate group,
+// see internal/ingest) produces bit-identical frequencies to the uncompressed
+// one (n items of weight 1) — the invariant the streaming ingestion path
+// pins. All vector builders in this file share the same two-phase discipline.
 func (w *Workload) Vector(m ClauseMask) map[string]float64 {
 	total := w.TotalWeight()
 	out := make(map[string]float64)
@@ -101,7 +109,10 @@ func (w *Workload) Vector(m ClauseMask) map[string]float64 {
 		return out
 	}
 	for _, it := range w.Items {
-		out[it.Q.TemplateKey(m)] += it.Weight / total
+		out[it.Q.TemplateKey(m)] += it.Weight
+	}
+	for k := range out {
+		out[k] /= total
 	}
 	return out
 }
@@ -119,10 +130,13 @@ func (w *Workload) VectorWithSets(m ClauseMask) (map[string]float64, map[string]
 	for _, it := range w.Items {
 		cols := it.Q.MaskedColumns(m)
 		key := cols.Key()
-		freqs[key] += it.Weight / total
+		freqs[key] += it.Weight
 		if _, ok := sets[key]; !ok {
 			sets[key] = cols
 		}
+	}
+	for k := range freqs {
+		freqs[k] /= total
 	}
 	return freqs, sets
 }
@@ -138,12 +152,15 @@ func (w *Workload) SeparateVector() (map[string]float64, map[string][numClauses]
 	}
 	for _, it := range w.Items {
 		key := it.Q.SeparateKey()
-		freqs[key] += it.Weight / total
+		freqs[key] += it.Weight
 		if _, ok := sets[key]; !ok {
 			sets[key] = [numClauses]ColSet{
 				it.Q.Select, it.Q.Where, it.Q.GroupBy, it.Q.OrderBy,
 			}
 		}
+	}
+	for k := range freqs {
+		freqs[k] /= total
 	}
 	return freqs, sets
 }

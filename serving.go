@@ -5,7 +5,9 @@ import (
 	"io"
 
 	"cliffguard/internal/engine"
+	"cliffguard/internal/ingest"
 	"cliffguard/internal/serve"
+	"cliffguard/internal/sqlparse"
 )
 
 // The engine facade: one spec-driven constructor for every engine simulator.
@@ -76,7 +78,60 @@ func NewAdvisorServer(cfg ServerConfig) *AdvisorServer { return serve.NewServer(
 // ParseWorkload parses a SQL-per-line stream (optionally timestamp-tab
 // prefixed, the cmd/wlgen format) against the schema, assigning query IDs
 // sequentially from firstID. It is the shared ingestion path of the
-// cliffguard CLI and the cliffguardd workload endpoint.
+// cliffguard CLI and the cliffguardd workload endpoint, built on
+// IngestReader: duplicate statements fold into weighted items, so resident
+// memory is O(distinct statements) at any log size.
 func ParseWorkload(s *Schema, r io.Reader, firstID int64) (*Workload, int, error) {
 	return serve.ParseWorkload(s, r, firstID)
 }
+
+// The streaming ingestion API (internal/ingest): query logs stream through
+// the parser in chunks and duplicate statements fold into single weighted
+// items keyed by full structural identity, so a million-query log with a few
+// thousand distinct templates occupies a few thousand items. The folded
+// workload's frozen frequency vectors are bit-identical to the naive
+// one-item-per-statement parse (the workload package's two-phase
+// normalization guarantees it), so folding is invisible to the robust loop.
+type (
+	// IngestOptions configure a streaming ingestion pass (first query ID,
+	// statement size cap, folding escape hatch, metrics registry).
+	IngestOptions = ingest.Options
+	// IngestStats tallies one ingestion pass: statements parsed (Streamed),
+	// distinct folded items (Templates), and unparseable statements
+	// (Skipped).
+	IngestStats = ingest.Stats
+)
+
+// IngestReader streams SQL statements from r against the schema, folding
+// duplicates. The grammar is a superset of the cmd/wlgen SQL-per-line
+// format: multi-line ';'-terminated statements, optional RFC3339+tab
+// timestamps, blank lines and "--" comments.
+func IngestReader(s *Schema, r io.Reader, opts IngestOptions) (*Workload, IngestStats, error) {
+	return ingest.Reader(s, r, opts)
+}
+
+// IngestFile is IngestReader over one log file.
+func IngestFile(s *Schema, path string, opts IngestOptions) (*Workload, IngestStats, error) {
+	return ingest.File(s, path, opts)
+}
+
+// IngestDir ingests every regular non-hidden file in dir in sorted name
+// order as one continuous log, folding duplicates across file boundaries.
+func IngestDir(s *Schema, dir string, opts IngestOptions) (*Workload, IngestStats, error) {
+	return ingest.Dir(s, dir, opts)
+}
+
+// LoadWorkloadDir loads a self-describing workload directory:
+// dir/schema.sql (DDL parsed by ParseSchemaSQL) plus dir/queries/ (a log
+// directory) or dir/queries.sql (a single log).
+func LoadWorkloadDir(dir string, opts IngestOptions) (*Schema, *Workload, IngestStats, error) {
+	return ingest.Load(dir, opts)
+}
+
+// IsWorkloadDir reports whether path looks like a LoadWorkloadDir layout
+// (a directory containing schema.sql).
+func IsWorkloadDir(path string) bool { return ingest.IsWorkloadDir(path) }
+
+// ParseSchemaSQL parses a CREATE TABLE DDL script into a Schema: per table
+// `CREATE TABLE name (col TYPE [CARDINALITY n], ...) [ROWS n] [FACT];`.
+func ParseSchemaSQL(ddl string) (*Schema, error) { return sqlparse.ParseSchema(ddl) }
