@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke bench-sampler bench-eval bench-portfolio bench-scale serve-smoke
+.PHONY: ci vet build test race fuzz-smoke bench apidiff api-baseline report-check bench-smoke bench-sampler bench-eval bench-portfolio bench-scale bench-online serve-smoke
 
 # The full local gate: what should pass before every commit.
-ci: vet build race fuzz-smoke apidiff report-check serve-smoke bench-smoke bench-sampler bench-eval bench-portfolio bench-scale
+ci: vet build race fuzz-smoke apidiff report-check serve-smoke bench-smoke bench-sampler bench-eval bench-portfolio bench-scale bench-online
 
 # Fail on incompatible changes to the public cliffguard package (removed or
 # altered exported declarations vs api/cliffguard.api). Intentional breaks:
@@ -102,6 +102,17 @@ bench-scale:
 	@mkdir -p /tmp/cliffguard-bench-scale
 	$(GO) run ./cmd/benchrunner -experiment SCALE -bench-json /tmp/cliffguard-bench-scale > /dev/null
 	$(GO) run ./cmd/cliffreport bench -against benchmarks /tmp/cliffguard-bench-scale/BENCH_SCALE.json
+
+# Gate online mode: re-run the ONLINE experiment (a drift replay through the
+# sliding-window controller, warm vs cold; a repeat-window warm re-design
+# that must publish a bit-identical design with >= 5x fewer cost-model calls
+# than the cold run; and an injected-regression probe the safety rule must
+# reject) and require its deterministic counters and bits to match the
+# checked-in benchmarks/BENCH_ONLINE.json (wall-clock is informational).
+bench-online:
+	@mkdir -p /tmp/cliffguard-bench-online
+	$(GO) run ./cmd/benchrunner -experiment ONLINE -bench-json /tmp/cliffguard-bench-online > /dev/null
+	$(GO) run ./cmd/cliffreport bench -against benchmarks /tmp/cliffguard-bench-online/BENCH_ONLINE.json
 
 # Boot the real cliffguardd binary on a random port and drive the /v1 API
 # end to end: tenant create -> workload -> submit -> poll -> design/trace/

@@ -49,6 +49,19 @@ func main() {
 		verbose = flag.Bool("v", false, "print the per-iteration trace")
 		outJSON = flag.String("out", "", "also write the design as JSON to this file")
 
+		onlineMode = flag.Bool("online", false,
+			"replay the workload through online mode: queries stream through a sliding window, drift past the threshold triggers warm-started re-designs guarded by the safety acceptance rule")
+		driftFraction = flag.Float64("drift-fraction", 0,
+			"online: fire a re-design when delta(window, designed) exceeds this fraction of gamma (0 = 1.0)")
+		checkEvery = flag.Int("check-every", 0,
+			"online: run a drift check every N observed queries (0 = on window-bucket rotation)")
+		winBuckets = flag.Int("window-buckets", 0,
+			"online: sliding-window ring capacity in buckets (0 = 8)")
+		bucketSize = flag.Int("bucket-size", 0,
+			"online: observations per window bucket (0 = 64)")
+		coldRedesign = flag.Bool("cold", false,
+			"online: disable the warm-start generation handoff (every re-design repeats all cost-model calls; designs are bit-identical either way)")
+
 		designers = flag.String("designers", "advisor",
 			"comma-separated designer portfolio raced on every design call: advisor (the engine's nominal designer), autoadmin, ilp")
 		memberTimeout = flag.Duration("member-timeout", 0,
@@ -101,6 +114,25 @@ func main() {
 	// designers and cost models, so the run aborts promptly mid-iteration.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *onlineMode {
+		if *gamma <= 0 {
+			log.Fatal("-online needs -gamma > 0 (online mode guards a Gamma-neighborhood)")
+		}
+		if reg != nil {
+			eng.Instrument(reg)
+		}
+		err := runOnline(ctx, s, w, db, members, reg, onlineParams{
+			gamma: *gamma, samples: *samples, iterations: *iters, seed: *seed,
+			parallelism: *par, driftFraction: *driftFraction, checkEvery: *checkEvery,
+			buckets: *winBuckets, bucketSize: *bucketSize, cold: *coldRedesign,
+			verbose: *verbose,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	// Profiling: CPU/heap profile files and the optional pprof listener.
 	prof, err := cliffguard.StartProfiling(*cpuProfile, *memProfile, *pprofAddr)

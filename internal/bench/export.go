@@ -219,6 +219,40 @@ func WritePortfolioCSV(w io.Writer, r *PortfolioResult) error {
 	return cw.Error()
 }
 
+// WriteOnlineCSV exports the ONLINE drift-detect + warm-re-design experiment.
+func WriteOnlineCSV(w io.Writer, r *OnlineResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "samples", "iterations",
+		"observed", "evicted", "drift_checks", "drift_fires", "drift_fired",
+		"redesigns", "published",
+		"bootstrap_calls", "steady_warm_calls", "steady_cold_calls",
+		"steady_warm_hits", "steady_match",
+		"repeat_cold_calls", "repeat_warm_calls", "repeat_warm_hits",
+		"repeat_match", "repeat_speedup_ge5", "safety_kept_incumbent",
+		"cold_ms", "warm_ms", "speedup"}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{
+		r.Workload, strconv.Itoa(r.Samples), strconv.Itoa(r.Iterations),
+		strconv.FormatUint(r.Observed, 10), strconv.FormatUint(r.Evicted, 10),
+		strconv.FormatUint(r.DriftChecks, 10), strconv.FormatUint(r.DriftFires, 10),
+		strconv.FormatBool(r.DriftFired),
+		strconv.FormatUint(r.Redesigns, 10), strconv.FormatUint(r.Published, 10),
+		strconv.FormatUint(r.BootstrapCalls, 10), strconv.FormatUint(r.SteadyWarmCalls, 10),
+		strconv.FormatUint(r.SteadyColdCalls, 10), strconv.FormatUint(r.SteadyWarmHits, 10),
+		strconv.FormatBool(r.SteadyMatch),
+		strconv.FormatUint(r.RepeatColdCalls, 10), strconv.FormatUint(r.RepeatWarmCalls, 10),
+		strconv.FormatUint(r.RepeatWarmHits, 10),
+		strconv.FormatBool(r.RepeatMatch), strconv.FormatBool(r.RepeatSpeedupGE5),
+		strconv.FormatBool(r.SafetyKeptIncumbent),
+		f(r.ColdMs), f(r.WarmMs), f(r.Speedup),
+	}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteScaleCSV exports the SCALE million-query streaming-ingestion and
 // shard-fanout experiment.
 func WriteScaleCSV(w io.Writer, r *ScaleResult) error {
@@ -228,6 +262,7 @@ func WriteScaleCSV(w io.Writer, r *ScaleResult) error {
 		"fold_identical", "counters_match",
 		"shard1_match", "shard2_match", "shard4_match", "iterations",
 		"pooled_cost_calls", "shard_cost_calls",
+		"warm_shard_cost_calls", "warm_shard_warm_hits", "warm_shard_match",
 		"ingest_ms", "design_ms", "heap_mb", "sys_mb"}); err != nil {
 		return err
 	}
@@ -239,6 +274,8 @@ func WriteScaleCSV(w io.Writer, r *ScaleResult) error {
 		strconv.FormatBool(r.Shard1Match), strconv.FormatBool(r.Shard2Match),
 		strconv.FormatBool(r.Shard4Match), strconv.Itoa(r.Iterations),
 		strconv.FormatUint(r.PooledCostCalls, 10), strconv.FormatUint(r.ShardCostCalls, 10),
+		strconv.FormatUint(r.WarmShardCostCalls, 10), strconv.FormatUint(r.WarmShardWarmHits, 10),
+		strconv.FormatBool(r.WarmShardMatch),
 		f(r.IngestMs), f(r.DesignMs), f(r.HeapMB), f(r.SysMB),
 	}); err != nil {
 		return err

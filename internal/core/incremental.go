@@ -51,6 +51,12 @@ type runEval struct {
 	// (the sharded fan-out still runs, uncached).
 	shards     int
 	shardUnits []*evalcache.Cache
+
+	// Cross-run generation handoff (Options.WarmStart/ExportGeneration): gen
+	// accumulates the run's export — harvested before every retain eviction
+	// plus once at run end, so it covers every fingerprint the run scored,
+	// not just the two the final cache retains. nil unless exporting.
+	gen *evalcache.Generation
 }
 
 // newRunEval builds the run's evaluator. With DisableEvalFastPath both
@@ -63,18 +69,53 @@ func (cg *CliffGuard) newRunEval(opts Options) *runEval {
 			re.shardUnits = make([]*evalcache.Cache, re.shards)
 			for k := range re.shardUnits {
 				re.shardUnits[k] = evalcache.New()
+				// Every shard-private memo shares the imported generation:
+				// queries the shards have in common are pre-seeded instead of
+				// re-costed once per shard.
+				re.shardUnits[k].SetWarm(opts.WarmStart)
 			}
 			if opts.Metrics != nil {
 				opts.Metrics.RegisterCache("evalcache", shardStats(re.shardUnits))
 			}
 		} else {
 			re.units = evalcache.New()
+			re.units.SetWarm(opts.WarmStart)
 			if opts.Metrics != nil {
 				opts.Metrics.RegisterCache("evalcache", re.units.Stats)
 			}
 		}
+		if opts.ExportGeneration {
+			re.gen = evalcache.NewGeneration()
+		}
 	}
 	return re
+}
+
+// harvest exports the current unit-cost memo contents into the run's outgoing
+// generation. Called before each retain eviction and once at run end; a no-op
+// unless Options.ExportGeneration armed the export.
+func (re *runEval) harvest() {
+	if re.gen == nil {
+		return
+	}
+	if re.units != nil {
+		re.units.ExportInto(re.gen)
+	}
+	for _, c := range re.shardUnits {
+		c.ExportInto(re.gen)
+	}
+}
+
+// warmHitsTotal sums warm-generation hits across the run's memos.
+func (re *runEval) warmHitsTotal() uint64 {
+	var n uint64
+	if re.units != nil {
+		n += re.units.WarmHits()
+	}
+	for _, c := range re.shardUnits {
+		n += c.WarmHits()
+	}
+	return n
 }
 
 // moveMemo returns the unit-cost memo moveWorkload should read: the shared
@@ -139,6 +180,9 @@ func (re *runEval) retain(incumbent, candidate *designer.Design) {
 	if re.scores == nil {
 		return
 	}
+	// Harvest before evicting: unit costs about to be dropped still belong in
+	// the outgoing generation (the next warm run may revisit their designs).
+	re.harvest()
 	fpI, fpC := incumbent.Fingerprint(), candidate.Fingerprint()
 	for fp := range re.scores {
 		if fp != fpI && fp != fpC {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cliffguard/internal/designer"
+	"cliffguard/internal/evalcache"
 	"cliffguard/internal/obs"
 )
 
@@ -95,6 +96,37 @@ type Options struct {
 	// bound). A member exceeding it is skipped for that invocation — counted
 	// in Metrics, never fatal — as long as at least one member returns.
 	MemberTimeout time.Duration
+	// InitialDesign seeds the loop with an incumbent design from a previous
+	// run. The nominal designer is still consulted for W0 (line 1 of
+	// Algorithm 2 is unchanged), but the incumbent is scored on the same
+	// initial neighborhood pass and whichever design has the strictly lower
+	// worst-case cost starts the robust-move loop — a tie keeps the nominal
+	// design. Both scores are recorded in RunStats, which is what lets the
+	// online controller's safety rule prove that a published design never
+	// regresses vs the incumbent on the current window. nil (the default)
+	// preserves the historical nominal-only start; with Gamma = 0 the
+	// option is ignored (the run returns the nominal design untouched).
+	InitialDesign *designer.Design
+	// WarmStart imports a prior run's exported unit-cost generation (see
+	// ExportGeneration): evaluation-layer unit costs missing from the run's
+	// own memo are served from the generation, keyed by (query content
+	// hash, design fingerprint), so a re-design over an overlapping
+	// workload repeats almost no cost-model calls. Memoized values are the
+	// exact float64s the pure cost model returned, so designs, traces, and
+	// events are bit-identical warm vs cold — the generation MUST come from
+	// a run against the same cost model. In sharded mode every
+	// shard-private memo shares the generation, which also stops shards
+	// from re-costing the queries they share. nil disables the import;
+	// DisableEvalFastPath disables it too (there is no memo to warm).
+	WarmStart *evalcache.Generation
+	// ExportGeneration makes the run harvest its unit-cost memo into a
+	// content-keyed evalcache.Generation — before every two-generation
+	// eviction and once at run end, so the export covers every design
+	// fingerprint the run scored. The result is exposed by
+	// RunHandle.Generation once the run finishes: the handoff the next
+	// warm-started run imports via WarmStart. Ignored with
+	// DisableEvalFastPath or Gamma = 0.
+	ExportGeneration bool
 	// DisableEvalFastPath reverts neighborhood evaluation to the legacy
 	// full-pass behavior: every pass calls the cost model once per
 	// (query, workload) and nothing is memoized across passes. The default

@@ -6,8 +6,36 @@ import (
 	"sync"
 
 	"cliffguard/internal/designer"
+	"cliffguard/internal/evalcache"
 	"cliffguard/internal/workload"
 )
+
+// RunStats are a run's scalar outcomes beyond the design itself: the
+// worst-case costs of the initial competitors and of the returned design,
+// plus the warm-start tally. All cost fields are worst-case costs over the
+// run's sampled Gamma-neighborhood; they are meaningful only for Gamma > 0
+// (a Gamma = 0 run never samples a neighborhood and returns zero stats).
+type RunStats struct {
+	// NominalWorst is the initial nominal design's worst-case cost.
+	NominalWorst float64
+	// IncumbentScored reports that Options.InitialDesign was set and was
+	// scored on the initial neighborhood pass; IncumbentWorst is then its
+	// worst-case cost. (An incumbent whose every workload is uncostable is
+	// skipped and left unscored.)
+	IncumbentScored bool
+	IncumbentWorst  float64
+	// SeededFromIncumbent reports that the incumbent beat the nominal
+	// design and the loop started from it.
+	SeededFromIncumbent bool
+	// FinalWorst is the returned design's worst-case cost. When the run was
+	// seeded, FinalWorst <= IncumbentWorst by construction: the loop starts
+	// from the better of the two initial designs and only ever accepts
+	// strictly improving moves.
+	FinalWorst float64
+	// WarmHits counts evaluation-layer unit costs served from the imported
+	// Options.WarmStart generation (summed across shard memos).
+	WarmHits uint64
+}
 
 // RunState is the lifecycle state of one asynchronous robust-design run.
 type RunState string
@@ -40,6 +68,8 @@ type RunHandle struct {
 	state  RunState
 	design *designer.Design
 	traces []Trace
+	stats  RunStats
+	gen    *evalcache.Generation
 	err    error
 }
 
@@ -55,15 +85,15 @@ func (cg *CliffGuard) Start(ctx context.Context, w0 *workload.Workload) *RunHand
 	h := &RunHandle{cancel: cancel, done: make(chan struct{}), state: RunRunning}
 	go func() {
 		defer cancel()
-		d, traces, err := cg.run(runCtx, w0)
-		h.finish(d, traces, err)
+		d, traces, stats, gen, err := cg.run(runCtx, w0)
+		h.finish(d, traces, stats, gen, err)
 	}()
 	return h
 }
 
-func (h *RunHandle) finish(d *designer.Design, traces []Trace, err error) {
+func (h *RunHandle) finish(d *designer.Design, traces []Trace, stats RunStats, gen *evalcache.Generation, err error) {
 	h.mu.Lock()
-	h.design, h.traces, h.err = d, traces, err
+	h.design, h.traces, h.stats, h.gen, h.err = d, traces, stats, gen, err
 	switch {
 	case err == nil:
 		h.state = RunDone
@@ -112,4 +142,20 @@ func (h *RunHandle) Result() (*designer.Design, []Trace, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.design, h.traces, h.err
+}
+
+// Stats returns the run's scalar outcomes. Zero until the run finishes.
+func (h *RunHandle) Stats() RunStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Generation returns the run's exported unit-cost generation — the warm-start
+// handoff for the next run over an overlapping workload. nil unless
+// Options.ExportGeneration was set and the run finished successfully.
+func (h *RunHandle) Generation() *evalcache.Generation {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.gen
 }

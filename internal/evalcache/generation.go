@@ -1,0 +1,120 @@
+package evalcache
+
+import (
+	"sync"
+
+	"cliffguard/internal/workload"
+)
+
+// Cross-run generation handoff. A completed robust run exports its retained
+// unit-cost memo into a Generation — the same (cost, unsupported) entries the
+// run's Cache held, re-keyed by content instead of by query pointer — and the
+// next run over an overlapping workload imports it with Cache.SetWarm. Query
+// pointers are session-local (every ingestion produces fresh *Query values),
+// so the pointer-keyed cacheKey cannot cross runs; workload.ContentHash is
+// the canonical identity that can, exactly as in the cross-tenant Shared
+// memo.
+//
+// Value transparency: a Generation entry is the exact float64 a pure,
+// deterministic cost model returned for that (query content, design
+// fingerprint) pair. Serving it instead of re-invoking the model therefore
+// changes nothing downstream — designs, traces, and events are bit-identical
+// warm vs cold. The contract is the same as Shared's: a Generation must only
+// ever be imported into runs against the same cost model it was exported
+// from (the online controller guarantees this by construction — one engine
+// per controller).
+
+// GenerationKey identifies one memoized unit cost by content: the query's
+// canonical ContentHash plus the design fingerprint it was costed under.
+type GenerationKey struct {
+	Query  uint64
+	Design uint64
+}
+
+// Generation is a content-keyed export of a run's unit-cost memo. It is
+// built single-threaded (the run loop harvests into it between evaluation
+// passes) and read concurrently afterwards (the next run's evaluator workers
+// consult it on memo misses); the RWMutex covers the overlap where one
+// run's harvest races a diagnostic reader.
+type Generation struct {
+	mu sync.RWMutex
+	m  map[GenerationKey]entry
+}
+
+// NewGeneration returns an empty generation.
+func NewGeneration() *Generation {
+	return &Generation{m: make(map[GenerationKey]entry)}
+}
+
+// Len returns the number of exported pairs.
+func (g *Generation) Len() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.m)
+}
+
+// Lookup returns the memoized unit cost under the content key, if present.
+func (g *Generation) Lookup(k GenerationKey) (cost float64, unsupported, ok bool) {
+	if g == nil {
+		return 0, false, false
+	}
+	g.mu.RLock()
+	e, ok := g.m[k]
+	g.mu.RUnlock()
+	return e.cost, e.unsupported, ok
+}
+
+func (g *Generation) put(k GenerationKey, e entry) {
+	g.mu.Lock()
+	g.m[k] = e
+	g.mu.Unlock()
+}
+
+// SetWarm installs gen as the cache's read-only fallback: a Lookup that
+// misses the pointer-keyed shard consults the generation under the query's
+// ContentHash, and a hit there is promoted into the shard (so the hash is
+// computed at most once per pair) and tallied in WarmHits. Call before the
+// cache is shared across goroutines; a nil generation disables the fallback.
+//
+// Warm hits count as cache hits in Stats — they are memo hits, just served
+// from the previous run's memo — which is exactly what makes a warm
+// re-design's evaluation passes skip the cost model.
+func (c *Cache) SetWarm(g *Generation) { c.warm = g }
+
+// WarmHits returns how many lookups were served from the warm generation.
+func (c *Cache) WarmHits() uint64 { return c.warmHits.Load() }
+
+// contentHash memoizes workload.ContentHash by query pointer: the hash walks
+// the full query spec, and warm lookups and exports revisit the same queries
+// many times over.
+func (c *Cache) contentHash(q *workload.Query) uint64 {
+	if v, ok := c.hashes.Load(q); ok {
+		return v.(uint64)
+	}
+	h := workload.ContentHash(q)
+	c.hashes.Store(q, h)
+	return h
+}
+
+// ExportInto copies every memoized pair into gen under its content key.
+// Entries already present are overwritten — values are pure functions of
+// their key, so a duplicate export writes the identical entry. The run loop
+// harvests before each Retain eviction plus once at run end, so the exported
+// generation covers every design fingerprint the run ever scored, not just
+// the two the final cache retains.
+func (c *Cache) ExportInto(g *Generation) {
+	if g == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, e := range s.m {
+			g.put(GenerationKey{Query: c.contentHash(k.q), Design: k.fp}, e)
+		}
+		s.mu.RUnlock()
+	}
+}

@@ -84,6 +84,15 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	counter("cliffguard_ingest_queries_streamed_total", "Statements parsed off the ingestion stream, pre-fold.", m.IngestQueriesStreamed.Load())
 	counter("cliffguard_ingest_templates_compressed_total", "Parsed statements folded into an existing weighted item.", m.IngestTemplatesCompressed.Load())
 	counter("cliffguard_ingest_parse_skips_total", "Ingested statements that failed to parse.", m.IngestParseSkips.Load())
+	counter("cliffguard_eval_warm_hits_total", "Unit costs served from an imported warm generation.", m.EvalWarmHits.Load())
+	counter("cliffguard_workload_add_skips_total", "Workload Add calls dropped for non-positive weight.", m.WorkloadAddSkips.Load())
+	counter("cliffguard_online_observed_total", "Queries absorbed by online sliding windows.", m.OnlineObserved.Load())
+	counter("cliffguard_online_evicted_total", "Queries evicted by window-bucket rotation.", m.OnlineEvicted.Load())
+	counter("cliffguard_online_drift_checks_total", "Drift evaluations delta(window, designed).", m.OnlineDriftChecks.Load())
+	counter("cliffguard_online_drift_fires_total", "Drift checks exceeding the redesign threshold.", m.OnlineDriftFires.Load())
+	counter("cliffguard_online_redesigns_total", "Online re-design runs started.", m.OnlineRedesigns.Load())
+	counter("cliffguard_online_published_total", "Candidate designs published as the new incumbent.", m.OnlinePublished.Load())
+	counter("cliffguard_online_safety_rejected_total", "Candidates rejected by the safety acceptance rule.", m.OnlineSafetyRejected.Load())
 	labeledCounter("cliffguard_shard_evals_total", "Per-workload evaluations, per evaluator shard.", "shard", &m.ShardEvals)
 	counter("cliffguard_portfolio_runs_total", "Designer-portfolio invocations.", m.PortfolioRuns.Load())
 	counter("cliffguard_portfolio_member_errors_total", "Portfolio members that returned an error.", m.PortfolioMemberErrors.Load())
@@ -256,7 +265,18 @@ func (m *Metrics) ExpvarFunc() expvar.Func {
 				"templates_compressed": m.IngestTemplatesCompressed.Load(),
 				"parse_skips":          m.IngestParseSkips.Load(),
 			},
-			"shard_evals": m.ShardEvals.Snapshot(),
+			"shard_evals":        m.ShardEvals.Snapshot(),
+			"eval_warm_hits":     m.EvalWarmHits.Load(),
+			"workload_add_skips": m.WorkloadAddSkips.Load(),
+			"online": map[string]any{
+				"observed":        m.OnlineObserved.Load(),
+				"evicted":         m.OnlineEvicted.Load(),
+				"drift_checks":    m.OnlineDriftChecks.Load(),
+				"drift_fires":     m.OnlineDriftFires.Load(),
+				"redesigns":       m.OnlineRedesigns.Load(),
+				"published":       m.OnlinePublished.Load(),
+				"safety_rejected": m.OnlineSafetyRejected.Load(),
+			},
 			"portfolio": map[string]any{
 				"runs":            m.PortfolioRuns.Load(),
 				"member_errors":   m.PortfolioMemberErrors.Load(),

@@ -186,6 +186,20 @@ type Metrics struct {
 	IngestTemplatesCompressed Counter // parsed statements folded into an existing weighted item
 	IngestParseSkips          Counter // statements that failed to parse
 
+	// Warm-start generation handoff (internal/evalcache) and online
+	// re-design (internal/online). WorkloadAddSkips counts Workload.Add
+	// calls dropped for a non-positive weight — a window-eviction bug that
+	// silently shrinks workloads shows up here instead of nowhere.
+	EvalWarmHits         Counter // unit costs served from an imported warm generation
+	WorkloadAddSkips     Counter // workload Add calls dropped for non-positive weight
+	OnlineObserved       Counter // queries absorbed by online sliding windows
+	OnlineEvicted        Counter // queries evicted by window-bucket rotation
+	OnlineDriftChecks    Counter // delta(window, designed) drift evaluations
+	OnlineDriftFires     Counter // drift checks exceeding the redesign threshold
+	OnlineRedesigns      Counter // online re-design runs started
+	OnlinePublished      Counter // candidate designs published as the new incumbent
+	OnlineSafetyRejected Counter // candidates rejected by the safety acceptance rule
+
 	// Sharded evaluator (internal/core, Options.Shards > 0).
 	ShardEvals LabeledCounter // per-workload evaluations, per shard index
 
@@ -298,6 +312,18 @@ type MetricsSnapshot struct {
 	IngestParseSkips          uint64            `json:"ingest_parse_skips,omitempty"`
 	ShardEvals                map[string]uint64 `json:"shard_evals,omitempty"`
 
+	// Warm-start and online-mode families. Zero (and omitted) for offline
+	// cold runs, so pre-existing snapshots keep their exact shape.
+	EvalWarmHits         uint64 `json:"eval_warm_hits,omitempty"`
+	WorkloadAddSkips     uint64 `json:"workload_add_skips,omitempty"`
+	OnlineObserved       uint64 `json:"online_observed,omitempty"`
+	OnlineEvicted        uint64 `json:"online_evicted,omitempty"`
+	OnlineDriftChecks    uint64 `json:"online_drift_checks,omitempty"`
+	OnlineDriftFires     uint64 `json:"online_drift_fires,omitempty"`
+	OnlineRedesigns      uint64 `json:"online_redesigns,omitempty"`
+	OnlinePublished      uint64 `json:"online_published,omitempty"`
+	OnlineSafetyRejected uint64 `json:"online_safety_rejected,omitempty"`
+
 	PortfolioRuns           uint64            `json:"portfolio_runs,omitempty"`
 	PortfolioMemberErrors   uint64            `json:"portfolio_member_errors,omitempty"`
 	PortfolioMemberTimeouts uint64            `json:"portfolio_member_timeouts,omitempty"`
@@ -345,6 +371,16 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		IngestTemplatesCompressed: m.IngestTemplatesCompressed.Load(),
 		IngestParseSkips:          m.IngestParseSkips.Load(),
 		ShardEvals:                m.ShardEvals.Snapshot(),
+
+		EvalWarmHits:         m.EvalWarmHits.Load(),
+		WorkloadAddSkips:     m.WorkloadAddSkips.Load(),
+		OnlineObserved:       m.OnlineObserved.Load(),
+		OnlineEvicted:        m.OnlineEvicted.Load(),
+		OnlineDriftChecks:    m.OnlineDriftChecks.Load(),
+		OnlineDriftFires:     m.OnlineDriftFires.Load(),
+		OnlineRedesigns:      m.OnlineRedesigns.Load(),
+		OnlinePublished:      m.OnlinePublished.Load(),
+		OnlineSafetyRejected: m.OnlineSafetyRejected.Load(),
 
 		PortfolioRuns:           m.PortfolioRuns.Load(),
 		PortfolioMemberErrors:   m.PortfolioMemberErrors.Load(),

@@ -1,0 +1,184 @@
+// Package online turns the batch robust-design loop into a streaming service
+// primitive: a sliding-window workload accumulator plus a drift-triggered
+// re-design controller.
+//
+// The Window absorbs a query stream into a count-bucketed ring. Each bucket
+// is an append-only workload.Workload; when the open bucket fills, a new one
+// opens and the oldest falls off the ring, so the window always holds the
+// most recent Buckets x BucketSize observations. Snapshots flatten the ring
+// into a single workload and are cached copy-on-write: a snapshot, once
+// returned, is never mutated again (mutation builds a fresh one), so runs may
+// hold it for as long as they like — the same discipline as
+// workload.FrozenVector's published frozen sets.
+//
+// The Controller (controller.go) watches the window's drift away from the
+// workload the incumbent design was built for, measured with the run's own
+// distance metric delta(W_window, W_designed), and fires a re-design when the
+// drift exceeds a configured fraction of Gamma — the moment the live workload
+// may have left the neighborhood the incumbent was hardened against.
+package online
+
+import (
+	"sync"
+
+	"cliffguard/internal/obs"
+	"cliffguard/internal/workload"
+)
+
+// Window sizing defaults: 8 buckets of 64 observations keeps the window at
+// 512 queries — comfortably above the loop's sample sizes while rotating
+// often enough that drift checks see fresh mass.
+const (
+	// DefaultBuckets is the ring capacity when WindowConfig.Buckets is 0.
+	DefaultBuckets = 8
+	// DefaultBucketSize is the per-bucket observation count when
+	// WindowConfig.BucketSize is 0.
+	DefaultBucketSize = 64
+)
+
+// WindowConfig sizes the sliding window.
+type WindowConfig struct {
+	// Buckets is the ring capacity: how many filled buckets the window
+	// retains (default 8). The window holds at most Buckets full buckets
+	// plus the open one.
+	Buckets int
+	// BucketSize is how many accepted observations fill a bucket before the
+	// ring rotates (default 64).
+	BucketSize int
+}
+
+func (c WindowConfig) normalized() WindowConfig {
+	if c.Buckets <= 0 {
+		c.Buckets = DefaultBuckets
+	}
+	if c.BucketSize <= 0 {
+		c.BucketSize = DefaultBucketSize
+	}
+	return c
+}
+
+// WindowStats is a point-in-time summary of a window's traffic.
+type WindowStats struct {
+	// Observed counts accepted observations over the window's lifetime.
+	Observed uint64
+	// Evicted counts observations dropped by ring rotation.
+	Evicted uint64
+	// Skipped counts observations rejected by Workload.Add (nil query or
+	// non-positive weight) — a weight bug upstream shows up here instead of
+	// silently shrinking the window.
+	Skipped uint64
+	// Rotations counts bucket boundaries crossed.
+	Rotations uint64
+	// Buckets is the current ring occupancy (including the open bucket).
+	Buckets int
+	// Queries is the current window size in items.
+	Queries int
+	// TotalWeight is the current window's total item weight.
+	TotalWeight float64
+}
+
+// Window is a count-bucketed sliding accumulator over a query stream. All
+// methods are safe for concurrent use.
+type Window struct {
+	cfg WindowConfig
+	met *obs.Metrics
+
+	mu      sync.Mutex
+	buckets []*workload.Workload // FIFO ring; the last entry is the open bucket
+	open    int                  // observations in the open bucket
+	snap    *workload.Workload   // cached flattened snapshot; nil when dirty
+
+	observed  uint64
+	evicted   uint64
+	skipped   uint64
+	rotations uint64
+}
+
+// NewWindow returns an empty window. met may be nil (no counter updates).
+func NewWindow(cfg WindowConfig, met *obs.Metrics) *Window {
+	w := &Window{cfg: cfg.normalized(), met: met}
+	w.buckets = []*workload.Workload{{}}
+	return w
+}
+
+// Observe absorbs one query with its weight. accepted reports whether the
+// observation entered the window (a nil query or non-positive weight is
+// dropped and counted in Skipped); rotated reports that the observation
+// filled the open bucket and crossed a bucket boundary — the window's
+// natural drift-check point.
+func (w *Window) Observe(q *workload.Query, weight float64) (accepted, rotated bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cur := w.buckets[len(w.buckets)-1]
+	if !cur.Add(q, weight) {
+		w.skipped++
+		if w.met != nil {
+			w.met.WorkloadAddSkips.Inc()
+		}
+		return false, false
+	}
+	w.snap = nil
+	w.observed++
+	w.open++
+	if w.met != nil {
+		w.met.OnlineObserved.Inc()
+	}
+	if w.open >= w.cfg.BucketSize {
+		w.rotateLocked()
+		rotated = true
+	}
+	return true, rotated
+}
+
+// rotateLocked opens a new bucket and drops the oldest beyond ring capacity.
+func (w *Window) rotateLocked() {
+	w.buckets = append(w.buckets, &workload.Workload{})
+	w.open = 0
+	w.rotations++
+	if len(w.buckets) > w.cfg.Buckets+1 { // +1: the open bucket rides on top
+		dropped := w.buckets[0]
+		w.buckets = w.buckets[1:]
+		w.evicted += uint64(dropped.Len())
+		if w.met != nil {
+			w.met.OnlineEvicted.Add(uint64(dropped.Len()))
+		}
+	}
+}
+
+// Snapshot flattens the ring into one workload, in bucket-then-item order
+// (deterministic for a deterministic stream). The returned workload is
+// immutable by contract — further Observe calls build a fresh snapshot
+// rather than touching a returned one — so callers may hand it to
+// long-running design jobs without copying.
+func (w *Window) Snapshot() *workload.Workload {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.snap == nil {
+		out := &workload.Workload{}
+		for _, b := range w.buckets {
+			for _, it := range b.Items {
+				out.Add(it.Q, it.Weight)
+			}
+		}
+		w.snap = out
+	}
+	return w.snap
+}
+
+// Stats returns a point-in-time summary.
+func (w *Window) Stats() WindowStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := WindowStats{
+		Observed:  w.observed,
+		Evicted:   w.evicted,
+		Skipped:   w.skipped,
+		Rotations: w.rotations,
+		Buckets:   len(w.buckets),
+	}
+	for _, b := range w.buckets {
+		st.Queries += b.Len()
+		st.TotalWeight += b.TotalWeight()
+	}
+	return st
+}

@@ -43,6 +43,13 @@ var routes = []Route{
 	{Method: "GET", Pattern: "/v1/tenants/{tenant}/runs/{run}/events", Response: "events.jsonl", handler: (*Server).handleRunEvents},
 	{Method: "GET", Pattern: "/v1/tenants/{tenant}/runs/{run}/spans", Response: "spans.jsonl", handler: (*Server).handleRunSpans},
 	{Method: "GET", Pattern: "/v1/tenants/{tenant}/runs/{run}/report", Response: "Summary", handler: (*Server).handleRunReport},
+	{Method: "POST", Pattern: "/v1/tenants/{tenant}/online", Request: "OnlineSpec", Response: "OnlineInfo", handler: (*Server).handleOnlineEnable},
+	{Method: "GET", Pattern: "/v1/tenants/{tenant}/online", Response: "OnlineInfo", handler: (*Server).handleOnlineGet},
+	{Method: "DELETE", Pattern: "/v1/tenants/{tenant}/online", Response: "OnlineInfo", handler: (*Server).handleOnlineDisable},
+	{Method: "POST", Pattern: "/v1/tenants/{tenant}/online/observe", Request: "SQL", Response: "ObserveInfo", handler: (*Server).handleOnlineObserve},
+	{Method: "POST", Pattern: "/v1/tenants/{tenant}/online/redesign", Response: "OnlineRedesignInfo", handler: (*Server).handleOnlineRedesign},
+	{Method: "GET", Pattern: "/v1/tenants/{tenant}/online/incumbent", Response: "DesignInfo", handler: (*Server).handleOnlineIncumbent},
+	{Method: "GET", Pattern: "/v1/tenants/{tenant}/online/candidate", Response: "OnlineRedesignInfo", handler: (*Server).handleOnlineCandidate},
 }
 
 // RouteTable returns the /v1 route table sorted by (pattern, method): the
@@ -340,13 +347,7 @@ func (s *Server) handleRunDesign(w http.ResponseWriter, r *http.Request) error {
 	if d == nil {
 		return errConflict(fmt.Errorf("run produced no design: %v", h.Err()))
 	}
-	info := DesignInfo{Structures: []StructureInfo{}, TotalBytes: d.SizeBytes()}
-	for _, st := range d.Structures {
-		info.Structures = append(info.Structures, StructureInfo{
-			Key: st.Key(), SizeBytes: st.SizeBytes(), Describe: st.Describe(),
-		})
-	}
-	writeData(w, http.StatusOK, info)
+	writeData(w, http.StatusOK, designInfo(d))
 	return nil
 }
 

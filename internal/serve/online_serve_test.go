@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestOnlineEndpoints walks a tenant's online mode end to end over the wire:
+// enable -> observe -> synchronous redesign -> incumbent/candidate -> status
+// -> disable, including the 404/409 edges around lifecycle order.
+func TestOnlineEndpoints(t *testing.T) {
+	srv := NewServer(Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	if code, env := call(t, client, "POST", ts.URL+"/v1/tenants", "application/json",
+		`{"id":"acme","engine":{"kind":"rowstore"}}`); code != http.StatusCreated {
+		t.Fatalf("create tenant: %d %+v", code, env.Error)
+	}
+	base := ts.URL + "/v1/tenants/acme/online"
+
+	// Lifecycle order: everything online 404s before enable.
+	if code, _ := call(t, client, "GET", base, "", ""); code != http.StatusNotFound {
+		t.Fatalf("GET before enable: %d, want 404", code)
+	}
+	if code, _ := call(t, client, "POST", base+"/redesign", "", ""); code != http.StatusNotFound {
+		t.Fatalf("redesign before enable: %d, want 404", code)
+	}
+
+	// Enable with a small window so the deterministic test stream rotates.
+	spec := `{"gamma":0.0008,"samples":8,"iterations":2,"seed":7,"parallelism":1,` +
+		`"buckets":2,"bucket_size":16,"drift_fraction":0.25}`
+	code, env := call(t, client, "POST", base, "application/json", spec)
+	if code != http.StatusCreated {
+		t.Fatalf("enable online: %d %+v", code, env.Error)
+	}
+	var info OnlineInfo
+	reencode(t, env.Data, &info)
+	if !info.Enabled || info.Gamma != 0.0008 {
+		t.Fatalf("enable payload: %+v", info)
+	}
+	// Double-enable conflicts.
+	if code, _ := call(t, client, "POST", base, "application/json", spec); code != http.StatusConflict {
+		t.Fatalf("double enable: %d, want 409", code)
+	}
+	// Incumbent before any redesign conflicts.
+	if code, _ := call(t, client, "GET", base+"/incumbent", "", ""); code != http.StatusConflict {
+		t.Fatalf("incumbent before redesign: %d, want 409", code)
+	}
+
+	// Stream the deterministic SQL workload into the window.
+	code, env = call(t, client, "POST", base+"/observe", "text/plain", testSQL(t))
+	if code != http.StatusOK {
+		t.Fatalf("observe: %d %+v", code, env.Error)
+	}
+	var obs ObserveInfo
+	reencode(t, env.Data, &obs)
+	if obs.Observed == 0 {
+		t.Fatalf("observe absorbed nothing: %+v", obs)
+	}
+
+	// Synchronous bootstrap redesign publishes.
+	code, env = call(t, client, "POST", base+"/redesign", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("redesign: %d %+v", code, env.Error)
+	}
+	var red OnlineRedesignInfo
+	reencode(t, env.Data, &red)
+	if !red.Published || red.SafetyRejected || len(red.Design.Structures) == 0 {
+		t.Fatalf("bootstrap redesign: %+v", red)
+	}
+
+	// Incumbent and candidate now resolve and agree.
+	code, env = call(t, client, "GET", base+"/incumbent", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("incumbent: %d %+v", code, env.Error)
+	}
+	var inc DesignInfo
+	reencode(t, env.Data, &inc)
+	if inc.TotalBytes != red.Design.TotalBytes || len(inc.Structures) != len(red.Design.Structures) {
+		t.Fatalf("incumbent %+v != published candidate %+v", inc, red.Design)
+	}
+	if code, _ := call(t, client, "GET", base+"/candidate", "", ""); code != http.StatusOK {
+		t.Fatalf("candidate: %d", code)
+	}
+
+	// Status reflects the lifecycle.
+	_, env = call(t, client, "GET", base, "", "")
+	reencode(t, env.Data, &info)
+	if !info.HasIncumbent || info.Redesigns != 1 || info.Published != 1 {
+		t.Fatalf("status after redesign: %+v", info)
+	}
+	if info.Window.Observed == 0 || info.Window.Queries == 0 {
+		t.Fatalf("window stats empty: %+v", info.Window)
+	}
+
+	// Disable tears the state down; online routes 404 again.
+	code, env = call(t, client, "DELETE", base, "", "")
+	if code != http.StatusOK {
+		t.Fatalf("disable: %d %+v", code, env.Error)
+	}
+	reencode(t, env.Data, &info)
+	if info.Enabled {
+		t.Fatal("disable response still reports enabled")
+	}
+	if code, _ := call(t, client, "GET", base, "", ""); code != http.StatusNotFound {
+		t.Fatalf("GET after disable: %d, want 404", code)
+	}
+}

@@ -142,6 +142,7 @@ type tenant struct {
 	runs     map[string]*run
 	order    []string
 	nextRun  int
+	online   *onlineState // enabled online mode, nil otherwise (online.go)
 
 	metrics *obs.Metrics // server registry; receives the ingest_* counters
 }

@@ -1,0 +1,159 @@
+package workload_test
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cliffguard/internal/distance"
+	"cliffguard/internal/workload"
+)
+
+const hammerCols = 8
+
+func hammerQuery(col int) *workload.Query {
+	col = col % hammerCols
+	return workload.FromSpec(workload.NextID(), time.Time{}, &workload.Spec{
+		Table:      "facts",
+		SelectCols: []int{col, (col + 1) % hammerCols},
+		Preds: []workload.Pred{
+			{Col: col, Op: workload.Eq, Lo: int64(col), Hi: int64(col), Sel: 0.01},
+		},
+	})
+}
+
+// TestFrozenCopyOnWriteHammer exercises the frozen-vector cache's
+// copy-on-write publish discipline under -race: many readers freezing,
+// cloning, and measuring distances concurrently (lock-free CAS publishes
+// racing each other) while a writer mutates the workload under the external
+// write lock the package documents for mutation. Two invariants are pinned:
+//
+//   - a FrozenVector, once returned, is never mutated again — a snapshot
+//     taken before the hammer is bit-identical after it;
+//   - every vector observed mid-hammer is internally consistent
+//     (parallel Keys/Freqs/Sets slices of one generation, never a mix).
+func TestFrozenCopyOnWriteHammer(t *testing.T) {
+	w := &workload.Workload{}
+	for i := 0; i < 16; i++ {
+		w.Add(hammerQuery(i), 1+float64(i%3))
+	}
+	// The pre-hammer snapshot: COW means mutation builds fresh vectors and
+	// never touches this one.
+	before := w.Frozen(workload.MaskSWGO)
+	beforeKeys := append([]string(nil), before.Keys...)
+	beforeFreqs := append([]float64(nil), before.Freqs...)
+
+	other := &workload.Workload{}
+	for i := 0; i < 8; i++ {
+		other.Add(hammerQuery(i+3), 2)
+	}
+	metric := distance.NewEuclidean(hammerCols)
+
+	var mu sync.RWMutex // external lock: exclusive for Add, shared for reads
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	readers := 2 * runtime.NumCPU()
+	if readers < 4 {
+		readers = 4
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			masks := []workload.ClauseMask{workload.MaskSWGO, workload.MaskWhere}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.RLock()
+				fv := w.Frozen(masks[(r+i)%len(masks)])
+				sep := w.FrozenSeparate()
+				c := w.Clone()
+				d := metric.Distance(w, other)
+				mu.RUnlock()
+				if len(fv.Keys) != len(fv.Freqs) || len(fv.Keys) != len(fv.Sets) {
+					select {
+					case errs <- "frozen vector slices out of sync":
+					default:
+					}
+					return
+				}
+				if sep.Len() != len(sep.Freqs) {
+					select {
+					case errs <- "separate vector slices out of sync":
+					default:
+					}
+					return
+				}
+				if c.Len() == 0 || d < 0 {
+					select {
+					case errs <- "clone/distance observed impossible state":
+					default:
+					}
+					return
+				}
+			}
+		}(r)
+	}
+
+	for i := 0; i < 400; i++ {
+		mu.Lock()
+		w.Add(hammerQuery(i), 1+float64(i%5)/2)
+		mu.Unlock()
+		if i%16 == 0 {
+			runtime.Gosched()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+
+	// The pre-hammer snapshot survived 400 mutations untouched.
+	if len(before.Keys) != len(beforeKeys) {
+		t.Fatalf("snapshot grew: %d keys, had %d", len(before.Keys), len(beforeKeys))
+	}
+	for i := range beforeKeys {
+		if before.Keys[i] != beforeKeys[i] || before.Freqs[i] != beforeFreqs[i] {
+			t.Fatalf("snapshot mutated at %d: (%s, %g) was (%s, %g)",
+				i, before.Keys[i], before.Freqs[i], beforeKeys[i], beforeFreqs[i])
+		}
+	}
+	// And the workload's current vector reflects all accepted adds.
+	if got := w.Len(); got != 16+400 {
+		t.Fatalf("workload has %d items, want %d", got, 16+400)
+	}
+}
+
+// TestAddRejectsDegenerateWeights pins the Add hardening: nil queries and
+// non-positive, NaN, or +Inf weights are dropped with a false return instead
+// of silently corrupting the frequency vector.
+func TestAddRejectsDegenerateWeights(t *testing.T) {
+	w := &workload.Workload{}
+	q := hammerQuery(0)
+	bad := []float64{0, -1, math.NaN(), math.Inf(1)}
+	for _, weight := range bad {
+		if w.Add(q, weight) {
+			t.Errorf("Add(q, %g) accepted", weight)
+		}
+	}
+	if w.Add(nil, 1) {
+		t.Error("Add(nil, 1) accepted")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("degenerate adds grew the workload to %d items", w.Len())
+	}
+	if !w.Add(q, 0.5) {
+		t.Error("Add with a positive weight rejected")
+	}
+	if w.Len() != 1 || w.TotalWeight() != 0.5 {
+		t.Fatalf("workload after one good add: len=%d weight=%g", w.Len(), w.TotalWeight())
+	}
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -35,14 +36,19 @@ func New(queries ...*Query) *Workload {
 	return w
 }
 
-// Add appends a query with the given weight. Non-positive weights are
-// ignored: they would corrupt the frequency vector.
-func (w *Workload) Add(q *Query, weight float64) {
-	if weight <= 0 {
-		return
+// Add appends a query with the given weight and reports whether the item was
+// actually added. A non-positive (or NaN) weight would corrupt the frequency
+// vector, so it is dropped and Add returns false — callers that assemble
+// workloads from computed weights (window eviction, workload moves) must
+// check the return or count skips, or a weight bug silently shrinks the
+// workload. nil queries are dropped the same way.
+func (w *Workload) Add(q *Query, weight float64) bool {
+	if q == nil || !(weight > 0) || math.IsInf(weight, 1) {
+		return false
 	}
 	w.Items = append(w.Items, Item{Q: q, Weight: weight})
 	w.invalidateFrozen()
+	return true
 }
 
 // Len returns the number of items (not total weight).
